@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Because pytest
+captures stdout, each benchmark also writes its reproduced rows/series to a
+text file under ``benchmarks/results/`` so the numbers survive a plain
+``pytest benchmarks/ --benchmark-only`` run; EXPERIMENTS.md summarises them.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.models import SCALED_CONFIGURATIONS, build_voting_graph
+from repro.petri import build_kernel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """A callable writing (and echoing) a named experiment report."""
+
+    def _write(name: str, lines) -> str:
+        text = "\n".join(str(line) for line in lines) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n===== {name} =====\n{text}")
+        return text
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def voting_graph_tiny():
+    return build_voting_graph(SCALED_CONFIGURATIONS["tiny"])
+
+
+@pytest.fixture(scope="session")
+def voting_graph_small():
+    return build_voting_graph(SCALED_CONFIGURATIONS["small"])
+
+
+@pytest.fixture(scope="session")
+def voting_graph_medium():
+    """The paper's system 0 parameters (CC=18, MM=6, NN=3)."""
+    return build_voting_graph(SCALED_CONFIGURATIONS["medium"])
+
+
+@pytest.fixture(scope="session")
+def voting_kernel_medium(voting_graph_medium):
+    return build_kernel(voting_graph_medium)
+
+
+@pytest.fixture(scope="session")
+def voting_kernel_small(voting_graph_small):
+    return build_kernel(voting_graph_small)

@@ -1,0 +1,71 @@
+"""Fig. 5 — cumulative passage-time distribution and reliability quantile.
+
+The paper inverts ``L(s)/s`` to obtain the cumulative distribution of the
+voter-processing passage and reads off a response-time quantile
+("P(system 5 processes 175 voters in under 440s) = 0.9858").  This benchmark
+regenerates the CDF curve for the system-0-sized configuration, extracts the
+analogous 0.9858 quantile, and checks the defining properties of the curve
+(monotone, 0 at small t, 1 in the limit, consistent with the density of
+Fig. 4).
+
+The timed kernel is the CDF computation over the full t-grid.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import SCALED_CONFIGURATIONS, all_voted_predicate, initial_marking_predicate
+from repro.petri import passage_solver
+
+PARAMS = SCALED_CONFIGURATIONS["medium"]
+
+
+@pytest.fixture(scope="module")
+def solver(voting_graph_medium):
+    return passage_solver(
+        voting_graph_medium, initial_marking_predicate(PARAMS), all_voted_predicate(PARAMS)
+    )
+
+
+@pytest.mark.benchmark(group="fig5-passage-cdf")
+def test_fig5_cumulative_distribution_and_quantile(benchmark, solver, report):
+    mean = solver.mean()
+    t_points = np.linspace(0.4 * mean, 2.2 * mean, 19)
+
+    cdf = benchmark.pedantic(solver.cdf, args=(t_points,), rounds=1, iterations=1)
+
+    # The paper's headline quantile has probability 0.9858; reproduce the
+    # equivalent statement for our configuration.
+    q_level = 0.9858
+    q_time = solver.quantile(q_level, 0.4 * mean, 6.0 * mean)
+
+    lines = [
+        f"Fig. 5 — cumulative distribution of the voter-processing passage ({PARAMS.label})",
+        f"{'t':>9} {'F(t)':>10}",
+    ]
+    lines += [f"{t:9.2f} {F:10.4f}" for t, F in zip(t_points, cdf)]
+    lines += [
+        "",
+        f"reliability quantile: P(all {PARAMS.voters} voters processed in under "
+        f"{q_time:.1f}s) = {q_level}",
+        "(paper, system 5: P(175 voters processed in under 440s) = 0.9858)",
+    ]
+    report("fig5_passage_cdf", lines)
+
+    # --- Shape assertions -------------------------------------------------
+    assert np.all(np.diff(cdf) > -1e-3)          # monotone (up to inversion noise)
+    assert cdf[0] < 0.35                          # little mass well below the mean
+    assert cdf[-1] > 0.95                         # most mass within ~2x the mean
+    assert np.all(cdf > -1e-4) and np.all(cdf < 1.0 + 1e-3)   # inversion noise ~1e-5
+    # Quantile consistency with the CDF itself.
+    assert solver.cdf([q_time])[0] == pytest.approx(q_level, abs=1e-3)
+    # Consistency with the density (fundamental theorem of calculus, coarse grid).
+    density = solver.density(t_points)
+    implied = np.concatenate([[cdf[0]], cdf[0] + np.cumsum(
+        0.5 * (density[1:] + density[:-1]) * np.diff(t_points)
+    )])
+    assert np.max(np.abs(implied - cdf)) < 0.05
+
+    benchmark.extra_info["quantile_time"] = float(q_time)
+    benchmark.extra_info["quantile_level"] = q_level

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The distributed master/worker analysis pipeline and its scalability.
+
+Reproduces the architecture of Section 4 and the scalability study of
+Section 5.3.3 (Table 2):
+
+1. the master computes the s-points required by the Euler inversion of a
+   voting-system passage time (5 t-points x 33 evaluations = 165 s-points,
+   matching the paper's task count),
+2. the s-points are evaluated by a serial backend (recording per-task cost),
+   by a real multiprocessing pool, and — for the Table 2 shape — by a
+   simulated cluster with 1/8/16/32 slaves,
+3. everything is checkpointed on disk, and the script demonstrates a resumed
+   run that does no recomputation.
+
+Run:  python examples/distributed_pipeline.py
+"""
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.core.jobs import PassageTimeJob
+from repro.distributed import (
+    CheckpointStore,
+    DistributedPipeline,
+    MultiprocessingBackend,
+    SerialBackend,
+    scalability_table,
+)
+from repro.models import (
+    SCALED_CONFIGURATIONS,
+    all_voted_predicate,
+    build_voting_kernel,
+    initial_marking_predicate,
+)
+from repro.smp import source_weights
+
+
+def main() -> None:
+    params = SCALED_CONFIGURATIONS["small"]
+    kernel, graph = build_voting_kernel(params)
+    sources = graph.states_where(initial_marking_predicate(params))
+    targets = graph.states_where(all_voted_predicate(params))
+    job = PassageTimeJob(
+        kernel=kernel, alpha=source_weights(kernel, sources), targets=targets
+    )
+    print(f"voting system {params.label}: {kernel.n_states} states")
+
+    # The paper's Table 2 setting: 5 t-points under Euler inversion.
+    t_points = np.linspace(10.0, 40.0, 5)
+
+    # ------------------------------------------------------------------
+    # 1. Serial master run with on-disk checkpointing.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        store = CheckpointStore(checkpoint_dir)
+        serial = SerialBackend(record_timings=True)
+        pipeline = DistributedPipeline(job, backend=serial, checkpoint=store)
+        result = pipeline.run(t_points)
+
+        stats = pipeline.statistics
+        print(f"\nserial run: {stats.s_points_computed} s-point evaluations "
+              f"in {stats.evaluation_seconds:.2f}s "
+              f"(+ {stats.inversion_seconds:.3f}s inversion)")
+        print(f"{'t':>8} {'f(t)':>12} {'F(t)':>10}")
+        for t, f, F in zip(result.t_points, result.density, result.cdf):
+            print(f"{t:8.2f} {f:12.6f} {F:10.4f}")
+
+        # Resume: a second pipeline reuses every checkpointed s-point.
+        resumed = DistributedPipeline(job, checkpoint=store)
+        resumed.run(t_points)
+        print(f"\nresumed run recomputed {resumed.statistics.s_points_computed} s-points "
+              f"({resumed.statistics.s_points_from_cache} served from the checkpoint)")
+
+        durations = serial.task_durations
+
+    # ------------------------------------------------------------------
+    # 2. Real multiprocessing speed-up on this machine.
+    # ------------------------------------------------------------------
+    import os
+
+    workers = min(4, os.cpu_count() or 1)
+    mp_backend = MultiprocessingBackend(processes=workers, chunk_size=4)
+    mp_pipeline = DistributedPipeline(job, backend=mp_backend)
+    mp_pipeline.density(t_points)
+    serial_time = sum(durations)
+    print(f"\nmultiprocessing backend ({workers} workers): "
+          f"{mp_backend.last_wall_clock:.2f}s wall-clock vs {serial_time:.2f}s serial compute")
+
+    # ------------------------------------------------------------------
+    # 3. Table 2: simulated cluster at 1 / 8 / 16 / 32 slaves.
+    # ------------------------------------------------------------------
+    print("\nSimulated cluster scalability (Table 2 shape), using the measured "
+          f"per-s-point durations of the serial run ({len(durations)} tasks):")
+    print(f"{'slaves':>7} {'time (s)':>10} {'speedup':>9} {'efficiency':>11}")
+    for row in scalability_table(durations, (1, 8, 16, 32)):
+        print(f"{row.slaves:7d} {row.time_seconds:10.2f} {row.speedup:9.2f} {row.efficiency:11.3f}")
+    print("\npaper's Table 2 for comparison: "
+          "549.1s/1.00/1.000, 71.1s/7.72/0.965, 39.2s/14.02/0.876, 24.1s/22.79/0.712")
+
+
+if __name__ == "__main__":
+    main()

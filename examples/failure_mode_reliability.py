@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Reliability analysis of a web-server cluster: rare-event passage times.
+
+The paper's Fig. 6 argues that very-low-probability events (complete system
+failure) are where the analytic method beats simulation: a simulator needs
+rare-event techniques or unreasonable run times to observe them at all.
+
+This example demonstrates that workflow on the web-server cluster model:
+
+1. build the SM-SPN and its semi-Markov state space,
+2. compute the density, CDF and quantiles of the time until every server is
+   down (the analytic method has no trouble with small probabilities),
+3. attempt the same by simulation with a modest replication budget and report
+   how poorly the rare tail is covered,
+4. extract operational reliability numbers (e.g. "probability the cluster
+   survives a full shift").
+
+Run:  python examples/failure_mode_reliability.py
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import web_server_net
+from repro.petri import build_kernel, explore, passage_solver
+from repro.simulation import PetriSimulator
+from repro.smp import smp_steady_state
+
+
+def main() -> None:
+    servers, queue_capacity = 3, 4
+    net = web_server_net(servers=servers, queue_capacity=queue_capacity)
+    graph = explore(net)
+    kernel = build_kernel(graph)
+    print(f"web-server cluster: {servers} servers, buffer {queue_capacity}")
+    print(f"state space: {graph.n_states} states, {graph.n_edges} transitions\n")
+
+    healthy = lambda m: m["failed"] == 0
+    all_down = lambda m: m["failed"] >= servers
+
+    # ------------------------------------------------------------------
+    # 1. Time from a fully healthy cluster to a total outage.
+    # ------------------------------------------------------------------
+    outage = passage_solver(graph, healthy, all_down)
+    mean_ttf = outage.mean()
+    print(f"mean time to total outage: {mean_ttf:.1f} time units")
+
+    horizon = np.array([0.1, 0.25, 0.5, 1.0, 2.0]) * mean_ttf
+    cdf = outage.cdf(horizon)
+    print("\nP(total outage before t):")
+    for t, p in zip(horizon, cdf):
+        print(f"  t = {t:8.1f}   P = {p:.6f}")
+
+    shift = 0.1 * mean_ttf
+    print(f"\nreliability over a shift of {shift:.0f} time units: "
+          f"{1.0 - outage.cdf([shift])[0]:.6f}")
+    print(f"time by which 1% of clusters have failed completely: "
+          f"{outage.quantile(0.01, 1e-3 * mean_ttf, mean_ttf):.1f}")
+    print(f"time by which 50% have failed completely           : "
+          f"{outage.quantile(0.50, 1e-3 * mean_ttf, 10 * mean_ttf):.1f}\n")
+
+    # ------------------------------------------------------------------
+    # 2. The same tail by simulation — the contrast the paper draws.
+    # ------------------------------------------------------------------
+    budget = 400
+    simulator = PetriSimulator(net)
+    samples = simulator.sample_passage_times(all_down, n_samples=budget, rng=7)
+    early_t = 0.1 * mean_ttf
+    observed = int(np.sum(samples <= early_t))
+    analytic_p = outage.cdf([early_t])[0]
+    print(f"simulation with {budget} replications:")
+    print(f"  replications observing an outage before t={early_t:.0f}: {observed}")
+    print(f"  implied estimate: {observed / budget:.4f}  vs analytic {analytic_p:.6f}")
+    print("  -> estimating this probability to two significant figures by "
+          "simulation would need orders of magnitude more replications, "
+          "while every analytic evaluation above costs the same fixed amount "
+          "of work.\n")
+
+    # ------------------------------------------------------------------
+    # 3. Long-run behaviour for context.
+    # ------------------------------------------------------------------
+    pi = smp_steady_state(kernel)
+    p_degraded = sum(
+        pi[i] for i in range(graph.n_states) if graph.view(i)["failed"] > 0
+    )
+    print(f"long-run fraction of time with at least one failed server: {p_degraded:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""semimarkov (package name ``repro``) — passage-time quantiles and transient
+distributions in large semi-Markov models.
+
+A Python reproduction of Bradley, Dingle, Harrison & Knottenbelt,
+"Distributed Computation of Passage Time Quantiles and Transient State
+Distributions in Large Semi-Markov Models", IPDPS 2003.
+
+Quick start::
+
+    import numpy as np
+    from repro import SMPBuilder, PassageTimeSolver
+    from repro.distributions import Erlang, Uniform
+
+    builder = SMPBuilder()
+    builder.add_transition("working", "broken", 1.0, Erlang(2.0, 3))
+    builder.add_transition("broken", "working", 1.0, Uniform(1.0, 2.0))
+    kernel = builder.build()
+
+    solver = PassageTimeSolver(kernel, sources=[0], targets=[1])
+    density = solver.density(np.linspace(0.1, 6.0, 60))
+    p99 = solver.quantile(0.99, 0.1, 20.0)
+
+Subpackage map (see DESIGN.md for the full inventory):
+
+===================  ======================================================
+``repro.distributions``  sojourn-time distributions and transforms
+``repro.laplace``        Euler / Laguerre numerical transform inversion
+``repro.smp``            SMP kernel, iterative passage-time algorithm
+``repro.core``           high-level solvers and result objects
+``repro.petri``          semi-Markov stochastic Petri nets
+``repro.dnamaca``        the DNAmaca-style specification language
+``repro.models``         the voting system and other example models
+``repro.simulation``     validating discrete-event simulators
+``repro.distributed``    master/worker pipeline, checkpointing, scalability
+``repro.partition``      state-space partitioning (future-work extension)
+===================  ======================================================
+"""
+from .core import (
+    PassageTimeJob,
+    PassageTimeResult,
+    PassageTimeSolver,
+    TransientJob,
+    TransientResult,
+    TransientSolver,
+)
+from .smp import PassageTimeOptions, SMPBuilder, SMPKernel
+from .petri import SMSPN, Transition, build_kernel, explore
+from .dnamaca import load_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PassageTimeSolver",
+    "TransientSolver",
+    "PassageTimeResult",
+    "TransientResult",
+    "PassageTimeJob",
+    "TransientJob",
+    "PassageTimeOptions",
+    "SMPBuilder",
+    "SMPKernel",
+    "SMSPN",
+    "Transition",
+    "explore",
+    "build_kernel",
+    "load_model",
+    "__version__",
+]

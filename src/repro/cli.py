@@ -1,0 +1,275 @@
+"""Command-line interface: analyse a DNAmaca model without writing Python.
+
+The paper's tool chain is driven by a textual model specification; this CLI
+provides the same workflow::
+
+    semimarkov info model.dnamaca
+    semimarkov passage model.dnamaca --source "p1 == 18" --target "p2 >= 18" \
+        --t-points 10 20 30 40 50 --cdf --quantile 0.99
+    semimarkov transient model.dnamaca --source "p1 == 18" --target "p2 >= 5" \
+        --t-points 5 10 20 50
+    semimarkov simulate model.dnamaca --target "p2 >= 18" --replications 2000
+
+Source and target sets are marking predicates written in the same expression
+language as the specification's ``\\condition`` clauses (place names,
+constants, comparisons, ``&&`` / ``||``).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.jobs import PassageTimeJob
+from .distributed import CheckpointStore, DistributedPipeline, MultiprocessingBackend, SerialBackend
+from .dnamaca import load_model, parse_model
+from .dnamaca.expressions import SafeExpression
+from .petri import build_kernel, explore
+from .simulation import PetriSimulator, empirical_cdf
+from .smp import PassageTimeOptions, source_weights
+
+__all__ = ["main", "build_parser"]
+
+
+def _predicate_from_expression(source: str, constants: dict[str, float]):
+    """Compile a marking predicate from a condition-style expression."""
+    expression = SafeExpression(source)
+
+    def predicate(view) -> bool:
+        env = dict(constants)
+        env.update(view.as_dict())
+        return bool(expression.evaluate(env))
+
+    return predicate
+
+
+def _load(path: str, overrides: list[str] | None):
+    text = Path(path).read_text()
+    spec = parse_model(text, name=Path(path).stem)
+    override_map: dict[str, float] = {}
+    for item in overrides or []:
+        if "=" not in item:
+            raise SystemExit(f"--set expects NAME=VALUE, got {item!r}")
+        name, value = item.split("=", 1)
+        override_map[name.strip()] = float(value)
+    net = load_model(text, name=Path(path).stem, overrides=override_map or None)
+    constants = dict(spec.constants)
+    constants.update(override_map)
+    return net, constants
+
+
+def _state_sets(graph, constants, source_expr: str, target_expr: str):
+    source_pred = _predicate_from_expression(source_expr, constants)
+    target_pred = _predicate_from_expression(target_expr, constants)
+    sources = graph.states_where(source_pred)
+    targets = graph.states_where(target_pred)
+    if not sources:
+        raise SystemExit(f"no reachable marking satisfies the source predicate {source_expr!r}")
+    if not targets:
+        raise SystemExit(f"no reachable marking satisfies the target predicate {target_expr!r}")
+    return sources, targets
+
+
+def _backend(args):
+    if args.workers and args.workers > 1:
+        return MultiprocessingBackend(processes=args.workers, chunk_size=4)
+    return SerialBackend(record_timings=True)
+
+
+def _emit(rows, header, args):
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(
+            (f"{v:.6g}" if isinstance(v, float) else str(v)).rjust(w)
+            for v, w in zip(row, widths)
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_info(args) -> int:
+    net, constants = _load(args.model, args.set)
+    graph = explore(net, max_states=args.max_states)
+    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    usage = graph.transition_usage()
+    print(f"model          : {net.name}")
+    print(f"constants      : {constants}")
+    print(f"places         : {', '.join(net.places)}")
+    print(f"transitions    : {', '.join(t.name for t in net.transitions)}")
+    print(f"reachable states: {graph.n_states}{' (truncated)' if graph.truncated else ''}")
+    print(f"kernel         : {kernel.n_transitions} transitions, "
+          f"{kernel.n_distributions} distinct sojourn distributions")
+    print(f"deadlocks      : {len(graph.deadlocks)}")
+    print("edges per net transition:")
+    for name, count in sorted(usage.items()):
+        print(f"  {name:>12}: {count}")
+    return 0
+
+
+def _cmd_passage(args) -> int:
+    net, constants = _load(args.model, args.set)
+    graph = explore(net, max_states=args.max_states)
+    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    sources, targets = _state_sets(graph, constants, args.source, args.target)
+
+    job = PassageTimeJob(
+        kernel=kernel,
+        alpha=source_weights(kernel, sources),
+        targets=targets,
+        options=PassageTimeOptions(epsilon=args.epsilon),
+        solver=args.solver,
+    )
+    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    pipeline = DistributedPipeline(
+        job, inversion=args.inversion, backend=_backend(args), checkpoint=checkpoint
+    )
+
+    t_points = np.asarray(args.t_points, dtype=float)
+    density = pipeline.density(t_points)
+    rows = [[float(t), float(f)] for t, f in zip(t_points, density)]
+    header = ["t", "density"]
+    if args.cdf:
+        cdf = pipeline.cdf(t_points)
+        header.append("cdf")
+        for row, value in zip(rows, cdf):
+            row.append(float(value))
+    _emit(rows, header, args)
+
+    if args.quantile is not None:
+        from .core import PassageTimeSolver
+
+        solver = PassageTimeSolver(
+            kernel, sources=sources, targets=targets, method=args.solver,
+            inversion=args.inversion,
+        )
+        lo, hi = min(t_points), max(t_points) * 10
+        value = solver.quantile(args.quantile, lo, hi)
+        print(f"quantile: P(T <= {value:.6g}) = {args.quantile}")
+    stats = pipeline.statistics_summary()
+    print(f"# s-points computed: {stats['s_points_computed']} "
+          f"(cache: {stats['s_points_from_cache']}), "
+          f"evaluation {stats['evaluation_seconds']:.2f}s via {stats['backend']}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_transient(args) -> int:
+    net, constants = _load(args.model, args.set)
+    graph = explore(net, max_states=args.max_states)
+    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    sources, targets = _state_sets(graph, constants, args.source, args.target)
+
+    from .core import TransientSolver
+
+    solver = TransientSolver(
+        kernel, sources=sources, targets=targets,
+        method=args.solver, inversion=args.inversion,
+        options=PassageTimeOptions(epsilon=args.epsilon),
+    )
+    t_points = np.asarray(args.t_points, dtype=float)
+    result = solver.solve(t_points)
+    rows = [[float(t), float(p)] for t, p in zip(result.t_points, result.probability)]
+    _emit(rows, ["t", "probability"], args)
+    print(f"steady-state value: {result.steady_state:.6g}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    net, constants = _load(args.model, args.set)
+    target = _predicate_from_expression(args.target, constants)
+    simulator = PetriSimulator(net)
+    samples = simulator.sample_passage_times(
+        target, n_samples=args.replications, rng=args.seed
+    )
+    quantiles = [0.05, 0.25, 0.5, 0.75, 0.95, 0.99]
+    rows = [[q, float(np.quantile(samples, q))] for q in quantiles]
+    _emit(rows, ["quantile", "t"], args)
+    print(f"mean: {samples.mean():.6g}   std: {samples.std(ddof=1):.6g}   "
+          f"replications: {len(samples)}")
+    if args.t_points:
+        cdf = empirical_cdf(samples, args.t_points)
+        _emit([[float(t), float(p)] for t, p in zip(args.t_points, cdf)],
+              ["t", "P(T<=t)"], args)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="semimarkov",
+        description="Passage-time and transient analysis of DNAmaca semi-Markov models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("model", help="path to the DNAmaca specification file")
+        p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="override a declared constant (repeatable)")
+        p.add_argument("--max-states", type=int, default=None,
+                       help="cap on the explored state-space size")
+        p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    info = sub.add_parser("info", help="show model structure and state-space statistics")
+    add_common(info)
+    info.set_defaults(handler=_cmd_info)
+
+    def add_measure_options(p):
+        p.add_argument("--source", required=True, help="source-marking predicate expression")
+        p.add_argument("--target", required=True, help="target-marking predicate expression")
+        p.add_argument("--t-points", type=float, nargs="+", required=True,
+                       help="time points to evaluate")
+        p.add_argument("--solver", choices=["iterative", "direct"], default="iterative")
+        p.add_argument("--inversion", choices=["euler", "laguerre"], default="euler")
+        p.add_argument("--epsilon", type=float, default=1e-8,
+                       help="truncation tolerance of the iterative sum")
+
+    passage = sub.add_parser("passage", help="first-passage-time density / CDF / quantile")
+    add_common(passage)
+    add_measure_options(passage)
+    passage.add_argument("--cdf", action="store_true", help="also invert the CDF")
+    passage.add_argument("--quantile", type=float, default=None,
+                         help="extract the given passage-time quantile")
+    passage.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the s-point evaluations")
+    passage.add_argument("--checkpoint", default=None,
+                         help="directory for on-disk checkpointing of s-point results")
+    passage.set_defaults(handler=_cmd_passage)
+
+    transient = sub.add_parser("transient", help="transient state distribution")
+    add_common(transient)
+    add_measure_options(transient)
+    transient.set_defaults(handler=_cmd_transient)
+
+    simulate = sub.add_parser("simulate", help="Monte-Carlo passage-time estimation")
+    add_common(simulate)
+    simulate.add_argument("--target", required=True, help="target-marking predicate expression")
+    simulate.add_argument("--replications", type=int, default=2000)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--t-points", type=float, nargs="*", default=None,
+                          help="optionally report the empirical CDF at these times")
+    simulate.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""High-level passage-time and transient analysis API (the paper's pipeline).
+
+Typical use::
+
+    from repro.core import PassageTimeSolver
+
+    solver = PassageTimeSolver(kernel, sources=[0], targets=[5, 6])
+    result = solver.solve(t_points=np.linspace(1, 50, 50))
+    result.density, result.cdf, result.quantile(0.99)
+
+The solvers hide the three-stage structure of the computation (decide which
+s-points the Laplace inversion needs, evaluate the passage-time / transient
+transform at each of them, invert), which is exactly the split the
+distributed pipeline in :mod:`repro.distributed` parallelises.
+"""
+from .jobs import PassageTimeJob, TransientJob, TransformJob
+from .results import PassageTimeResult, TransientResult
+from .solvers import PassageTimeSolver, TransientSolver
+
+__all__ = [
+    "TransformJob",
+    "PassageTimeJob",
+    "TransientJob",
+    "PassageTimeResult",
+    "TransientResult",
+    "PassageTimeSolver",
+    "TransientSolver",
+]

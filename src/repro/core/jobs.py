@@ -1,0 +1,132 @@
+"""Transform-evaluation jobs: the unit of work of the distributed pipeline.
+
+A *job* bundles everything a worker needs to evaluate the Laplace transform
+of one measure (a passage time or a transient probability) at an arbitrary
+s-point: the kernel, the source weighting, the target set and the truncation
+options.  Jobs are picklable, so the multiprocessing backend can ship them to
+worker processes once and then stream bare s-values, and they expose a stable
+digest used to key the on-disk checkpoint cache.
+"""
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..smp.kernel import SMPKernel, UEvaluator
+from ..smp.linear import passage_transform_direct
+from ..smp.passage import PassageTimeOptions, passage_transform, passage_transform_vector
+from ..smp.transient import transient_transform
+
+__all__ = ["TransformJob", "PassageTimeJob", "TransientJob"]
+
+
+def _kernel_digest(kernel: SMPKernel) -> str:
+    """A stable content hash of the kernel's structure and distributions."""
+    h = hashlib.sha256()
+    h.update(np.int64(kernel.n_states).tobytes())
+    h.update(kernel.src.tobytes())
+    h.update(kernel.dst.tobytes())
+    h.update(kernel.probs.tobytes())
+    h.update(kernel.dist_index.tobytes())
+    for dist in kernel.distributions:
+        h.update(repr(dist._key()).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class TransformJob(abc.ABC):
+    """A transform-evaluation task: ``evaluate(s)`` for arbitrary complex ``s``."""
+
+    kernel: SMPKernel
+    alpha: np.ndarray
+    targets: np.ndarray
+    options: PassageTimeOptions = field(default_factory=PassageTimeOptions)
+    solver: str = "iterative"
+
+    def __post_init__(self):
+        self.alpha = np.asarray(self.alpha, dtype=float)
+        self.targets = np.unique(np.atleast_1d(np.asarray(self.targets, dtype=np.int64)))
+        if self.solver not in ("iterative", "direct"):
+            raise ValueError("solver must be 'iterative' or 'direct'")
+        if self.alpha.shape != (self.kernel.n_states,):
+            raise ValueError("alpha must have one weight per state")
+        if self.targets.size == 0:
+            raise ValueError("at least one target state is required")
+        self._evaluator: UEvaluator | None = None
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def evaluator(self) -> UEvaluator:
+        """Lazily constructed (and per-process) U/U' evaluator."""
+        if getattr(self, "_evaluator", None) is None:
+            self._evaluator = self.kernel.evaluator()
+        return self._evaluator
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_evaluator"] = None  # rebuild lazily in the worker process
+        return state
+
+    def digest(self) -> str:
+        """Content hash identifying this measure (kernel + sources + targets)."""
+        h = hashlib.sha256()
+        h.update(self.kind().encode())
+        h.update(_kernel_digest(self.kernel).encode())
+        h.update(self.alpha.tobytes())
+        h.update(self.targets.tobytes())
+        h.update(f"{self.options.epsilon}:{self.solver}".encode())
+        return h.hexdigest()[:32]
+
+    # ----------------------------------------------------------------- API
+    @abc.abstractmethod
+    def kind(self) -> str:
+        """Short label ("passage" / "transient") used in digests and logs."""
+
+    @abc.abstractmethod
+    def evaluate(self, s: complex) -> complex:
+        """The transform value at ``s``."""
+
+    def evaluate_many(self, s_values) -> dict[complex, complex]:
+        """Evaluate a batch of s-points serially (used by the serial backend)."""
+        return {complex(s): self.evaluate(complex(s)) for s in s_values}
+
+
+class PassageTimeJob(TransformJob):
+    """Evaluates the first-passage-time transform ``L_{i->j}(s)``."""
+
+    def kind(self) -> str:
+        return "passage"
+
+    def evaluate(self, s: complex) -> complex:
+        s = complex(s)
+        if s == 0:
+            # L(0) is the probability of ever reaching the target set, which
+            # is one in the irreducible chains this library targets.
+            return 1.0 + 0.0j
+        if self.solver == "direct":
+            vec = passage_transform_direct(self.evaluator, self.targets, s)
+            return complex(np.dot(self.alpha, vec))
+        value, _ = passage_transform(
+            self.evaluator, self.alpha, self.targets, s, self.options
+        )
+        return value
+
+
+class TransientJob(TransformJob):
+    """Evaluates the transient-probability transform ``T*_{i->j}(s)``."""
+
+    def kind(self) -> str:
+        return "transient"
+
+    def evaluate(self, s: complex) -> complex:
+        return transient_transform(
+            self.evaluator,
+            self.alpha,
+            self.targets,
+            complex(s),
+            self.options,
+            solver=self.solver,
+        )

@@ -1,0 +1,43 @@
+"""The distributed master/worker analysis pipeline (Section 4 of the paper).
+
+The paper's tool distributes work at the granularity of *s-points*: the
+master decides which transform evaluations the Laplace inversion will need,
+puts them on a global work queue, slaves pull s-values and run the iterative
+passage-time algorithm for each, results are cached in memory and on disk
+(checkpointing), and the master finally performs the numerical inversion.
+No slave–slave communication is needed, which is what gives the near-linear
+speedups of Table 2.
+
+This package reproduces that architecture:
+
+* :class:`SPointWorkQueue` — the global queue of outstanding s-points,
+* :class:`CheckpointStore` — the on-disk cache keyed by a model/measure digest,
+* backends — :class:`SerialBackend`, :class:`MultiprocessingBackend` (real
+  parallelism on this machine's cores) and :class:`SimulatedCluster` (a
+  deterministic model of a cluster with a configurable number of slaves,
+  per-task compute times, master dispatch overhead and network latency, used
+  to regenerate the shape of Table 2),
+* :class:`DistributedPipeline` — the master: orchestrates queue, backend,
+  checkpointing and final inversion.
+"""
+from .queue import SPointWorkQueue, WorkItem
+from .checkpoint import CheckpointStore
+from .backends import Backend, SerialBackend, MultiprocessingBackend
+from .simcluster import SimulatedCluster, ClusterTiming, ScalabilityRow, scalability_table, relative_timing
+from .pipeline import DistributedPipeline, PipelineStatistics
+
+__all__ = [
+    "SPointWorkQueue",
+    "WorkItem",
+    "CheckpointStore",
+    "Backend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "SimulatedCluster",
+    "ClusterTiming",
+    "ScalabilityRow",
+    "scalability_table",
+    "relative_timing",
+    "DistributedPipeline",
+    "PipelineStatistics",
+]

@@ -1,0 +1,119 @@
+"""Execution backends for transform-evaluation jobs.
+
+A backend takes a :class:`~repro.core.jobs.TransformJob` and a list of
+s-points and returns ``{s: L(s)}``.  Three implementations are provided:
+
+* :class:`SerialBackend` — in-process evaluation, optionally recording the
+  wall-clock duration of every s-point (the measured durations feed the
+  simulated cluster used to regenerate Table 2),
+* :class:`MultiprocessingBackend` — a pool of worker *processes*, each of
+  which receives the job once (master -> slave, exactly like the paper's
+  slaves receiving the model) and then streams s-values,
+* :class:`repro.distributed.simcluster.SimulatedCluster` — not an executor
+  but a timing model; see that module.
+"""
+from __future__ import annotations
+
+import os
+import time
+from concurrent import futures
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from ..core.jobs import TransformJob
+
+__all__ = ["Backend", "SerialBackend", "MultiprocessingBackend"]
+
+
+class Backend(Protocol):
+    """Anything that can evaluate a job at a batch of s-points."""
+
+    def evaluate(self, job: TransformJob, s_points: Iterable[complex]) -> dict[complex, complex]:
+        ...  # pragma: no cover - protocol definition
+
+
+class SerialBackend:
+    """Evaluate all s-points in the calling process.
+
+    Parameters
+    ----------
+    record_timings:
+        When true, the per-s-point wall-clock durations are appended to
+        :attr:`task_durations`; the Table 2 benchmark replays them through the
+        simulated cluster.
+    """
+
+    name = "serial"
+
+    def __init__(self, *, record_timings: bool = False):
+        self.record_timings = record_timings
+        self.task_durations: list[float] = []
+
+    def evaluate(self, job: TransformJob, s_points) -> dict[complex, complex]:
+        results: dict[complex, complex] = {}
+        for s in s_points:
+            start = time.perf_counter()
+            results[complex(s)] = job.evaluate(complex(s))
+            if self.record_timings:
+                self.task_durations.append(time.perf_counter() - start)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing backend.  The job is shipped to each worker once via the
+# pool initializer (the paper's "slaves are assigned the next available
+# s-value" loop then only moves bare complex numbers around).
+# ---------------------------------------------------------------------------
+
+_WORKER_JOB: TransformJob | None = None
+
+
+def _worker_initialise(job: TransformJob) -> None:  # pragma: no cover - runs in subprocess
+    global _WORKER_JOB
+    _WORKER_JOB = job
+
+
+def _worker_evaluate(s: complex) -> tuple[complex, complex]:  # pragma: no cover - subprocess
+    assert _WORKER_JOB is not None, "worker used before initialisation"
+    return s, _WORKER_JOB.evaluate(s)
+
+
+class MultiprocessingBackend:
+    """Evaluate s-points on a pool of worker processes.
+
+    Parameters
+    ----------
+    processes:
+        Number of slave processes (defaults to the machine's CPU count).
+    chunk_size:
+        How many s-points each task message carries; larger chunks amortise
+        inter-process overhead for cheap evaluations.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, processes: int | None = None, *, chunk_size: int = 1):
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes or os.cpu_count() or 1
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self.last_wall_clock: float | None = None
+
+    def evaluate(self, job: TransformJob, s_points) -> dict[complex, complex]:
+        s_points = [complex(s) for s in np.asarray(list(s_points), dtype=complex)]
+        if not s_points:
+            return {}
+        start = time.perf_counter()
+        results: dict[complex, complex] = {}
+        with futures.ProcessPoolExecutor(
+            max_workers=min(self.processes, len(s_points)),
+            initializer=_worker_initialise,
+            initargs=(job,),
+        ) as pool:
+            for s, value in pool.map(_worker_evaluate, s_points, chunksize=self.chunk_size):
+                results[complex(s)] = complex(value)
+        self.last_wall_clock = time.perf_counter() - start
+        return results

@@ -1,0 +1,86 @@
+"""On-disk checkpointing of computed transform values.
+
+The paper's pipeline caches every returned ``L(s)`` value "both in memory and
+on disk so that all computation is checkpointed": a crashed or interrupted
+analysis resumes without recomputing completed s-points.  The store below
+keeps one JSON file per (model, measure) digest under a checkpoint directory.
+"""
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..laplace.inverter import canonical_s
+
+__all__ = ["CheckpointStore"]
+
+
+def _encode(s: complex) -> str:
+    return f"{s.real!r},{s.imag!r}"
+
+
+def _decode(text: str) -> complex:
+    real, imag = text.split(",")
+    return complex(float(real), float(imag))
+
+
+class CheckpointStore:
+    """A directory of JSON files mapping s-points to transform values."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        safe = "".join(c for c in digest if c.isalnum() or c in "-_")
+        if not safe:
+            raise ValueError("digest must contain at least one filename-safe character")
+        return self.directory / f"{safe}.json"
+
+    # ------------------------------------------------------------------ API
+    def load(self, digest: str) -> dict[complex, complex]:
+        """All checkpointed values for this measure (empty dict when none)."""
+        path = self._path(digest)
+        if not path.exists():
+            return {}
+        try:
+            raw = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            # A torn write (e.g. the process was killed mid-checkpoint before
+            # the atomic-rename scheme below was in place) must not poison the
+            # whole analysis: start that measure afresh.
+            return {}
+        return {_decode(k): complex(v[0], v[1]) for k, v in raw.items()}
+
+    def merge(self, digest: str, values: dict[complex, complex]) -> None:
+        """Merge ``values`` into the checkpoint file (atomic rewrite)."""
+        if not values:
+            return
+        current = self.load(digest)
+        current.update({canonical_s(k): complex(v) for k, v in values.items()})
+        payload = {_encode(k): [v.real, v.imag] for k, v in current.items()}
+        path = self._path(digest)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def clear(self, digest: str) -> None:
+        path = self._path(digest)
+        if path.exists():
+            path.unlink()
+
+    def digests(self) -> list[str]:
+        """All measures with checkpoint files in this store."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def size_bytes(self, digest: str) -> int:
+        path = self._path(digest)
+        return path.stat().st_size if path.exists() else 0

@@ -1,0 +1,187 @@
+"""The master process: queue management, checkpointing and final inversion."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.jobs import TransformJob
+from ..core.results import PassageTimeResult, TransientResult
+from ..laplace import get_inverter
+from ..laplace.inverter import canonical_s, conjugate_reduced
+from ..utils.timing import Stopwatch
+from .backends import SerialBackend
+from .checkpoint import CheckpointStore
+from .queue import SPointWorkQueue
+
+__all__ = ["DistributedPipeline", "PipelineStatistics"]
+
+
+@dataclass
+class PipelineStatistics:
+    """Bookkeeping of one pipeline run (what Table 2 measures)."""
+
+    s_points_required: int = 0
+    s_points_computed: int = 0
+    s_points_from_cache: int = 0
+    conjugates_folded: int = 0
+    evaluation_seconds: float = 0.0
+    inversion_seconds: float = 0.0
+    task_durations: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.evaluation_seconds + self.inversion_seconds
+
+
+class DistributedPipeline:
+    """Master-side orchestration of a passage-time / transient analysis.
+
+    Parameters
+    ----------
+    job:
+        The transform-evaluation job (kernel + sources + targets + options).
+    inversion:
+        Inversion algorithm name, ``"euler"`` or ``"laguerre"``.
+    backend:
+        Execution backend; defaults to a timing-recording serial backend.
+    checkpoint:
+        Optional :class:`CheckpointStore`; when given, previously computed
+        s-points are loaded before dispatch and new results are merged back
+        after, so an interrupted analysis resumes where it stopped.
+    fold_conjugates:
+        Exploit ``L(conj(s)) = conj(L(s))`` to halve the work for grids that
+        include conjugate pairs (the Laguerre contour); the Euler grid lies in
+        the upper half plane already, so folding is a no-op there.
+    """
+
+    def __init__(
+        self,
+        job: TransformJob,
+        *,
+        inversion: str = "euler",
+        inverter_options: dict | None = None,
+        backend=None,
+        checkpoint: CheckpointStore | None = None,
+        fold_conjugates: bool = True,
+    ):
+        self.job = job
+        self.inverter = get_inverter(inversion, **(inverter_options or {}))
+        self.backend = backend if backend is not None else SerialBackend(record_timings=True)
+        self.checkpoint = checkpoint
+        self.fold_conjugates = fold_conjugates
+        self.queue = SPointWorkQueue()
+        self.statistics = PipelineStatistics()
+        self._values: dict[complex, complex] = {}
+
+    # ----------------------------------------------------------- internals
+    def _gather_values(self, t_points: np.ndarray) -> dict[complex, complex]:
+        stats = self.statistics
+        required = self.inverter.required_s_points(t_points)
+        stats.s_points_required += len(required)
+
+        wanted = conjugate_reduced(required) if self.fold_conjugates else np.asarray(required)
+        stats.conjugates_folded += len(required) - len(wanted)
+
+        # Seed from the in-memory cache and the on-disk checkpoint.
+        if self.checkpoint is not None:
+            for s, v in self.checkpoint.load(self.job.digest()).items():
+                self._values.setdefault(canonical_s(s), complex(v))
+
+        missing = []
+        for s in wanted:
+            if canonical_s(s) in self._values:
+                stats.s_points_from_cache += 1
+            else:
+                missing.append(complex(s))
+
+        if missing:
+            self.queue.put(missing)
+            items = self.queue.take(self.queue.n_pending)
+            stopwatch = Stopwatch()
+            with stopwatch:
+                computed = self.backend.evaluate(self.job, [item.s for item in items])
+            stats.evaluation_seconds += stopwatch.elapsed
+            durations = getattr(self.backend, "task_durations", None)
+            if durations:
+                new = durations[-len(items):]
+                stats.task_durations.extend(new)
+            for item in items:
+                value = computed[item.s]
+                self.queue.complete(item, value)
+                self._values[canonical_s(item.s)] = complex(value)
+            stats.s_points_computed += len(items)
+            if self.checkpoint is not None:
+                self.checkpoint.merge(self.job.digest(), computed)
+
+        # Expand the folded conjugates back out and key the result by the
+        # exact s-points the inverter asked for.
+        lookup: dict[complex, complex] = {}
+        for s in wanted:
+            value = self._values[canonical_s(s)]
+            lookup[canonical_s(s)] = value
+            lookup[canonical_s(np.conj(complex(s)))] = complex(np.conj(value))
+        return {complex(s): lookup[canonical_s(s)] for s in required}
+
+    # ------------------------------------------------------------------ API
+    def density(self, t_points) -> np.ndarray:
+        """Invert the measure's transform into a density/probability curve."""
+        t_points = np.asarray(list(t_points), dtype=float)
+        values = self._gather_values(t_points)
+        stopwatch = Stopwatch()
+        with stopwatch:
+            result = self.inverter.invert_values(t_points, values)
+        self.statistics.inversion_seconds += stopwatch.elapsed
+        return result
+
+    def cdf(self, t_points) -> np.ndarray:
+        """Invert ``L(s)/s`` — the cumulative distribution (passage jobs only)."""
+        t_points = np.asarray(list(t_points), dtype=float)
+        values = self._gather_values(t_points)
+        cdf_values = {s: v / s for s, v in values.items() if s != 0}
+        stopwatch = Stopwatch()
+        with stopwatch:
+            result = self.inverter.invert_values(t_points, cdf_values)
+        self.statistics.inversion_seconds += stopwatch.elapsed
+        return result
+
+    def run(self, t_points, *, include_cdf: bool | None = None):
+        """Full analysis over ``t_points`` returning a result object.
+
+        Passage jobs yield a :class:`PassageTimeResult` (density + CDF);
+        transient jobs yield a :class:`TransientResult`.
+        """
+        t_points = np.asarray(list(t_points), dtype=float)
+        kind = self.job.kind()
+        if kind == "passage":
+            density = self.density(t_points)
+            cdf = self.cdf(t_points) if (include_cdf is None or include_cdf) else None
+            return PassageTimeResult(
+                t_points=t_points,
+                density=density,
+                cdf=cdf,
+                transform_values=dict(self._values),
+                method=self.inverter.name,
+                statistics=self.statistics_summary(),
+            )
+        probability = self.density(t_points)
+        return TransientResult(
+            t_points=t_points,
+            probability=probability,
+            steady_state=None,
+            transform_values=dict(self._values),
+            method=self.inverter.name,
+            statistics=self.statistics_summary(),
+        )
+
+    def statistics_summary(self) -> dict:
+        stats = self.statistics
+        return {
+            "s_points_required": stats.s_points_required,
+            "s_points_computed": stats.s_points_computed,
+            "s_points_from_cache": stats.s_points_from_cache,
+            "conjugates_folded": stats.conjugates_folded,
+            "evaluation_seconds": stats.evaluation_seconds,
+            "inversion_seconds": stats.inversion_seconds,
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+        }

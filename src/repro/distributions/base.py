@@ -1,0 +1,77 @@
+"""Abstract base class for sojourn-time distributions."""
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Distribution"]
+
+
+class Distribution(abc.ABC):
+    """A non-negative random variable used as a semi-Markov sojourn time.
+
+    Subclasses must implement :meth:`lst`, :meth:`sample` and :meth:`mean`.
+    The Laplace–Stieltjes transform is the quantity the analytical pipeline
+    works with throughout; the sampler is only needed by the validating
+    simulator.
+    """
+
+    # ----------------------------------------------------------------- API
+    @abc.abstractmethod
+    def lst(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Laplace–Stieltjes transform ``E[exp(-s T)]``.
+
+        Accepts a scalar or an ndarray of complex ``s`` with ``Re(s) >= 0``
+        and returns a value of matching shape.
+        """
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw ``size`` independent samples (or a scalar when ``size=None``)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value of the distribution."""
+
+    def variance(self) -> float:
+        """Variance; subclasses override when a closed form exists."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form variance")
+
+    def pdf(self, t):
+        """Probability density at ``t`` (where one exists)."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form pdf")
+
+    def cdf(self, t):
+        """Cumulative distribution function at ``t`` (where one exists)."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form cdf")
+
+    # ------------------------------------------------------------ identity
+    def _key(self) -> tuple[Any, ...]:
+        """Hashable identity used for structural equality and kernel dedup."""
+        return (type(self).__name__,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Distribution) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name, *params = self._key()
+        inner = ", ".join(repr(p) for p in params)
+        return f"{name}({inner})"
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _as_complex(s) -> np.ndarray:
+        """Normalise ``s`` to a complex ndarray (possibly 0-d)."""
+        return np.asarray(s, dtype=complex)
+
+    @staticmethod
+    def _match_shape(values: np.ndarray, s) -> complex | np.ndarray:
+        """Return a scalar when the input ``s`` was scalar, else the array."""
+        if np.isscalar(s) or (isinstance(s, np.ndarray) and s.ndim == 0):
+            return complex(values)
+        return values

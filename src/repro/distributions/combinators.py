@@ -1,0 +1,198 @@
+"""Distribution combinators: probabilistic mixtures, convolutions, scaling, shifting.
+
+These are the compositions the paper performs in Laplace space (e.g. the
+``0.8 * uniformLT(1.5, 10, s) + 0.2 * erlangLT(0.001, 5, s)`` firing
+distribution of transition ``t5`` in Fig. 3).  All compositions remain exact
+in transform space and sample exactly in the time domain.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..utils.validation import check_non_negative, check_positive, check_probability_vector
+from .base import Distribution
+
+__all__ = ["Mixture", "Convolution", "Scaled", "Shifted", "probabilistic_choice"]
+
+
+class Mixture(Distribution):
+    """Probabilistic mixture: with probability ``w_i`` the delay is drawn from ``components[i]``."""
+
+    def __init__(self, components: Sequence[Distribution], weights: Iterable[float]):
+        components = list(components)
+        if not components:
+            raise ValueError("Mixture requires at least one component")
+        if not all(isinstance(c, Distribution) for c in components):
+            raise TypeError("Mixture components must be Distribution instances")
+        self.components = components
+        self.weights = check_probability_vector(weights, "weights", normalise=True)
+        if len(self.weights) != len(self.components):
+            raise ValueError("weights and components must have the same length")
+
+    def lst(self, s):
+        s_arr = self._as_complex(s)
+        total = np.zeros(np.shape(s_arr), dtype=complex)
+        for w, comp in zip(self.weights, self.components):
+            total = total + w * np.asarray(comp.lst(s_arr), dtype=complex)
+        return self._match_shape(total, s)
+
+    def sample(self, rng, size=None):
+        if size is None:
+            branch = rng.choice(len(self.components), p=self.weights)
+            return self.components[branch].sample(rng)
+        n = int(np.prod(size))
+        branches = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n, dtype=float)
+        for idx, comp in enumerate(self.components):
+            mask = branches == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = np.asarray(comp.sample(rng, size=count), dtype=float)
+        return out.reshape(size)
+
+    def mean(self):
+        return float(sum(w * c.mean() for w, c in zip(self.weights, self.components)))
+
+    def variance(self):
+        m = self.mean()
+        second = sum(
+            w * (c.variance() + c.mean() ** 2) for w, c in zip(self.weights, self.components)
+        )
+        return float(second - m**2)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return sum(w * np.asarray(c.pdf(t)) for w, c in zip(self.weights, self.components))
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return sum(w * np.asarray(c.cdf(t)) for w, c in zip(self.weights, self.components))
+
+    def _key(self):
+        return (
+            "Mixture",
+            tuple(self.weights.tolist()),
+            tuple(c._key() for c in self.components),
+        )
+
+
+class Convolution(Distribution):
+    """Sum of independent delays: the transform is the product of the components'."""
+
+    def __init__(self, components: Sequence[Distribution]):
+        components = list(components)
+        if not components:
+            raise ValueError("Convolution requires at least one component")
+        if not all(isinstance(c, Distribution) for c in components):
+            raise TypeError("Convolution components must be Distribution instances")
+        self.components = components
+
+    def lst(self, s):
+        s_arr = self._as_complex(s)
+        total = np.ones(np.shape(s_arr), dtype=complex)
+        for comp in self.components:
+            total = total * np.asarray(comp.lst(s_arr), dtype=complex)
+        return self._match_shape(total, s)
+
+    def sample(self, rng, size=None):
+        if size is None:
+            return float(sum(float(np.asarray(c.sample(rng))) for c in self.components))
+        acc = np.zeros(size, dtype=float)
+        for comp in self.components:
+            acc = acc + np.asarray(comp.sample(rng, size=size), dtype=float)
+        return acc
+
+    def mean(self):
+        return float(sum(c.mean() for c in self.components))
+
+    def variance(self):
+        return float(sum(c.variance() for c in self.components))
+
+    def _key(self):
+        return ("Convolution", tuple(c._key() for c in self.components))
+
+
+class Scaled(Distribution):
+    """The delay ``factor * X`` for an underlying distribution ``X``."""
+
+    def __init__(self, inner: Distribution, factor: float):
+        if not isinstance(inner, Distribution):
+            raise TypeError("inner must be a Distribution")
+        self.inner = inner
+        self.factor = check_positive(factor, "factor")
+
+    def lst(self, s):
+        s_arr = self._as_complex(s)
+        return self._match_shape(
+            np.asarray(self.inner.lst(self.factor * s_arr), dtype=complex), s
+        )
+
+    def sample(self, rng, size=None):
+        return self.factor * np.asarray(self.inner.sample(rng, size=size))
+
+    def mean(self):
+        return self.factor * self.inner.mean()
+
+    def variance(self):
+        return self.factor**2 * self.inner.variance()
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.asarray(self.inner.pdf(t / self.factor)) / self.factor
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.asarray(self.inner.cdf(t / self.factor))
+
+    def _key(self):
+        return ("Scaled", self.inner._key(), self.factor)
+
+
+class Shifted(Distribution):
+    """The delay ``X + shift`` for an underlying distribution ``X`` and ``shift >= 0``."""
+
+    def __init__(self, inner: Distribution, shift: float):
+        if not isinstance(inner, Distribution):
+            raise TypeError("inner must be a Distribution")
+        self.inner = inner
+        self.shift = check_non_negative(shift, "shift")
+
+    def lst(self, s):
+        s_arr = self._as_complex(s)
+        val = np.exp(-self.shift * s_arr) * np.asarray(self.inner.lst(s_arr), dtype=complex)
+        return self._match_shape(val, s)
+
+    def sample(self, rng, size=None):
+        return self.shift + np.asarray(self.inner.sample(rng, size=size))
+
+    def mean(self):
+        return self.shift + self.inner.mean()
+
+    def variance(self):
+        return self.inner.variance()
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.asarray(self.inner.pdf(t - self.shift))
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.asarray(self.inner.cdf(t - self.shift))
+
+    def _key(self):
+        return ("Shifted", self.inner._key(), self.shift)
+
+
+def probabilistic_choice(*branches: tuple[float, Distribution]) -> Mixture:
+    """Convenience constructor mirroring the paper's additive LT notation.
+
+    ``probabilistic_choice((0.8, Uniform(1.5, 10)), (0.2, Erlang(0.001, 5)))``
+    builds the firing distribution of transition ``t5`` in Fig. 3.
+    """
+    if not branches:
+        raise ValueError("at least one (weight, distribution) branch is required")
+    weights = [w for w, _ in branches]
+    comps = [d for _, d in branches]
+    return Mixture(comps, weights)

@@ -1,0 +1,90 @@
+"""Numerical Laplace–Stieltjes transforms for densities without closed forms.
+
+The transform ``E[e^{-sT}] = int_0^inf e^{-st} f(t) dt`` is evaluated by
+composite Gauss–Legendre quadrature on ``[0, upper]``.  The panel count adapts
+to the oscillation frequency ``|Im(s)|`` so that each period of the
+``e^{-i Im(s) t}`` factor is resolved by several panels.  Any probability mass
+beyond ``upper`` is accounted for as an atom at ``upper`` (its contribution is
+bounded by the tail probability, which callers keep below ~1e-10).
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["numeric_lst"]
+
+# 16-point Gauss–Legendre nodes/weights on [-1, 1], reused for every panel.
+_GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(16)
+
+
+def numeric_lst(
+    pdf: Callable[[np.ndarray], np.ndarray],
+    s_values: np.ndarray,
+    *,
+    upper: float,
+    lower: float = 0.0,
+    cdf: Callable[[np.ndarray], np.ndarray] | None = None,
+    panels_per_period: int = 4,
+    min_panels: int = 32,
+    max_panels: int = 4000,
+) -> np.ndarray:
+    """Evaluate the Laplace transform of ``pdf`` at each complex ``s``.
+
+    Parameters
+    ----------
+    pdf:
+        Vectorised density function on ``[lower, upper]``.
+    s_values:
+        1-D array of complex transform arguments with ``Re(s) >= 0``.
+    upper, lower:
+        Integration limits; ``upper`` should capture essentially all mass.
+    cdf:
+        Optional CDF used to add the truncated-tail correction
+        ``e^{-s upper} (1 - F(upper))``.
+    panels_per_period:
+        Number of quadrature panels per oscillation period of ``e^{-i Im(s) t}``.
+    """
+    s_values = np.asarray(s_values, dtype=complex).ravel()
+    if upper <= lower:
+        raise ValueError(f"upper ({upper}) must exceed lower ({lower})")
+    if not np.isfinite(upper):
+        raise ValueError("upper integration limit must be finite")
+
+    out = np.empty(s_values.shape, dtype=complex)
+    length = upper - lower
+    for idx, s in enumerate(s_values):
+        if s.real < -1e-12:
+            raise ValueError(f"numeric_lst requires Re(s) >= 0, got {s!r}")
+        # Truncate further when the exponential damping makes the far tail
+        # negligible: beyond t0 with Re(s) * (t0 - lower) > 46, e^{-Re(s) t} < 1e-20.
+        eff_upper = upper
+        if s.real > 0:
+            eff_upper = min(upper, lower + 46.0 / s.real)
+            eff_upper = max(eff_upper, lower + 1e-12)
+        eff_length = eff_upper - lower
+
+        periods = abs(s.imag) * eff_length / (2.0 * np.pi)
+        n_panels = int(min(max(min_panels, panels_per_period * (periods + 1)), max_panels))
+        edges = np.linspace(lower, eff_upper, n_panels + 1)
+        # Many densities (Weibull, gamma with shape < 1, ...) have derivative
+        # singularities at the lower endpoint; grade the first uniform panel
+        # geometrically so the quadrature error there does not dominate.
+        first_width = edges[1] - edges[0]
+        graded = edges[0] + first_width * 0.5 ** np.arange(24, 0, -1)
+        edges = np.concatenate(([edges[0]], graded, edges[1:]))
+        half = 0.5 * (edges[1:] - edges[:-1])
+        mid = 0.5 * (edges[1:] + edges[:-1])
+        # nodes has shape (n_panels, 16)
+        nodes = mid[:, None] + half[:, None] * _GL_NODES[None, :]
+        weights = half[:, None] * _GL_WEIGHTS[None, :]
+        integrand = pdf(nodes) * np.exp(-s * nodes)
+        value = np.sum(weights * integrand)
+
+        if cdf is not None:
+            tail = 1.0 - float(np.asarray(cdf(np.asarray([eff_upper])))[0])
+            if tail > 0.0:
+                value = value + tail * np.exp(-s * eff_upper)
+        out[idx] = value
+    return out

@@ -1,0 +1,151 @@
+"""The paper's constant-space representation of a general distribution.
+
+Section 4 of the paper observes that, because every distribution manipulation
+happens in Laplace space and the final answer is produced by a *numerical*
+inversion algorithm that only ever evaluates the transform at a fixed, finite
+set of ``s``-points, it suffices to store those sampled values.  The storage
+is then constant per distribution, independent of the distribution's type and
+stable under composition (sums become pointwise products, probabilistic
+choices become pointwise convex combinations).
+
+:class:`SampledTransform` implements exactly that representation.
+"""
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["SampledTransform", "sample_transform"]
+
+
+def _canonical(s: complex) -> complex:
+    """Round an s-point so that lookups are robust to float noise."""
+    return complex(round(s.real, 12), round(s.imag, 12))
+
+
+class SampledTransform(Distribution):
+    """A distribution represented only by transform values at fixed s-points.
+
+    Parameters
+    ----------
+    values:
+        Mapping from complex ``s`` to the transform value ``L(s)``.
+    mean:
+        Optional known mean, carried along for steady-state computations
+        (the transform samples alone cannot recover moments exactly).
+    """
+
+    def __init__(self, values: Mapping[complex, complex], mean: float | None = None):
+        if not values:
+            raise ValueError("SampledTransform requires at least one s-point")
+        self._values = {_canonical(complex(k)): complex(v) for k, v in values.items()}
+        self._mean = None if mean is None else float(mean)
+
+    # -------------------------------------------------------------- factory
+    @classmethod
+    def from_distribution(cls, dist: Distribution, s_points) -> "SampledTransform":
+        """Sample ``dist``'s transform at ``s_points`` (the inversion grid)."""
+        s_points = np.asarray(list(s_points), dtype=complex)
+        vals = np.asarray(dist.lst(s_points), dtype=complex)
+        mean = None
+        try:
+            mean = dist.mean()
+        except NotImplementedError:  # pragma: no cover - all current dists have means
+            mean = None
+        return cls({s: v for s, v in zip(s_points, vals)}, mean=mean)
+
+    # ---------------------------------------------------------------- views
+    @property
+    def s_points(self) -> np.ndarray:
+        return np.asarray(sorted(self._values, key=lambda z: (z.real, z.imag)), dtype=complex)
+
+    @property
+    def storage_size(self) -> int:
+        """Number of stored complex samples — constant under composition."""
+        return len(self._values)
+
+    def value_at(self, s: complex) -> complex:
+        key = _canonical(complex(s))
+        try:
+            return self._values[key]
+        except KeyError:
+            raise KeyError(
+                f"s-point {s!r} was not part of this transform's sampling grid"
+            ) from None
+
+    # --------------------------------------------------------- Distribution
+    def lst(self, s):
+        s_arr = np.atleast_1d(self._as_complex(s))
+        vals = np.asarray([self.value_at(x) for x in s_arr.ravel()], dtype=complex)
+        vals = vals.reshape(s_arr.shape)
+        return self._match_shape(vals, s)
+
+    def sample(self, rng, size=None):
+        raise NotImplementedError(
+            "SampledTransform stores only transform values; it cannot be sampled"
+        )
+
+    def mean(self):
+        if self._mean is None:
+            raise NotImplementedError("mean was not recorded for this SampledTransform")
+        return self._mean
+
+    # ---------------------------------------------------------- composition
+    def _binary(self, other, op, mean_op=None) -> "SampledTransform":
+        if isinstance(other, SampledTransform):
+            keys = set(self._values) & set(other._values)
+            if not keys:
+                raise ValueError("SampledTransforms share no common s-points")
+            new_mean = None
+            if mean_op is not None and self._mean is not None and other._mean is not None:
+                new_mean = mean_op(self._mean, other._mean)
+            return SampledTransform(
+                {k: op(self._values[k], other._values[k]) for k in keys}, mean=new_mean
+            )
+        if isinstance(other, (int, float, complex)):
+            return SampledTransform(
+                {k: op(v, other) for k, v in self._values.items()}, mean=None
+            )
+        return NotImplemented
+
+    def __add__(self, other):
+        """Pointwise sum — used for weighted probabilistic choice."""
+        return self._binary(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        """Pointwise product — convolution of delays (or scalar weighting)."""
+        return self._binary(other, lambda a, b: a * b, mean_op=lambda a, b: a + b)
+
+    __rmul__ = __mul__
+
+    def convolve(self, other: "SampledTransform") -> "SampledTransform":
+        """Delay addition: product of transforms, means add."""
+        return self * other
+
+    def mix(self, other: "SampledTransform", weight: float) -> "SampledTransform":
+        """Probabilistic choice: ``weight`` on self, ``1 - weight`` on other."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must lie in [0, 1]")
+        keys = set(self._values) & set(other._values)
+        if not keys:
+            raise ValueError("SampledTransforms share no common s-points")
+        mean = None
+        if self._mean is not None and other._mean is not None:
+            mean = weight * self._mean + (1.0 - weight) * other._mean
+        return SampledTransform(
+            {k: weight * self._values[k] + (1.0 - weight) * other._values[k] for k in keys},
+            mean=mean,
+        )
+
+    def _key(self):
+        return ("SampledTransform", tuple(sorted(self._values.items(), key=lambda kv: (kv[0].real, kv[0].imag))))
+
+
+def sample_transform(dist: Distribution, s_points) -> SampledTransform:
+    """Functional alias for :meth:`SampledTransform.from_distribution`."""
+    return SampledTransform.from_distribution(dist, s_points)

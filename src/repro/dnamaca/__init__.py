@@ -1,0 +1,47 @@
+"""A semi-Markov extension of the DNAmaca specification language.
+
+The paper describes its models textually in "an extended semi-Markovian
+version of the high-level DNAmaca Markov chain specification language" and
+shows one transition of the voting system (Fig. 3):
+
+.. code-block:: text
+
+    \\transition{t5}{
+      \\condition{p7 > MM-1}
+      \\action{
+        next->p3 = p3 + MM;
+        next->p7 = p7 - MM;
+      }
+      \\weight{1.0}
+      \\priority{2}
+      \\sojourntimeLT{
+        return (0.8 * uniformLT(1.5,10,s)
+              + 0.2 * erlangLT(0.001,5,s));
+      }
+    }
+
+This package parses that syntax (plus ``\\constant`` and ``\\place``
+declarations for the model header) and compiles it into an
+:class:`repro.petri.SMSPN`, from which the usual reachability / passage-time
+pipeline takes over.  See :data:`repro.models.voting_spec.VOTING_SPEC_TEMPLATE`
+for a complete model written in the language.
+"""
+from .lexer import Block, tokenize_blocks, strip_comments
+from .ast import ModelSpec, PlaceSpec, TransitionSpec
+from .parser import parse_model
+from .expressions import SafeExpression, parse_lt_expression
+from .compiler import compile_model, load_model
+
+__all__ = [
+    "Block",
+    "tokenize_blocks",
+    "strip_comments",
+    "ModelSpec",
+    "PlaceSpec",
+    "TransitionSpec",
+    "parse_model",
+    "SafeExpression",
+    "parse_lt_expression",
+    "compile_model",
+    "load_model",
+]

@@ -1,0 +1,47 @@
+"""Abstract syntax of a parsed DNAmaca model specification."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PlaceSpec", "TransitionSpec", "ModelSpec"]
+
+
+@dataclass
+class PlaceSpec:
+    """``\\place{name}{initial tokens}`` — the initial count is an expression
+    over the declared constants."""
+
+    name: str
+    initial_expression: str
+
+
+@dataclass
+class TransitionSpec:
+    """One ``\\transition{name}{...}`` block.
+
+    ``condition`` / ``weight`` / ``priority`` are expression strings over the
+    place names and constants, ``action`` is a list of
+    ``(place, expression)`` assignments taken from the ``next->place = expr;``
+    statements, and ``sojourn_lt`` is the body of ``\\sojourntimeLT`` (without
+    the ``return`` / trailing ``;``).
+    """
+
+    name: str
+    condition: str | None = None
+    action: list[tuple[str, str]] = field(default_factory=list)
+    weight: str = "1.0"
+    priority: str = "0"
+    sojourn_lt: str | None = None
+
+
+@dataclass
+class ModelSpec:
+    """A complete parsed model: constants, places and transitions."""
+
+    name: str = "model"
+    constants: dict[str, float] = field(default_factory=dict)
+    places: list[PlaceSpec] = field(default_factory=list)
+    transitions: list[TransitionSpec] = field(default_factory=list)
+
+    def place_names(self) -> list[str]:
+        return [p.name for p in self.places]

@@ -1,0 +1,365 @@
+"""Safe evaluation of DNAmaca expressions.
+
+Two kinds of expression appear in a specification:
+
+* *marking expressions* — conditions, weights, priorities, action right-hand
+  sides and initial-marking counts.  These are arithmetic/boolean expressions
+  over place names and constants (``p7 > MM - 1``).  They are parsed once with
+  :mod:`ast` against a strict whitelist and evaluated against a mapping.
+* *Laplace-transform expressions* — the body of ``\\sojourntimeLT``, e.g.
+  ``0.8 * uniformLT(1.5, 10, s) + 0.2 * erlangLT(0.001, 5, s)``.  Rather than
+  treating these as opaque functions of ``s`` (which would preclude sampling
+  for the validating simulator and mean-sojourn computations), the expression
+  is interpreted *symbolically* into a :class:`~repro.distributions.Distribution`:
+  weighted sums become mixtures, products of transform calls become
+  convolutions.  Distribution parameters may reference places and constants,
+  which is how marking-dependent firing distributions are written.
+"""
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Callable, Mapping
+
+from ..distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Gamma,
+    Immediate,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+
+__all__ = ["SafeExpression", "parse_lt_expression", "ExpressionError"]
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed or disallowed expressions."""
+
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+_CMP_OPS = {
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+}
+_UNARY_OPS = {ast.USub: operator.neg, ast.UAdd: operator.pos, ast.Not: operator.not_}
+
+_ALLOWED_FUNCTIONS = {"min": min, "max": max, "abs": abs, "int": int, "floor": int}
+
+
+def _c_to_python(text: str) -> str:
+    """Translate the C-flavoured operators of DNAmaca to Python equivalents."""
+    out = text.replace("&&", " and ").replace("||", " or ")
+    # '!' only when it is not part of '!='.
+    chars = []
+    for idx, ch in enumerate(out):
+        if ch == "!" and (idx + 1 >= len(out) or out[idx + 1] != "="):
+            chars.append(" not ")
+        else:
+            chars.append(ch)
+    return "".join(chars)
+
+
+class SafeExpression:
+    """A whitelisted arithmetic/boolean expression over named variables."""
+
+    def __init__(self, source: str):
+        self.source = source.strip()
+        if not self.source:
+            raise ExpressionError("empty expression")
+        try:
+            self._tree = ast.parse(_c_to_python(self.source), mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"cannot parse expression {source!r}: {exc}") from None
+        self._validate(self._tree.body)
+
+    # ----------------------------------------------------------- validation
+    def _validate(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float, bool)):
+                raise ExpressionError(f"literal {node.value!r} is not allowed")
+            return
+        if isinstance(node, ast.Name):
+            return
+        if isinstance(node, ast.BinOp) and type(node.op) in _BIN_OPS:
+            self._validate(node.left)
+            self._validate(node.right)
+            return
+        if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARY_OPS:
+            self._validate(node.operand)
+            return
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._validate(value)
+            return
+        if isinstance(node, ast.Compare):
+            self._validate(node.left)
+            for op, comparator in zip(node.ops, node.comparators):
+                if type(op) not in _CMP_OPS:
+                    raise ExpressionError(f"comparison {ast.dump(op)} is not allowed")
+                self._validate(comparator)
+            return
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_FUNCTIONS:
+                raise ExpressionError("only min/max/abs/int/floor calls are allowed here")
+            if node.keywords:
+                raise ExpressionError("keyword arguments are not allowed")
+            for arg in node.args:
+                self._validate(arg)
+            return
+        if isinstance(node, ast.IfExp):
+            self._validate(node.test)
+            self._validate(node.body)
+            self._validate(node.orelse)
+            return
+        raise ExpressionError(
+            f"construct {type(node).__name__} is not allowed in expression {self.source!r}"
+        )
+
+    # ----------------------------------------------------------- evaluation
+    def names(self) -> set[str]:
+        """All variable names referenced by the expression."""
+        return {
+            n.id
+            for n in ast.walk(self._tree)
+            if isinstance(n, ast.Name) and n.id not in _ALLOWED_FUNCTIONS
+        }
+
+    def evaluate(self, variables: Mapping[str, float]):
+        return self._eval(self._tree.body, variables)
+
+    __call__ = evaluate
+
+    def _eval(self, node: ast.AST, env: Mapping[str, float]):
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in _ALLOWED_FUNCTIONS:
+                return _ALLOWED_FUNCTIONS[node.id]
+            try:
+                return env[node.id]
+            except KeyError:
+                raise ExpressionError(
+                    f"unknown name {node.id!r} in expression {self.source!r}"
+                ) from None
+        if isinstance(node, ast.BinOp):
+            return _BIN_OPS[type(node.op)](self._eval(node.left, env), self._eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            return _UNARY_OPS[type(node.op)](self._eval(node.operand, env))
+        if isinstance(node, ast.BoolOp):
+            values = [self._eval(v, env) for v in node.values]
+            return all(values) if isinstance(node.op, ast.And) else any(values)
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            for op, comparator in zip(node.ops, node.comparators):
+                right = self._eval(comparator, env)
+                if not _CMP_OPS[type(op)](left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.Call):
+            func = _ALLOWED_FUNCTIONS[node.func.id]  # validated earlier
+            return func(*[self._eval(a, env) for a in node.args])
+        if isinstance(node, ast.IfExp):
+            return (
+                self._eval(node.body, env)
+                if self._eval(node.test, env)
+                else self._eval(node.orelse, env)
+            )
+        raise ExpressionError(f"unexpected node {type(node).__name__}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Laplace-transform expressions -> Distribution factories
+# ---------------------------------------------------------------------------
+
+
+class _LTTerm:
+    """A (coefficient, Distribution) pair used while folding an LT expression."""
+
+    __slots__ = ("coefficient", "distribution")
+
+    def __init__(self, coefficient: float, distribution: Distribution):
+        self.coefficient = float(coefficient)
+        self.distribution = distribution
+
+
+def _lt_factories(env: Mapping[str, float]) -> dict[str, Callable[..., Distribution]]:
+    """The transform constructors available inside ``\\sojourntimeLT`` bodies.
+
+    Every factory takes the distribution parameters followed by the Laplace
+    variable ``s`` (ignored — the symbolic interpretation keeps the whole
+    distribution object instead of one sample of its transform).
+    """
+
+    def _num(x):
+        if isinstance(x, _LTTerm):
+            raise ExpressionError("distribution-valued arguments are not allowed here")
+        return float(x)
+
+    return {
+        "uniformLT": lambda a, b, s=None: Uniform(_num(a), _num(b)),
+        "erlangLT": lambda lam, n, s=None: Erlang(_num(lam), int(round(_num(n)))),
+        "expLT": lambda lam, s=None: Exponential(_num(lam)),
+        "exponentialLT": lambda lam, s=None: Exponential(_num(lam)),
+        "gammaLT": lambda shape, rate, s=None: Gamma(_num(shape), _num(rate)),
+        "detLT": lambda d, s=None: Deterministic(_num(d)),
+        "deterministicLT": lambda d, s=None: Deterministic(_num(d)),
+        "immediateLT": lambda s=None: Immediate(),
+        "weibullLT": lambda shape, scale, s=None: Weibull(_num(shape), _num(scale)),
+        "lognormalLT": lambda mu, sigma, s=None: LogNormal(_num(mu), _num(sigma)),
+        "paretoLT": lambda alpha, xm, s=None: Pareto(_num(alpha), _num(xm)),
+    }
+
+
+class _LTExpression:
+    """Symbolic interpreter for sojourn-time transform expressions."""
+
+    def __init__(self, source: str):
+        body = source.strip()
+        if body.startswith("return"):
+            body = body[len("return") :]
+        body = body.strip().rstrip(";").strip()
+        if not body:
+            raise ExpressionError("empty \\sojourntimeLT body")
+        self.source = body
+        try:
+            self._tree = ast.parse(body, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"cannot parse LT expression {source!r}: {exc}") from None
+
+    def build(self, env: Mapping[str, float]) -> Distribution:
+        factories = _lt_factories(env)
+        value = self._eval(self._tree.body, env, factories)
+        return self._to_distribution(value)
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _to_distribution(value) -> Distribution:
+        if isinstance(value, Distribution):
+            return value
+        if isinstance(value, _LTTerm):
+            terms = [value]
+        elif isinstance(value, list):
+            terms = value
+        else:
+            raise ExpressionError(
+                "an LT expression must combine *LT(...) calls, not bare numbers"
+            )
+        total = sum(t.coefficient for t in terms)
+        if total <= 0:
+            raise ExpressionError("LT expression weights must sum to a positive value")
+        if abs(total - 1.0) > 1e-6:
+            raise ExpressionError(
+                f"LT expression branch weights sum to {total:.6g}; they must sum to 1"
+            )
+        if len(terms) == 1:
+            return terms[0].distribution
+        return Mixture([t.distribution for t in terms], [t.coefficient for t in terms])
+
+    def _eval(self, node: ast.AST, env, factories):
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float)):
+                raise ExpressionError(f"literal {node.value!r} is not allowed")
+            return float(node.value)
+        if isinstance(node, ast.Name):
+            if node.id == "s":
+                return "s"
+            if node.id in env:
+                return float(env[node.id])
+            raise ExpressionError(f"unknown name {node.id!r} in LT expression")
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            value = self._eval(node.operand, env, factories)
+            if isinstance(node.op, ast.UAdd):
+                return value
+            if isinstance(value, (int, float)):
+                return -value
+            raise ExpressionError("cannot negate a distribution term")
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in _ALLOWED_FUNCTIONS:
+                args = [self._eval(a, env, factories) for a in node.args]
+                if any(isinstance(a, (_LTTerm, list)) or a == "s" for a in args):
+                    raise ExpressionError(
+                        f"{node.func.id} expects numeric arguments in an LT expression"
+                    )
+                return float(_ALLOWED_FUNCTIONS[node.func.id](*args))
+            if not isinstance(node.func, ast.Name) or node.func.id not in factories:
+                known = ", ".join(sorted(factories))
+                raise ExpressionError(
+                    f"unknown transform function in LT expression; known functions: {known}"
+                )
+            args = [self._eval(a, env, factories) for a in node.args]
+            args = [a for a in args if not (isinstance(a, str) and a == "s")]
+            return _LTTerm(1.0, factories[node.func.id](*args))
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, factories)
+            right = self._eval(node.right, env, factories)
+            if isinstance(node.op, ast.Add):
+                return self._combine_add(left, right)
+            if isinstance(node.op, ast.Mult):
+                return self._combine_mul(left, right)
+            if isinstance(node.op, (ast.Sub, ast.Div, ast.Pow)) and isinstance(
+                left, (int, float)
+            ) and isinstance(right, (int, float)):
+                return _BIN_OPS[type(node.op)](left, right)
+            raise ExpressionError(
+                "only '+' of weighted terms and '*' (weighting / convolution) may combine "
+                "transform calls"
+            )
+        raise ExpressionError(
+            f"construct {type(node).__name__} is not allowed in an LT expression"
+        )
+
+    @staticmethod
+    def _combine_add(left, right):
+        def as_terms(v):
+            if isinstance(v, _LTTerm):
+                return [v]
+            if isinstance(v, list):
+                return v
+            raise ExpressionError("cannot add a bare number to a transform expression")
+
+        return as_terms(left) + as_terms(right)
+
+    @staticmethod
+    def _combine_mul(left, right):
+        from ..distributions import Convolution
+
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return left * right
+        if isinstance(left, (int, float)) and isinstance(right, _LTTerm):
+            return _LTTerm(left * right.coefficient, right.distribution)
+        if isinstance(right, (int, float)) and isinstance(left, _LTTerm):
+            return _LTTerm(right * left.coefficient, left.distribution)
+        if isinstance(left, _LTTerm) and isinstance(right, _LTTerm):
+            return _LTTerm(
+                left.coefficient * right.coefficient,
+                Convolution([left.distribution, right.distribution]),
+            )
+        if isinstance(left, (int, float)) and isinstance(right, list):
+            return [_LTTerm(left * t.coefficient, t.distribution) for t in right]
+        if isinstance(right, (int, float)) and isinstance(left, list):
+            return [_LTTerm(right * t.coefficient, t.distribution) for t in left]
+        raise ExpressionError("unsupported '*' combination in LT expression")
+
+
+def parse_lt_expression(source: str) -> _LTExpression:
+    """Parse a ``\\sojourntimeLT`` body into a reusable distribution factory."""
+    return _LTExpression(source)

@@ -1,0 +1,91 @@
+r"""Low-level tokenisation of DNAmaca-style ``\command{...}{...}`` blocks."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Block", "strip_comments", "tokenize_blocks"]
+
+
+@dataclass
+class Block:
+    """One ``\name{arg0}{arg1}...`` construct with raw (un-parsed) arguments."""
+
+    name: str
+    args: list[str]
+    line: int
+
+    @property
+    def body(self) -> str:
+        """The last argument — by convention the block's body."""
+        return self.args[-1] if self.args else ""
+
+
+class DNAmacaSyntaxError(ValueError):
+    """Raised when the specification text cannot be tokenised or parsed."""
+
+
+def strip_comments(text: str) -> str:
+    """Remove ``%`` line comments (the comment marker used by DNAmaca files)."""
+    lines = []
+    for line in text.splitlines():
+        cut = line.find("%")
+        lines.append(line if cut < 0 else line[:cut])
+    return "\n".join(lines)
+
+
+def _matching_brace(text: str, start: int, line: int) -> int:
+    """Index just past the ``}`` matching the ``{`` at ``start``."""
+    depth = 0
+    for pos in range(start, len(text)):
+        ch = text[pos]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return pos + 1
+    raise DNAmacaSyntaxError(f"unbalanced braces in block starting on line {line}")
+
+
+def tokenize_blocks(text: str) -> list[Block]:
+    r"""Split ``text`` into top-level ``\name{...}{...}`` blocks.
+
+    Nested blocks are left inside their parent's raw argument strings; callers
+    re-run the tokenizer on a block body to descend one level.
+    """
+    text = strip_comments(text)
+    blocks: list[Block] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch != "\\":
+            raise DNAmacaSyntaxError(
+                f"unexpected character {ch!r} at line {text.count(chr(10), 0, pos) + 1}; "
+                "expected a \\command"
+            )
+        line = text.count("\n", 0, pos) + 1
+        name_start = pos + 1
+        name_end = name_start
+        while name_end < length and (text[name_end].isalnum() or text[name_end] == "_"):
+            name_end += 1
+        name = text[name_start:name_end]
+        if not name:
+            raise DNAmacaSyntaxError(f"missing command name after '\\' on line {line}")
+        pos = name_end
+        args: list[str] = []
+        while True:
+            while pos < length and text[pos] in " \t":
+                pos += 1
+            if pos >= length or text[pos] != "{":
+                break
+            end = _matching_brace(text, pos, line)
+            args.append(text[pos + 1 : end - 1])
+            pos = end
+        if not args:
+            raise DNAmacaSyntaxError(f"command \\{name} on line {line} has no {{...}} arguments")
+        blocks.append(Block(name=name, args=args, line=line))
+    return blocks

@@ -1,0 +1,123 @@
+"""Parsing of DNAmaca specification text into a :class:`ModelSpec`."""
+from __future__ import annotations
+
+import re
+
+from .ast import ModelSpec, PlaceSpec, TransitionSpec
+from .lexer import Block, DNAmacaSyntaxError, tokenize_blocks
+
+__all__ = ["parse_model", "DNAmacaSyntaxError"]
+
+_ACTION_STATEMENT = re.compile(
+    r"next\s*->\s*(?P<place>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*(?P<expr>[^;]+);"
+)
+_NUMBER = re.compile(r"^[-+]?\d+(\.\d+)?([eE][-+]?\d+)?$")
+
+
+def _parse_constant(block: Block, model: ModelSpec) -> None:
+    if len(block.args) != 2:
+        raise DNAmacaSyntaxError(
+            f"\\constant on line {block.line} needs exactly two arguments: name and value"
+        )
+    name, raw_value = block.args[0].strip(), block.args[1].strip()
+    if not name.isidentifier():
+        raise DNAmacaSyntaxError(f"invalid constant name {name!r} on line {block.line}")
+    if not _NUMBER.match(raw_value):
+        raise DNAmacaSyntaxError(
+            f"constant {name!r} on line {block.line} must be a numeric literal, got {raw_value!r}"
+        )
+    model.constants[name] = float(raw_value)
+
+
+def _parse_place(block: Block, model: ModelSpec) -> None:
+    if len(block.args) not in (1, 2):
+        raise DNAmacaSyntaxError(
+            f"\\place on line {block.line} takes a name and an optional initial-count expression"
+        )
+    name = block.args[0].strip()
+    if not name.isidentifier():
+        raise DNAmacaSyntaxError(f"invalid place name {name!r} on line {block.line}")
+    if any(p.name == name for p in model.places):
+        raise DNAmacaSyntaxError(f"duplicate place {name!r} on line {block.line}")
+    initial = block.args[1].strip() if len(block.args) == 2 and block.args[1].strip() else "0"
+    model.places.append(PlaceSpec(name=name, initial_expression=initial))
+
+
+def _parse_transition(block: Block, model: ModelSpec) -> None:
+    if len(block.args) != 2:
+        raise DNAmacaSyntaxError(
+            f"\\transition on line {block.line} needs a name and a body block"
+        )
+    name = block.args[0].strip()
+    if any(t.name == name for t in model.transitions):
+        raise DNAmacaSyntaxError(f"duplicate transition {name!r} on line {block.line}")
+    spec = TransitionSpec(name=name)
+    for sub in tokenize_blocks(block.args[1]):
+        if sub.name == "condition":
+            spec.condition = sub.body.strip()
+        elif sub.name == "action":
+            matches = list(_ACTION_STATEMENT.finditer(sub.body))
+            leftover = _ACTION_STATEMENT.sub("", sub.body).strip()
+            if leftover:
+                raise DNAmacaSyntaxError(
+                    f"unrecognised text in \\action of {name!r}: {leftover!r} "
+                    "(expected 'next->place = expression;' statements)"
+                )
+            if not matches:
+                raise DNAmacaSyntaxError(f"\\action of {name!r} contains no statements")
+            spec.action = [(m.group("place"), m.group("expr").strip()) for m in matches]
+        elif sub.name == "weight":
+            spec.weight = sub.body.strip()
+        elif sub.name == "priority":
+            spec.priority = sub.body.strip()
+        elif sub.name in ("sojourntimeLT", "sojourntimelt"):
+            spec.sojourn_lt = sub.body.strip()
+        else:
+            raise DNAmacaSyntaxError(
+                f"unknown clause \\{sub.name} in transition {name!r} (line {sub.line})"
+            )
+    if spec.sojourn_lt is None:
+        raise DNAmacaSyntaxError(f"transition {name!r} is missing \\sojourntimeLT")
+    if spec.condition is None and not spec.action:
+        raise DNAmacaSyntaxError(
+            f"transition {name!r} needs a \\condition and/or \\action to define its behaviour"
+        )
+    model.transitions.append(spec)
+
+
+def parse_model(text: str, *, name: str = "model") -> ModelSpec:
+    """Parse a complete specification into a :class:`ModelSpec`.
+
+    The accepted top-level commands are ``\\constant{NAME}{value}``,
+    ``\\model{...}`` (whose body holds places and transitions) and, for
+    convenience, bare ``\\place`` / ``\\transition`` blocks outside a
+    ``\\model`` wrapper.
+    """
+    model = ModelSpec(name=name)
+    for block in tokenize_blocks(text):
+        if block.name == "constant":
+            _parse_constant(block, model)
+        elif block.name == "model":
+            for inner in tokenize_blocks(block.body):
+                if inner.name == "place":
+                    _parse_place(inner, model)
+                elif inner.name == "transition":
+                    _parse_transition(inner, model)
+                elif inner.name == "constant":
+                    _parse_constant(inner, model)
+                else:
+                    raise DNAmacaSyntaxError(
+                        f"unknown clause \\{inner.name} inside \\model (line {inner.line})"
+                    )
+        elif block.name == "place":
+            _parse_place(block, model)
+        elif block.name == "transition":
+            _parse_transition(block, model)
+        else:
+            raise DNAmacaSyntaxError(f"unknown top-level command \\{block.name} (line {block.line})")
+
+    if not model.places:
+        raise DNAmacaSyntaxError("the specification declares no places")
+    if not model.transitions:
+        raise DNAmacaSyntaxError("the specification declares no transitions")
+    return model

@@ -1,0 +1,39 @@
+"""Numerical Laplace-transform inversion (Section 4 of the paper).
+
+Two algorithms are provided, matching the paper's implementation:
+
+* :class:`EulerInverter` — the Euler algorithm of Abate & Whitt (1995),
+  robust to discontinuous densities (deterministic / uniform firing times).
+* :class:`LaguerreInverter` — the (modified) Laguerre algorithm of Abate,
+  Choudhury & Whitt (1996), for smooth densities; its s-point grid is
+  independent of the requested t-points.
+
+Both expose the same three-step protocol used by the distributed pipeline:
+
+1. ``required_s_points(t_points)`` — which transform evaluations are needed,
+2. the caller evaluates ``L(s)`` at those points (possibly remotely),
+3. ``invert_values(t_points, {s: L(s)})`` — assemble ``f(t)``.
+"""
+from .euler import EulerInverter, euler_s_points
+from .laguerre import LaguerreInverter, laguerre_s_points
+from .inverter import (
+    Inverter,
+    get_inverter,
+    invert_density,
+    invert_cdf,
+    conjugate_reduced,
+    expand_conjugates,
+)
+
+__all__ = [
+    "Inverter",
+    "EulerInverter",
+    "LaguerreInverter",
+    "euler_s_points",
+    "laguerre_s_points",
+    "get_inverter",
+    "invert_density",
+    "invert_cdf",
+    "conjugate_reduced",
+    "expand_conjugates",
+]

@@ -1,0 +1,115 @@
+"""Euler Laplace-transform inversion (Abate & Whitt, 1995).
+
+The algorithm approximates the Bromwich integral by a trapezoidal rule on a
+vertical contour (``s_k = (A + 2 pi i k) / (2 t)``) and accelerates the
+resulting alternating series with Euler (binomial) summation.  It tolerates
+discontinuities in the target density, which is why the paper uses it for
+models containing deterministic or uniform firing-time distributions.
+
+With the default parameters (``n_terms = 21``, ``euler_order = 11``) each
+t-point needs ``n_terms + euler_order + 1 = 33`` transform evaluations, which
+matches the paper's "165 s-point evaluations" for the 5 t-points of Table 2.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy.special import comb
+
+from ..utils.validation import check_positive
+from .inverter import Inverter, canonical_s
+
+__all__ = ["EulerInverter", "euler_s_points"]
+
+
+def euler_s_points(
+    t: float, *, a: float = 19.1, n_terms: int = 21, euler_order: int = 11
+) -> np.ndarray:
+    """The s-points required to invert at time ``t``.
+
+    ``s_k = (a + 2 pi i k) / (2 t)`` for ``k = 0 .. n_terms + euler_order``.
+    """
+    t = check_positive(t, "t")
+    k = np.arange(n_terms + euler_order + 1)
+    return (a + 2j * np.pi * k) / (2.0 * t)
+
+
+class EulerInverter(Inverter):
+    """Euler-summation Laplace inverter.
+
+    Parameters
+    ----------
+    a:
+        Discretisation parameter; the discretisation error is of order
+        ``e^{-a}`` so the default ``19.1`` targets ~5e-9.
+    n_terms:
+        Number of leading terms of the alternating series summed exactly.
+    euler_order:
+        Order of the Euler (binomial) acceleration applied to the partial sums.
+    """
+
+    name = "euler"
+
+    def __init__(self, a: float = 19.1, n_terms: int = 21, euler_order: int = 11):
+        self.a = check_positive(a, "a")
+        if n_terms < 1 or euler_order < 0:
+            raise ValueError("n_terms must be >= 1 and euler_order >= 0")
+        self.n_terms = int(n_terms)
+        self.euler_order = int(euler_order)
+        # Binomial weights 2^{-m} C(m, j) used to average the partial sums.
+        m = self.euler_order
+        self._binom_weights = comb(m, np.arange(m + 1)) / 2.0**m
+
+    # ------------------------------------------------------------ protocol
+    def points_per_t(self) -> int:
+        """Number of transform evaluations needed per t-point."""
+        return self.n_terms + self.euler_order + 1
+
+    def required_s_points(self, t_points: Iterable[float]) -> np.ndarray:
+        t_points = np.asarray(list(t_points), dtype=float)
+        if t_points.size == 0:
+            return np.empty(0, dtype=complex)
+        pts = [
+            euler_s_points(t, a=self.a, n_terms=self.n_terms, euler_order=self.euler_order)
+            for t in t_points
+        ]
+        return np.concatenate(pts)
+
+    def invert_values(
+        self, t_points: Iterable[float], values: Mapping[complex, complex]
+    ) -> np.ndarray:
+        t_points = np.asarray(list(t_points), dtype=float)
+        out = np.empty(t_points.shape, dtype=float)
+        lookup = {canonical_s(k): complex(v) for k, v in values.items()}
+        for idx, t in enumerate(t_points):
+            s_pts = euler_s_points(
+                t, a=self.a, n_terms=self.n_terms, euler_order=self.euler_order
+            )
+            try:
+                f_vals = np.asarray([lookup[canonical_s(s)] for s in s_pts], dtype=complex)
+            except KeyError as exc:  # pragma: no cover - defensive
+                raise KeyError(
+                    f"missing transform value for s-point {exc.args[0]!r} (t={t})"
+                ) from None
+            out[idx] = self._invert_single(t, f_vals)
+        return out
+
+    # ------------------------------------------------------------ internals
+    def _invert_single(self, t: float, f_values: np.ndarray) -> float:
+        """Assemble f(t) from the transform evaluated at ``euler_s_points(t)``."""
+        t = float(t)
+        a, n, m = self.a, self.n_terms, self.euler_order
+        real_parts = f_values.real
+        # Terms of the alternating series.
+        #   term_0 = (e^{a/2} / (2t)) Re F(a / 2t)
+        #   term_k = (e^{a/2} / t) (-1)^k Re F((a + 2 pi i k) / 2t),  k >= 1
+        prefactor = np.exp(a / 2.0) / t
+        signs = (-1.0) ** np.arange(len(f_values))
+        terms = prefactor * signs * real_parts
+        terms[0] *= 0.5
+        partial = np.cumsum(terms)
+        # Euler acceleration: binomially weighted average of partial sums
+        # s_n .. s_{n+m}.
+        window = partial[n : n + m + 1]
+        return float(np.dot(self._binom_weights, window))

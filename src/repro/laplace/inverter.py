@@ -1,0 +1,142 @@
+"""Common interface shared by the Euler and Laguerre inversion algorithms."""
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Inverter",
+    "get_inverter",
+    "invert_density",
+    "invert_cdf",
+    "conjugate_reduced",
+    "expand_conjugates",
+    "canonical_s",
+]
+
+
+def canonical_s(s: complex, sig: int = 10) -> complex:
+    """Round an s-point to ``sig`` significant digits (per component scale).
+
+    Different code paths can produce the *same* mathematical s-point with
+    last-bit floating-point differences (e.g. a contour point and the
+    conjugate of its mirror image).  All dictionary lookups keyed by s-points
+    — inverter value maps, the distributed result cache, checkpoint files —
+    go through this canonicalisation so those representations collide as
+    intended.  Grid points of the supported inversion algorithms are separated
+    by far more than ``10^-sig`` of their magnitude, so no distinct points are
+    merged.
+    """
+    s = complex(s)
+    magnitude = max(abs(s.real), abs(s.imag))
+    if magnitude == 0.0 or not np.isfinite(magnitude):
+        return s
+    scale = 10.0 ** (sig - int(np.ceil(np.log10(magnitude))))
+    return complex(round(s.real * scale) / scale, round(s.imag * scale) / scale)
+
+
+class Inverter(abc.ABC):
+    """Abstract numerical Laplace-transform inverter.
+
+    The protocol mirrors the structure of the paper's distributed pipeline:
+    the master asks the inverter for the s-points it will need
+    (:meth:`required_s_points`), farms those evaluations out to workers, and
+    finally calls :meth:`invert_values` with the gathered results.
+    """
+
+    #: short identifier ("euler" / "laguerre") used in configuration and caches
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def required_s_points(self, t_points: Iterable[float]) -> np.ndarray:
+        """Complex s-points at which the transform must be evaluated."""
+
+    @abc.abstractmethod
+    def invert_values(
+        self, t_points: Iterable[float], values: Mapping[complex, complex]
+    ) -> np.ndarray:
+        """Assemble ``f(t)`` for each ``t`` from pre-computed transform values."""
+
+    # ------------------------------------------------------------ helpers
+    def invert(
+        self, transform: Callable[[np.ndarray], np.ndarray], t_points: Iterable[float]
+    ) -> np.ndarray:
+        """Convenience: evaluate ``transform`` directly and invert.
+
+        ``transform`` must be vectorised over an ndarray of complex s.
+        """
+        t_points = np.asarray(list(t_points), dtype=float)
+        s_points = self.required_s_points(t_points)
+        values = np.asarray(transform(s_points), dtype=complex)
+        mapping = {complex(s): complex(v) for s, v in zip(s_points, values)}
+        return self.invert_values(t_points, mapping)
+
+    def invert_cdf(
+        self, transform: Callable[[np.ndarray], np.ndarray], t_points: Iterable[float]
+    ) -> np.ndarray:
+        """Invert the *cumulative* distribution via ``L(s) / s`` (paper §5.3.1)."""
+        return self.invert(lambda s: np.asarray(transform(s), dtype=complex) / s, t_points)
+
+
+def get_inverter(method: str = "euler", **options) -> Inverter:
+    """Factory returning an inverter by name (``"euler"`` or ``"laguerre"``)."""
+    from .euler import EulerInverter
+    from .laguerre import LaguerreInverter
+
+    method = method.lower()
+    if method == "euler":
+        return EulerInverter(**options)
+    if method == "laguerre":
+        return LaguerreInverter(**options)
+    raise ValueError(f"unknown inversion method {method!r}; expected 'euler' or 'laguerre'")
+
+
+def invert_density(
+    transform: Callable[[np.ndarray], np.ndarray],
+    t_points: Iterable[float],
+    method: str = "euler",
+    **options,
+) -> np.ndarray:
+    """One-shot density inversion ``f(t) = L^{-1}[F](t)``."""
+    return get_inverter(method, **options).invert(transform, t_points)
+
+
+def invert_cdf(
+    transform: Callable[[np.ndarray], np.ndarray],
+    t_points: Iterable[float],
+    method: str = "euler",
+    **options,
+) -> np.ndarray:
+    """One-shot CDF inversion via ``L(s)/s``."""
+    return get_inverter(method, **options).invert_cdf(transform, t_points)
+
+
+# --------------------------------------------------------------------------
+# Conjugate-pair reduction.
+#
+# The transform of a real function satisfies L(conj(s)) = conj(L(s)), so the
+# master only needs to evaluate one member of each conjugate pair.  These two
+# helpers convert between the full s-point set and the reduced one; they are
+# used by the distributed work queue to almost halve the number of tasks for
+# the Laguerre grid (the Euler grid already lies in the upper half plane).
+# --------------------------------------------------------------------------
+
+def conjugate_reduced(s_points: np.ndarray) -> np.ndarray:
+    """Return a set of s-points with negative-imaginary members folded away."""
+    s_points = np.asarray(s_points, dtype=complex)
+    folded = np.where(s_points.imag < 0, np.conj(s_points), s_points)
+    # Deduplicate (up to canonical rounding) preserving first-appearance order.
+    seen: dict[complex, complex] = {}
+    for s in folded:
+        seen.setdefault(canonical_s(s), complex(s))
+    return np.asarray(list(seen.values()), dtype=complex)
+
+
+def expand_conjugates(values: Mapping[complex, complex]) -> dict[complex, complex]:
+    """Extend a mapping of transform values to the conjugate s-points."""
+    expanded = dict(values)
+    for s, v in list(values.items()):
+        expanded.setdefault(complex(np.conj(complex(s))), complex(np.conj(complex(v))))
+    return expanded

@@ -1,0 +1,43 @@
+"""Ready-made models: the paper's distributed voting system plus smaller
+analytic models used in examples, tests and ablations."""
+from .voting import (
+    VotingParameters,
+    VOTING_CONFIGURATIONS,
+    SCALED_CONFIGURATIONS,
+    build_voting_net,
+    build_voting_graph,
+    build_voting_kernel,
+    all_voted_predicate,
+    failure_mode_predicate,
+    initial_marking_predicate,
+    voters_done_predicate,
+    fully_operational_predicate,
+)
+from .voting_spec import VOTING_SPEC_TEMPLATE, voting_spec_text
+from .simple import (
+    alternating_renewal_kernel,
+    birth_death_kernel,
+    cyclic_server_kernel,
+)
+from .queues import mg1_queue_kernel, web_server_net
+
+__all__ = [
+    "VotingParameters",
+    "VOTING_CONFIGURATIONS",
+    "SCALED_CONFIGURATIONS",
+    "build_voting_net",
+    "build_voting_graph",
+    "build_voting_kernel",
+    "all_voted_predicate",
+    "failure_mode_predicate",
+    "initial_marking_predicate",
+    "voters_done_predicate",
+    "fully_operational_predicate",
+    "VOTING_SPEC_TEMPLATE",
+    "voting_spec_text",
+    "alternating_renewal_kernel",
+    "birth_death_kernel",
+    "cyclic_server_kernel",
+    "mg1_queue_kernel",
+    "web_server_net",
+]

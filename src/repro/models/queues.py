@@ -1,0 +1,154 @@
+"""Queueing-flavoured example models exercising general service distributions.
+
+The paper motivates SMPs with quality-of-service quantiles for distributed
+systems; these two models provide realistic example workloads beyond the
+voting system: a finite-buffer M/G/1-style queue and a small web-server
+cluster with failures.
+"""
+from __future__ import annotations
+
+from ..distributions import Deterministic, Distribution, Erlang, Exponential, Mixture, Uniform
+from ..petri.net import SMSPN, Transition
+from ..smp.builder import SMPBuilder
+from ..smp.kernel import SMPKernel
+
+__all__ = ["mg1_queue_kernel", "web_server_net"]
+
+
+def mg1_queue_kernel(
+    capacity: int = 10,
+    *,
+    arrival_rate: float = 0.8,
+    service: Distribution | None = None,
+) -> SMPKernel:
+    """A finite-capacity single-server queue with general service times.
+
+    The state is the number of jobs present (0..capacity).  The embedded
+    semi-Markov description observes the queue at arrival/departure epochs:
+    in an empty queue the sojourn is the exponential inter-arrival time; in a
+    busy queue the sojourn is a *competition* approximated by the probabilistic
+    SM-SPN semantics — with probability ``p_arrival`` the next event is an
+    arrival (sojourn = residual inter-arrival), otherwise a departure
+    (sojourn = service).  This is the standard SMP approximation used when a
+    race between a general and an exponential delay must be expressed in the
+    weight/distribution formalism of SM-SPNs.
+    """
+    if capacity < 2:
+        raise ValueError("capacity must be at least 2")
+    service = service or Uniform(0.5, 1.5)
+    mean_service = service.mean()
+    mean_arrival = 1.0 / arrival_rate
+    # Probability the next event is an arrival while a job is in service.
+    p_arrival = mean_service / (mean_service + mean_arrival)
+
+    b = SMPBuilder()
+    for n in range(capacity + 1):
+        b.add_state(f"jobs{n}")
+    b.add_transition(0, 1, 1.0, Exponential(arrival_rate))
+    for n in range(1, capacity + 1):
+        if n < capacity:
+            b.add_transition(n, n + 1, p_arrival, Exponential(arrival_rate))
+            b.add_transition(n, n - 1, 1.0 - p_arrival, service)
+        else:
+            b.add_transition(n, n - 1, 1.0, service)
+    return b.build()
+
+
+def web_server_net(
+    servers: int = 3,
+    queue_capacity: int = 5,
+    *,
+    arrival: Distribution | None = None,
+    service: Distribution | None = None,
+) -> SMSPN:
+    """A small web-server cluster SM-SPN with request buffering and crashes.
+
+    Places: ``queue`` (buffered requests), ``free``/``busy`` servers,
+    ``done`` (completed requests, capped by recycling) and ``failed`` servers.
+    The model exercises priorities (restart preempts normal work when the
+    whole cluster is down), marking-dependent weights and general service
+    distributions — a second, independent SM-SPN workload besides the voting
+    system.
+    """
+    arrival = arrival or Exponential(2.0)
+    service = service or Mixture([Uniform(0.1, 0.4), Erlang(2.0, 3)], [0.7, 0.3])
+    crash = Exponential(0.02)
+    reboot = Erlang(0.5, 2)
+    cluster_restart = Deterministic(10.0)
+
+    net = SMSPN(name=f"web-server[{servers} servers]")
+    net.add_place("queue", 0)
+    net.add_place("free", servers)
+    net.add_place("busy", 0)
+    net.add_place("failed", 0)
+
+    net.add_transition(
+        Transition(
+            name="arrive",
+            inputs={},
+            outputs={},
+            guard=lambda m: m["queue"] < queue_capacity,
+            action=lambda m: {"queue": m["queue"] + 1},
+            priority=1,
+            distribution=arrival,
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="start_service",
+            inputs={"queue": 1, "free": 1},
+            outputs={"busy": 1},
+            priority=1,
+            distribution=Deterministic(0.01),
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="finish",
+            inputs={"busy": 1},
+            outputs={"free": 1},
+            priority=1,
+            distribution=service,
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="crash_free",
+            inputs={"free": 1},
+            outputs={"failed": 1},
+            priority=1,
+            distribution=crash,
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="crash_busy",
+            inputs={"busy": 1},
+            outputs={"failed": 1, "queue": 1},
+            guard=lambda m: m["queue"] < queue_capacity,
+            priority=1,
+            distribution=crash,
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="reboot",
+            inputs={"failed": 1},
+            outputs={"free": 1},
+            guard=lambda m: m["failed"] < servers,
+            priority=1,
+            distribution=reboot,
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="cluster_restart",
+            inputs={},
+            outputs={},
+            guard=lambda m: m["failed"] >= servers,
+            action=lambda m: {"failed": 0, "free": servers},
+            priority=2,
+            distribution=cluster_restart,
+        )
+    )
+    return net

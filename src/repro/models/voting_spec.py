@@ -1,0 +1,163 @@
+r"""The voting system written in the semi-Markov DNAmaca language.
+
+This is the textual counterpart of :func:`repro.models.voting.build_voting_net`
+— the same model expressed the way the paper specifies it (its Fig. 3 shows
+transition ``t5`` of exactly this form).  ``voting_spec_text`` instantiates
+the template for a given configuration; :func:`repro.dnamaca.load_model`
+turns it into an SM-SPN.
+
+Note the marking-dependent firing distribution of ``t2``: the registration
+delay is an Erlang whose phase count is the number of currently operational
+central voting units, written ``erlangLT(4.0, max(p5, 1), s)``.
+"""
+from __future__ import annotations
+
+from .voting import VotingParameters
+
+__all__ = ["VOTING_SPEC_TEMPLATE", "voting_spec_text"]
+
+VOTING_SPEC_TEMPLATE = r"""
+% Distributed voting system (Bradley/Dingle/Harrison/Knottenbelt, IPDPS 2003)
+% CC voters, MM polling units, NN central voting units.
+\constant{CC}{__CC__}
+\constant{MM}{__MM__}
+\constant{NN}{__NN__}
+
+\model{
+  \place{p1}{CC}   % voters waiting to vote
+  \place{p2}{0}    % voters that have voted
+  \place{p3}{MM}   % idle polling units
+  \place{p4}{0}    % busy polling units
+  \place{p5}{NN}   % operational central voting units
+  \place{p6}{0}    % failed central voting units
+  \place{p7}{0}    % failed polling units
+
+  \transition{t1}{
+    \condition{p1 > 0 && p3 > 0}
+    \action{
+      next->p1 = p1 - 1;
+      next->p3 = p3 - 1;
+      next->p4 = p4 + 1;
+    }
+    \weight{8.0}
+    \priority{1}
+    \sojourntimeLT{ return uniformLT(0.2, 1.0, s); }
+  }
+
+  \transition{t2}{
+    \condition{p4 > 0 && p5 > 0}
+    \action{
+      next->p4 = p4 - 1;
+      next->p2 = p2 + 1;
+      next->p3 = p3 + 1;
+    }
+    \weight{8.0}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(4.0, max(p5, 1), s); }
+  }
+
+  \transition{t3}{
+    \condition{p3 > 0}
+    \action{
+      next->p3 = p3 - 1;
+      next->p7 = p7 + 1;
+    }
+    \weight{0.2}
+    \priority{1}
+    \sojourntimeLT{ return expLT(0.5, s); }
+  }
+
+  \transition{t3b}{
+    \condition{p4 > 0}
+    \action{
+      next->p4 = p4 - 1;
+      next->p7 = p7 + 1;
+      next->p1 = p1 + 1;
+    }
+    \weight{0.2}
+    \priority{1}
+    \sojourntimeLT{ return expLT(0.5, s); }
+  }
+
+  \transition{t4}{
+    \condition{p5 > 0}
+    \action{
+      next->p5 = p5 - 1;
+      next->p6 = p6 + 1;
+    }
+    \weight{0.1}
+    \priority{1}
+    \sojourntimeLT{ return expLT(0.5, s); }
+  }
+
+  \transition{t5}{
+    \condition{p7 > MM-1}
+    \action{
+      next->p3 = p3 + MM;
+      next->p7 = p7 - MM;
+    }
+    \weight{1.0}
+    \priority{2}
+    \sojourntimeLT{
+      return (0.8 * uniformLT(1.5,10,s)
+            + 0.2 * erlangLT(0.001,5,s));
+    }
+  }
+
+  \transition{t6}{
+    \condition{p6 > NN-1}
+    \action{
+      next->p5 = p5 + NN;
+      next->p6 = p6 - NN;
+    }
+    \weight{1.0}
+    \priority{2}
+    \sojourntimeLT{
+      return (0.8 * uniformLT(1.5,10,s)
+            + 0.2 * erlangLT(0.001,5,s));
+    }
+  }
+
+  \transition{t9}{
+    \condition{p2 > CC-1}
+    \action{
+      next->p1 = p1 + CC;
+      next->p2 = p2 - CC;
+    }
+    \weight{1.0}
+    \priority{2}
+    \sojourntimeLT{ return uniformLT(2.0, 6.0, s); }
+  }
+
+  \transition{t7}{
+    \condition{p7 > 0 && p7 < MM}
+    \action{
+      next->p7 = p7 - 1;
+      next->p3 = p3 + 1;
+    }
+    \weight{1.5}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(1.0, 2, s); }
+  }
+
+  \transition{t8}{
+    \condition{p6 > 0 && p6 < NN}
+    \action{
+      next->p6 = p6 - 1;
+      next->p5 = p5 + 1;
+    }
+    \weight{1.5}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(1.0, 2, s); }
+  }
+}
+"""
+
+
+def voting_spec_text(params: VotingParameters) -> str:
+    """The DNAmaca specification text for one voting-system configuration."""
+    return (
+        VOTING_SPEC_TEMPLATE.replace("__CC__", str(params.voters))
+        .replace("__MM__", str(params.polling_units))
+        .replace("__NN__", str(params.central_units))
+    )

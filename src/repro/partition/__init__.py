@@ -1,0 +1,30 @@
+"""State-space partitioning (the paper's stated future-work direction).
+
+Section 6 of the paper plans to "apply specialist techniques, e.g. using
+hypergraph partitioning of data structures, to achieve scalable algorithms
+for systems with up to ~10^8 states".  This package provides a lightweight
+version of that idea: partition the kernel's rows across workers so that each
+part carries a balanced share of the non-zero transitions while cutting as
+few transitions as possible between parts.  The partitioner is used by the
+partitioning ablation benchmark to quantify how much better a balanced
+partition is than naive contiguous or round-robin splits.
+"""
+from .partitioner import (
+    PartitionQuality,
+    contiguous_partition,
+    round_robin_partition,
+    greedy_balanced_partition,
+    bfs_locality_partition,
+    refine_partition,
+    evaluate_partition,
+)
+
+__all__ = [
+    "PartitionQuality",
+    "contiguous_partition",
+    "round_robin_partition",
+    "greedy_balanced_partition",
+    "bfs_locality_partition",
+    "refine_partition",
+    "evaluate_partition",
+]

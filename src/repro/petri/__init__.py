@@ -1,0 +1,28 @@
+"""Semi-Markov stochastic Petri nets (SM-SPNs, Section 5.1 of the paper).
+
+An SM-SPN is a place–transition net whose transitions carry marking-dependent
+*priorities*, *weights* and *firing-time distributions*.  From a given marking
+the net-enabled transitions are filtered to those of maximal priority and one
+of them is chosen probabilistically by weight; the sojourn in the marking is
+the chosen transition's firing distribution.  This race-free semantics maps
+the reachability graph directly onto a semi-Markov chain, which is what
+:func:`repro.petri.reachability.build_kernel` produces.
+"""
+from .net import MarkingView, SMSPN, Transition
+from .reachability import ReachabilityGraph, explore, build_kernel
+from .analysis import passage_solver, transient_solver, marking_states
+from .vanishing import eliminate_vanishing, is_vanishing_distribution
+
+__all__ = [
+    "SMSPN",
+    "Transition",
+    "MarkingView",
+    "ReachabilityGraph",
+    "explore",
+    "build_kernel",
+    "passage_solver",
+    "transient_solver",
+    "marking_states",
+    "eliminate_vanishing",
+    "is_vanishing_distribution",
+]

@@ -1,0 +1,53 @@
+"""Convenience layer: from an SM-SPN straight to passage-time / transient solvers."""
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.solvers import PassageTimeSolver, TransientSolver
+from .net import SMSPN, MarkingView
+from .reachability import ReachabilityGraph, build_kernel, explore
+
+__all__ = ["marking_states", "passage_solver", "transient_solver"]
+
+
+def marking_states(
+    graph: ReachabilityGraph, predicate: Callable[[MarkingView], bool], *, label: str = "predicate"
+) -> list[int]:
+    """States whose markings satisfy ``predicate``; raises if the set is empty."""
+    states = graph.states_where(predicate)
+    if not states:
+        raise ValueError(f"no reachable marking satisfies the {label} predicate")
+    return states
+
+
+def passage_solver(
+    net_or_graph: SMSPN | ReachabilityGraph,
+    source_predicate: Callable[[MarkingView], bool],
+    target_predicate: Callable[[MarkingView], bool],
+    **solver_options,
+) -> PassageTimeSolver:
+    """Build a :class:`PassageTimeSolver` between two marking predicates.
+
+    ``source_predicate`` and ``target_predicate`` receive a
+    :class:`MarkingView` (name-indexed token counts) and select the source
+    and target state sets; everything else is forwarded to the solver.
+    """
+    graph = net_or_graph if isinstance(net_or_graph, ReachabilityGraph) else explore(net_or_graph)
+    kernel = build_kernel(graph)
+    sources = marking_states(graph, source_predicate, label="source")
+    targets = marking_states(graph, target_predicate, label="target")
+    return PassageTimeSolver(kernel, sources=sources, targets=targets, **solver_options)
+
+
+def transient_solver(
+    net_or_graph: SMSPN | ReachabilityGraph,
+    source_predicate: Callable[[MarkingView], bool],
+    target_predicate: Callable[[MarkingView], bool],
+    **solver_options,
+) -> TransientSolver:
+    """Build a :class:`TransientSolver` between two marking predicates."""
+    graph = net_or_graph if isinstance(net_or_graph, ReachabilityGraph) else explore(net_or_graph)
+    kernel = build_kernel(graph)
+    sources = marking_states(graph, source_predicate, label="source")
+    targets = marking_states(graph, target_predicate, label="target")
+    return TransientSolver(kernel, sources=sources, targets=targets, **solver_options)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation of SMPs and SM-SPNs.
+
+The paper validates its analytic passage-time densities against a simulator
+driven by the same high-level model (Figs. 4 and 6).  This package plays that
+role here:
+
+* :func:`simulate_passage_times` / :func:`simulate_transient` operate on an
+  :class:`~repro.smp.SMPKernel`,
+* :class:`PetriSimulator` walks an SM-SPN directly (no state-space
+  generation), which is how large configurations are validated,
+* :mod:`repro.simulation.estimators` turns raw samples into density /
+  CDF / quantile estimates with confidence intervals.
+"""
+from .smp_sim import simulate_passage_times, simulate_transient, TrajectorySampler
+from .petri_sim import PetriSimulator
+from .estimators import (
+    PassageTimeSample,
+    density_histogram,
+    empirical_cdf,
+    quantile_estimate,
+)
+
+__all__ = [
+    "simulate_passage_times",
+    "simulate_transient",
+    "TrajectorySampler",
+    "PetriSimulator",
+    "PassageTimeSample",
+    "density_histogram",
+    "empirical_cdf",
+    "quantile_estimate",
+]

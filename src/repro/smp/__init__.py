@@ -1,0 +1,47 @@
+"""Semi-Markov process kernel, steady-state and passage-time machinery.
+
+This package is the numerical heart of the reproduction:
+
+* :class:`SMPKernel` / :class:`SMPBuilder` — sparse representation of the
+  kernel ``R(i, j, t) = p_ij H_ij(t)`` and assembly of the complex matrices
+  ``U(s)`` and ``U'(s)`` used by the iterative algorithm,
+* :mod:`repro.smp.embedded` — steady state of the embedded DTMC (the
+  ``alpha`` weights of Eq. 5),
+* :mod:`repro.smp.passage` — the paper's iterative passage-time algorithm
+  (Eqs. 8–11),
+* :mod:`repro.smp.linear` — the classical direct linear solve (Eqs. 2–3),
+  used as a validation baseline,
+* :mod:`repro.smp.transient` — transient state distributions via Pyke's
+  relations (Eqs. 6–7),
+* :mod:`repro.smp.steady` — long-run SMP state probabilities (the t -> inf
+  reference line of Fig. 7).
+"""
+from .kernel import SMPKernel, UEvaluator
+from .builder import SMPBuilder
+from .embedded import dtmc_steady_state, source_weights
+from .steady import smp_steady_state, steady_state_probability
+from .passage import (
+    PassageTimeOptions,
+    passage_transform,
+    passage_transform_vector,
+    ConvergenceDiagnostics,
+)
+from .linear import passage_transform_direct
+from .transient import transient_transform, sojourn_lsts
+
+__all__ = [
+    "SMPKernel",
+    "UEvaluator",
+    "SMPBuilder",
+    "dtmc_steady_state",
+    "source_weights",
+    "smp_steady_state",
+    "steady_state_probability",
+    "PassageTimeOptions",
+    "passage_transform",
+    "passage_transform_vector",
+    "ConvergenceDiagnostics",
+    "passage_transform_direct",
+    "transient_transform",
+    "sojourn_lsts",
+]

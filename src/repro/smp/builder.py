@@ -1,0 +1,154 @@
+"""Incremental construction of :class:`~repro.smp.kernel.SMPKernel` instances."""
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..distributions import Distribution, Mixture
+from ..utils.validation import check_probability_vector, require
+from .kernel import SMPKernel
+
+__all__ = ["SMPBuilder"]
+
+
+class SMPBuilder:
+    """Builds an SMP kernel transition by transition.
+
+    States may be referred to by integer index (``add_transition(0, 3, ...)``)
+    or created by name (``add_state("idle")``).  Parallel transitions between
+    the same pair of states are merged automatically into a single transition
+    whose probability is the sum and whose sojourn distribution is the
+    probability-weighted :class:`~repro.distributions.Mixture` — exactly the
+    semantics of competing SM-SPN transitions mapped onto one kernel entry.
+    """
+
+    def __init__(self, n_states: int | None = None):
+        self._explicit_n_states = n_states
+        self._names: list[str] = []
+        self._name_to_index: dict[str, int] = {}
+        # (src, dst) -> list of (prob, Distribution)
+        self._entries: dict[tuple[int, int], list[tuple[float, Distribution]]] = defaultdict(list)
+        self._max_index = -1
+
+    # -------------------------------------------------------------- states
+    def add_state(self, name: str | None = None) -> int:
+        """Register a new state, optionally named, and return its index."""
+        index = len(self._names)
+        if self._explicit_n_states is not None and index >= self._explicit_n_states:
+            raise ValueError("more states added than declared in n_states")
+        if name is None:
+            name = str(index)
+        if name in self._name_to_index:
+            raise ValueError(f"duplicate state name {name!r}")
+        self._names.append(name)
+        self._name_to_index[name] = index
+        self._max_index = max(self._max_index, index)
+        return index
+
+    def state(self, ref: int | str) -> int:
+        """Resolve a state reference (index or name) to an index.
+
+        Referring to an unseen *name* registers it on the fly (so small models
+        can be written as a flat list of ``add_transition`` calls); integer
+        references never create states.
+        """
+        if isinstance(ref, str):
+            if ref not in self._name_to_index:
+                return self.add_state(ref)
+            return self._name_to_index[ref]
+        index = int(ref)
+        require(index >= 0, "state indices must be non-negative")
+        self._max_index = max(self._max_index, index)
+        return index
+
+    # --------------------------------------------------------- transitions
+    def add_transition(
+        self,
+        src: int | str,
+        dst: int | str,
+        probability: float,
+        sojourn: Distribution,
+    ) -> "SMPBuilder":
+        """Add a transition ``src -> dst`` taken with ``probability`` after ``sojourn``."""
+        if not isinstance(sojourn, Distribution):
+            raise TypeError("sojourn must be a Distribution")
+        probability = float(probability)
+        require(probability >= 0.0, "transition probability must be non-negative")
+        if probability == 0.0:
+            return self
+        i, j = self.state(src), self.state(dst)
+        self._entries[(i, j)].append((probability, sojourn))
+        return self
+
+    # -------------------------------------------------------------- build
+    @property
+    def n_states(self) -> int:
+        if self._explicit_n_states is not None:
+            return self._explicit_n_states
+        return self._max_index + 1
+
+    def build(self, *, normalise: bool = False) -> SMPKernel:
+        """Assemble the kernel.
+
+        Parameters
+        ----------
+        normalise:
+            When true, each state's outgoing probabilities are rescaled to sum
+            to one (useful when transitions carry raw weights rather than
+            probabilities, as in SM-SPN reachability graphs).
+        """
+        if not self._entries:
+            raise ValueError("no transitions have been added")
+        n = self.n_states
+
+        src, dst, probs, dists = [], [], [], []
+        for (i, j), branches in sorted(self._entries.items()):
+            total = float(sum(p for p, _ in branches))
+            if total == 0.0:
+                continue
+            if len(branches) == 1:
+                dist = branches[0][1]
+            else:
+                weights = check_probability_vector(
+                    [p for p, _ in branches], "parallel transition weights", normalise=True
+                )
+                dist = Mixture([d for _, d in branches], weights)
+            src.append(i)
+            dst.append(j)
+            probs.append(total)
+            dists.append(dist)
+
+        probs_arr = np.asarray(probs, dtype=float)
+        src_arr = np.asarray(src, dtype=np.int64)
+        if normalise:
+            row_sums = np.bincount(src_arr, weights=probs_arr, minlength=n)
+            zero_rows = np.where(row_sums == 0.0)[0]
+            if zero_rows.size:
+                raise ValueError(
+                    f"cannot normalise: states {zero_rows[:10].tolist()} have no outgoing weight"
+                )
+            probs_arr = probs_arr / row_sums[src_arr]
+
+        # Deduplicate distribution objects (structural equality).
+        unique: list[Distribution] = []
+        index_of: dict[Distribution, int] = {}
+        dist_index = np.empty(len(dists), dtype=np.int64)
+        for k, d in enumerate(dists):
+            if d not in index_of:
+                index_of[d] = len(unique)
+                unique.append(d)
+            dist_index[k] = index_of[d]
+
+        names = None
+        if self._names:
+            names = list(self._names) + [str(i) for i in range(len(self._names), n)]
+        return SMPKernel(
+            n,
+            src_arr,
+            np.asarray(dst, dtype=np.int64),
+            probs_arr,
+            dist_index,
+            unique,
+            state_names=names,
+        )

@@ -1,0 +1,255 @@
+"""Sparse representation of a semi-Markov kernel.
+
+The time-homogeneous SMP kernel is ``R(i, j, t) = p_ij H_ij(t)`` (Section 2.1
+of the paper): a one-step transition probability matrix ``P = [p_ij]`` plus a
+sojourn-time distribution ``H_ij`` attached to every transition.  The
+Laplace–Stieltjes transform of the kernel, ``r*_ij(s) = p_ij H*_ij(s)``, is
+exactly the matrix ``U`` of the iterative algorithm (Eq. 9).
+
+The kernel stores transitions in coordinate form with an index into a list of
+*unique* distribution objects, so evaluating ``U(s)`` costs one transform
+evaluation per distinct distribution (not per transition) plus a single data
+fill of a pre-assembled CSR structure.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..distributions import Distribution
+from ..utils.validation import require
+
+__all__ = ["SMPKernel", "UEvaluator"]
+
+
+class SMPKernel:
+    """An immutable semi-Markov process kernel over states ``0 .. n_states-1``.
+
+    Construct instances with :class:`repro.smp.SMPBuilder` (or the
+    lower-level :meth:`from_arrays`).
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        probs: np.ndarray,
+        dist_index: np.ndarray,
+        distributions: Sequence[Distribution],
+        state_names: Sequence[str] | None = None,
+        *,
+        row_sum_tolerance: float = 1e-8,
+    ):
+        require(n_states > 0, "an SMP kernel needs at least one state")
+        self.n_states = int(n_states)
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.probs = np.asarray(probs, dtype=float)
+        self.dist_index = np.asarray(dist_index, dtype=np.int64)
+        self.distributions = list(distributions)
+        if not (
+            self.src.shape == self.dst.shape == self.probs.shape == self.dist_index.shape
+        ):
+            raise ValueError("src, dst, probs and dist_index must have identical shapes")
+        if self.src.size == 0:
+            raise ValueError("an SMP kernel needs at least one transition")
+        if self.src.min() < 0 or self.src.max() >= self.n_states:
+            raise ValueError("transition source index out of range")
+        if self.dst.min() < 0 or self.dst.max() >= self.n_states:
+            raise ValueError("transition destination index out of range")
+        if np.any(self.probs < 0) or np.any(~np.isfinite(self.probs)):
+            raise ValueError("transition probabilities must be finite and non-negative")
+        if self.dist_index.min() < 0 or self.dist_index.max() >= len(self.distributions):
+            raise ValueError("distribution index out of range")
+        for d in self.distributions:
+            if not isinstance(d, Distribution):
+                raise TypeError(f"expected Distribution, got {type(d).__name__}")
+
+        if state_names is None:
+            self.state_names = [str(i) for i in range(self.n_states)]
+        else:
+            state_names = list(state_names)
+            require(
+                len(state_names) == self.n_states,
+                "state_names must have one entry per state",
+            )
+            self.state_names = [str(s) for s in state_names]
+
+        # Pre-assemble the sparse structure shared by P, U(s) and U'(s).
+        self._structure = sparse.csr_matrix(
+            (np.arange(1, self.src.size + 1, dtype=float), (self.src, self.dst)),
+            shape=(self.n_states, self.n_states),
+        )
+        if self._structure.nnz != self.src.size:
+            raise ValueError(
+                "duplicate transitions detected: combine parallel transitions into a "
+                "single (probability, Mixture) pair before building the kernel"
+            )
+        # Permutation mapping COO transition order -> CSR data order.
+        self._coo_to_csr = np.asarray(self._structure.data, dtype=np.int64) - 1
+
+        row_sums = np.bincount(self.src, weights=self.probs, minlength=self.n_states)
+        dangling = np.where(row_sums < row_sum_tolerance)[0]
+        if dangling.size:
+            raise ValueError(
+                f"states without outgoing probability mass: {dangling[:10].tolist()} — "
+                "every state of a finite irreducible SMP needs at least one transition"
+            )
+        if np.any(np.abs(row_sums - 1.0) > row_sum_tolerance):
+            worst = int(np.argmax(np.abs(row_sums - 1.0)))
+            raise ValueError(
+                "transition probabilities of each state must sum to 1 "
+                f"(state {worst} sums to {row_sums[worst]:.12g})"
+            )
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def from_arrays(
+        cls,
+        n_states: int,
+        transitions: Iterable[tuple[int, int, float, Distribution]],
+        state_names: Sequence[str] | None = None,
+    ) -> "SMPKernel":
+        """Build a kernel from ``(src, dst, probability, distribution)`` tuples."""
+        src, dst, probs, dist_idx = [], [], [], []
+        dists: list[Distribution] = []
+        index_of: dict[Distribution, int] = {}
+        for i, j, p, d in transitions:
+            src.append(i)
+            dst.append(j)
+            probs.append(p)
+            if d not in index_of:
+                index_of[d] = len(dists)
+                dists.append(d)
+            dist_idx.append(index_of[d])
+        return cls(n_states, np.asarray(src), np.asarray(dst), np.asarray(probs),
+                   np.asarray(dist_idx), dists, state_names)
+
+    # ------------------------------------------------------------ topology
+    @property
+    def n_transitions(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def n_distributions(self) -> int:
+        return len(self.distributions)
+
+    def embedded_matrix(self) -> sparse.csr_matrix:
+        """One-step transition probability matrix ``P`` of the embedded DTMC."""
+        mat = self._structure.copy()
+        mat.data = self.probs[self._coo_to_csr]
+        return mat
+
+    def state_index(self, name: str) -> int:
+        """Index of the state called ``name`` (O(n) lookup, for small models/tests)."""
+        try:
+            return self.state_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown state name {name!r}") from None
+
+    def states_matching(self, predicate) -> list[int]:
+        """All state indices whose *name* satisfies ``predicate``."""
+        return [i for i, name in enumerate(self.state_names) if predicate(name)]
+
+    # ----------------------------------------------------------- transforms
+    def evaluator(self) -> "UEvaluator":
+        """A reusable evaluator of ``U(s)`` / ``U'(s)`` sharing the CSR structure."""
+        return UEvaluator(self)
+
+    def u_matrix(self, s: complex) -> sparse.csr_matrix:
+        """The matrix ``U(s)`` with entries ``u_pq = r*_pq(s)`` (Eq. 9)."""
+        return self.evaluator().u(s)
+
+    def mean_sojourn_times(self) -> np.ndarray:
+        """Expected sojourn time in each state: ``m_i = sum_j p_ij E[H_ij]``."""
+        means = np.asarray([d.mean() for d in self.distributions], dtype=float)
+        contrib = self.probs * means[self.dist_index]
+        return np.bincount(self.src, weights=contrib, minlength=self.n_states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SMPKernel(n_states={self.n_states}, n_transitions={self.n_transitions}, "
+            f"n_distributions={self.n_distributions})"
+        )
+
+
+@dataclass
+class _EvaluatorCache:
+    s: complex | None = None
+    data: np.ndarray | None = None
+
+
+class UEvaluator:
+    """Evaluates ``U(s)`` and target-absorbing ``U'(s)`` re-using one CSR structure.
+
+    The iterative algorithm calls this once per s-point and then performs
+    ``O(r)`` sparse vector–matrix products, so the evaluator keeps the
+    structural arrays (``indptr``/``indices``) fixed and only refreshes the
+    complex data vector when ``s`` changes.
+    """
+
+    def __init__(self, kernel: SMPKernel):
+        self.kernel = kernel
+        template = kernel._structure
+        self._indptr = template.indptr.copy()
+        self._indices = template.indices.copy()
+        self._shape = template.shape
+        # probs/dist_index in CSR data order.
+        order = kernel._coo_to_csr
+        self._csr_probs = kernel.probs[order]
+        self._csr_dist_index = kernel.dist_index[order]
+        # row index of every stored entry (needed to zero absorbing rows).
+        self._csr_rows = np.repeat(
+            np.arange(kernel.n_states), np.diff(self._indptr)
+        )
+        self._cache = _EvaluatorCache()
+
+    # ------------------------------------------------------------ internals
+    def _u_data(self, s: complex) -> np.ndarray:
+        s = complex(s)
+        if self._cache.s == s and self._cache.data is not None:
+            return self._cache.data
+        lst_values = np.asarray(
+            [d.lst(s) for d in self.kernel.distributions], dtype=complex
+        )
+        data = self._csr_probs * lst_values[self._csr_dist_index]
+        self._cache = _EvaluatorCache(s=s, data=data)
+        return data
+
+    def _matrix_from_data(self, data: np.ndarray) -> sparse.csr_matrix:
+        return sparse.csr_matrix(
+            (data, self._indices, self._indptr), shape=self._shape, copy=False
+        )
+
+    # ------------------------------------------------------------------ API
+    def u(self, s: complex) -> sparse.csr_matrix:
+        """``U(s)``: entry ``(p, q)`` equals ``p_pq H*_pq(s)``."""
+        return self._matrix_from_data(self._u_data(s).copy())
+
+    def u_prime(self, s: complex, target_mask: np.ndarray) -> sparse.csr_matrix:
+        """``U'(s)``: as ``U(s)`` but with the target states made absorbing.
+
+        Rows belonging to target states are zeroed so that probability mass
+        reaching the target set never leaves it again — this is what turns
+        the r-transition sum of Eq. (9) into a *first* passage quantity.
+        """
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if target_mask.shape != (self.kernel.n_states,):
+            raise ValueError("target_mask must have one boolean per state")
+        data = self._u_data(s).copy()
+        data[target_mask[self._csr_rows]] = 0.0
+        return self._matrix_from_data(data)
+
+    def sojourn_lst(self, s: complex) -> np.ndarray:
+        """Per-state sojourn transform ``h*_i(s) = sum_j r*_ij(s)`` (row sums of U)."""
+        data = self._u_data(s)
+        rows = self._csr_rows
+        n = self.kernel.n_states
+        out = np.zeros(n, dtype=complex)
+        out.real = np.bincount(rows, weights=data.real, minlength=n)
+        out.imag = np.bincount(rows, weights=data.imag, minlength=n)
+        return out

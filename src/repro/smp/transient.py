@@ -1,0 +1,102 @@
+"""Transient state distributions from passage-time quantities (Eqs. 6–7).
+
+Pyke's relations connect the transform of the transient probability
+``T_ij(t) = P(Z(t) = j | Z(0) = i)`` to first-passage and cycle-time
+transforms:
+
+    T*_ii(s) = (1/s) (1 - h*_i(s)) / (1 - L_ii(s))
+    T*_ij(s) = L_ij(s) T*_jj(s)                       (i != j)
+
+For a set of target states ``j`` (Eq. 7) this needs, per s-point, one
+passage-time vector computation per target state — each yields both
+``L_ik(s)`` for every source ``i`` and the cycle transform ``L_kk(s)``.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .kernel import SMPKernel, UEvaluator
+from .linear import passage_transform_direct
+from .passage import PassageTimeOptions, passage_transform_vector
+
+__all__ = ["transient_transform", "sojourn_lsts"]
+
+
+def sojourn_lsts(kernel_or_evaluator, s: complex) -> np.ndarray:
+    """Per-state sojourn-time transforms ``h*_i(s) = sum_j r*_ij(s)``."""
+    if isinstance(kernel_or_evaluator, UEvaluator):
+        evaluator = kernel_or_evaluator
+    elif isinstance(kernel_or_evaluator, SMPKernel):
+        evaluator = kernel_or_evaluator.evaluator()
+    else:
+        raise TypeError("expected an SMPKernel or UEvaluator")
+    return evaluator.sojourn_lst(s)
+
+
+def transient_transform(
+    kernel_or_evaluator,
+    alpha: np.ndarray,
+    targets,
+    s: complex,
+    options: PassageTimeOptions | None = None,
+    *,
+    solver: str = "iterative",
+) -> complex:
+    """Evaluate ``T*_{i -> j}(s)``, the transform of ``P(Z(t) in j)``.
+
+    Parameters
+    ----------
+    alpha:
+        Initial-state weighting (Eq. 5); a unit vector for a single source.
+    targets:
+        Target state set ``j``.
+    solver:
+        ``"iterative"`` uses the paper's algorithm for the per-target
+        passage-time vectors, ``"direct"`` uses the sparse linear solve.
+    """
+    if isinstance(kernel_or_evaluator, UEvaluator):
+        evaluator = kernel_or_evaluator
+    elif isinstance(kernel_or_evaluator, SMPKernel):
+        evaluator = kernel_or_evaluator.evaluator()
+    else:
+        raise TypeError("expected an SMPKernel or UEvaluator")
+    if solver not in ("iterative", "direct"):
+        raise ValueError("solver must be 'iterative' or 'direct'")
+
+    s = complex(s)
+    if s == 0:
+        raise ValueError("the transient transform has a pole at s = 0; use Re(s) > 0")
+
+    n = evaluator.kernel.n_states
+    alpha = np.asarray(alpha, dtype=complex)
+    if alpha.shape != (n,):
+        raise ValueError("alpha must have one weight per state")
+    if abs(alpha.sum() - 1.0) > 1e-6:
+        raise ValueError("alpha must sum to 1")
+
+    targets = np.unique(np.atleast_1d(np.asarray(targets, dtype=np.int64)))
+    if targets.size == 0:
+        raise ValueError("at least one target state is required")
+    if targets.min() < 0 or targets.max() >= n:
+        raise ValueError("target state index out of range")
+
+    h = evaluator.sojourn_lst(s)
+
+    source_states = np.where(np.abs(alpha) > 0)[0]
+    total = 0.0 + 0.0j
+    for k in targets:
+        if solver == "iterative":
+            l_vec, _ = passage_transform_vector(evaluator, [k], s, options)
+        else:
+            l_vec = passage_transform_direct(evaluator, [k], s)
+        lam_k = (1.0 - h[k]) / (1.0 - l_vec[k])
+        # Contribution of target k to each source i:
+        #   i == k : Lambda_k (the system is still in its first sojourn at k,
+        #            or has returned) — the delta term of Eq. (7),
+        #   i != k : Lambda_k * L_ik(s).
+        for i in source_states:
+            if i == k:
+                total += alpha[i] * lam_k
+            else:
+                total += alpha[i] * lam_k * l_vec[i]
+    return complex(total / s)

@@ -1,0 +1,29 @@
+"""Shared utilities: validation helpers, timing, deterministic RNG handling.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (distributions, smp, petri, distributed, ...) can rely on them
+without import cycles.
+"""
+from .validation import (
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_probability_vector,
+    check_in_range,
+    require,
+)
+from .timing import Stopwatch, format_seconds
+from .rng import as_generator, spawn_generators
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_probability_vector",
+    "check_in_range",
+    "require",
+    "Stopwatch",
+    "format_seconds",
+    "as_generator",
+    "spawn_generators",
+]

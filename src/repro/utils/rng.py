@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+The simulators accept either an integer seed, ``None`` or an existing
+:class:`numpy.random.Generator`; these helpers normalise that into generators
+and produce independent child streams for parallel replications.
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces a freshly seeded generator, an integer produces a
+    deterministic generator, and an existing generator is passed through.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | None | np.random.Generator, count: int
+) -> Sequence[np.random.Generator]:
+    """Create ``count`` statistically independent generators from one seed.
+
+    Independence is provided by :meth:`numpy.random.SeedSequence.spawn`, the
+    recommended mechanism for parallel streams; this is how the simulation
+    workers and the multiprocessing backend obtain per-worker randomness.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if isinstance(seed, np.random.Generator):
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(count)]

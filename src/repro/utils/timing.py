@@ -1,0 +1,71 @@
+"""Wall-clock timing helpers used by the distributed pipeline and benchmarks."""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+@dataclass
+class Stopwatch:
+    """A tiny cumulative stopwatch.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed)
+
+    The stopwatch accumulates across multiple ``with`` blocks, which is what
+    the master process uses to separate dispatch time from inversion time.
+    """
+
+    elapsed: float = 0.0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration as a compact human-readable string."""
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m{rem:04.1f}s"

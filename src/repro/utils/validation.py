@@ -1,0 +1,109 @@
+"""Lightweight argument-validation helpers used across the library.
+
+All validators raise :class:`ValueError` (or :class:`TypeError` for wrong
+types) with messages that name the offending parameter, so user-facing API
+errors read well without every call site rebuilding the same strings.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability_vector",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is finite and strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be finite and > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is finite and non-negative."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    lo: float,
+    hi: float,
+    name: str = "value",
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[lo, hi]`` (or ``(lo, hi)``)."""
+    value = float(value)
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not np.isfinite(value) or not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability_vector(
+    values: Iterable[float] | Sequence[float] | np.ndarray,
+    name: str = "probabilities",
+    *,
+    tol: float = 1e-9,
+    normalise: bool = False,
+) -> np.ndarray:
+    """Validate a vector of probabilities that should sum to one.
+
+    Parameters
+    ----------
+    values:
+        The candidate probability vector.
+    name:
+        Parameter name used in error messages.
+    tol:
+        Permitted absolute deviation of the sum from one.
+    normalise:
+        When true, rescale the vector to sum to exactly one instead of
+        raising if the sum deviates by more than ``tol`` (entries must still
+        be non-negative and the sum strictly positive).
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if np.any(~np.isfinite(arr)) or np.any(arr < -tol):
+        raise ValueError(f"{name} must contain finite non-negative entries")
+    arr = np.clip(arr, 0.0, None)
+    total = float(arr.sum())
+    if normalise:
+        if total <= 0.0:
+            raise ValueError(f"{name} must have a strictly positive sum to normalise")
+        return arr / total
+    if abs(total - 1.0) > tol:
+        raise ValueError(f"{name} must sum to 1 (got {total!r})")
+    return arr

@@ -1,0 +1,81 @@
+"""Shared pytest fixtures for the test suite."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, Uniform
+from repro.smp import SMPBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20030422)
+
+
+@pytest.fixture
+def t_grid() -> np.ndarray:
+    """A modest grid of time points used across inversion tests."""
+    return np.array([0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0])
+
+
+# ---------------------------------------------------------------------------
+# Small reference SMP kernels shared by the smp, core, simulation and
+# distributed test modules.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def two_state_kernel():
+    """0 -> 1 with Erlang(2, 3) sojourn, 1 -> 0 with Uniform(1, 2) sojourn."""
+    b = SMPBuilder()
+    b.add_state("a")
+    b.add_state("b")
+    b.add_transition("a", "b", 1.0, Erlang(2.0, 3))
+    b.add_transition("b", "a", 1.0, Uniform(1.0, 2.0))
+    return b.build()
+
+
+@pytest.fixture
+def ctmc_kernel():
+    """A 2-state CTMC: up -> down at rate 2, down -> up at rate 3."""
+    b = SMPBuilder()
+    b.add_state("up")
+    b.add_state("down")
+    b.add_transition("up", "down", 1.0, Exponential(2.0))
+    b.add_transition("down", "up", 1.0, Exponential(3.0))
+    return b.build()
+
+
+@pytest.fixture
+def ring_kernel():
+    """A 4-state ring with mixed sojourn distributions (deterministic included)."""
+    b = SMPBuilder()
+    for name in "pqrs":
+        b.add_state(name)
+    b.add_transition("p", "q", 1.0, Exponential(1.0))
+    b.add_transition("q", "r", 1.0, Erlang(2.0, 2))
+    b.add_transition("r", "s", 1.0, Deterministic(0.5))
+    b.add_transition("s", "p", 1.0, Uniform(0.25, 0.75))
+    return b.build()
+
+
+@pytest.fixture
+def branching_kernel():
+    """A 5-state SMP with probabilistic branching and a return loop.
+
+    State 0 branches to 1 (p=0.3) or 2 (p=0.7); both feed state 3, which
+    either returns to 0 (p=0.6) or visits 4 first (p=0.4).
+    """
+    b = SMPBuilder()
+    for i in range(5):
+        b.add_state(f"s{i}")
+    b.add_transition(0, 1, 0.3, Exponential(2.0))
+    b.add_transition(0, 2, 0.7, Erlang(3.0, 2))
+    b.add_transition(1, 3, 1.0, Uniform(0.0, 1.0))
+    b.add_transition(2, 3, 1.0, Exponential(1.0))
+    b.add_transition(3, 0, 0.6, Exponential(4.0))
+    b.add_transition(3, 4, 0.4, Deterministic(0.2))
+    b.add_transition(4, 0, 1.0, Exponential(5.0))
+    return b.build()

@@ -1,0 +1,79 @@
+"""Tests for the result container objects."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PassageTimeResult, TransientResult
+from repro.distributions import Erlang
+
+
+@pytest.fixture
+def erlang_result():
+    dist = Erlang(2.0, 3)
+    t = np.linspace(0.05, 8.0, 160)
+    return PassageTimeResult(t_points=t, density=dist.pdf(t), cdf=dist.cdf(t)), dist
+
+
+class TestPassageTimeResult:
+    def test_probability_between(self, erlang_result):
+        result, dist = erlang_result
+        assert result.probability_between(1.0, 3.0) == pytest.approx(
+            dist.cdf(3.0) - dist.cdf(1.0), abs=1e-3
+        )
+        assert result.probability_between(0.0, 100.0) <= 1.0
+        with pytest.raises(ValueError):
+            result.probability_between(3.0, 1.0)
+
+    def test_quantile_interpolation(self, erlang_result):
+        result, dist = erlang_result
+        q = result.quantile(0.75)
+        assert dist.cdf(q) == pytest.approx(0.75, abs=5e-3)
+        with pytest.raises(ValueError):
+            result.quantile(0.0)
+        with pytest.raises(ValueError):
+            result.quantile(0.999999)  # outside the covered CDF range
+
+    def test_mean_and_normalisation(self, erlang_result):
+        result, dist = erlang_result
+        assert result.mean_estimate() == pytest.approx(dist.mean(), rel=0.02)
+        assert result.normalisation_defect() < 0.01
+
+    def test_as_table(self, erlang_result):
+        result, _ = erlang_result
+        table = result.as_table()
+        assert len(table) == len(result.t_points)
+        assert table[0][0] == pytest.approx(0.05)
+        assert all(len(row) == 3 for row in table)
+
+    def test_density_only_result(self):
+        t = np.linspace(0.1, 5, 20)
+        result = PassageTimeResult(t_points=t, density=Erlang(1.0, 2).pdf(t))
+        with pytest.raises(ValueError):
+            result.quantile(0.5)
+        with pytest.raises(ValueError):
+            result.probability_between(1, 2)
+        assert result.mean_estimate() > 0
+
+    def test_cdf_only_result(self):
+        t = np.linspace(0.1, 10, 50)
+        result = PassageTimeResult(t_points=t, cdf=Erlang(1.0, 2).cdf(t))
+        with pytest.raises(ValueError):
+            result.mean_estimate()
+        with pytest.raises(ValueError):
+            result.normalisation_defect()
+        assert result.quantile(0.5) > 0
+
+
+class TestTransientResult:
+    def test_convergence_gap(self):
+        t = np.array([1.0, 10.0, 100.0])
+        result = TransientResult(
+            t_points=t, probability=np.array([0.9, 0.55, 0.501]), steady_state=0.5
+        )
+        assert result.convergence_gap() == pytest.approx(0.001)
+        assert result.as_table()[-1] == (100.0, pytest.approx(0.501))
+
+    def test_gap_without_steady_state(self):
+        result = TransientResult(t_points=[1.0], probability=[0.4])
+        assert result.convergence_gap() is None

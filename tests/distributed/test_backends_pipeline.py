@@ -1,0 +1,129 @@
+"""Tests for the execution backends and the master pipeline."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PassageTimeSolver, TransientSolver
+from repro.core.jobs import PassageTimeJob, TransientJob
+from repro.distributions import Erlang, Uniform
+from repro.distributed import (
+    CheckpointStore,
+    DistributedPipeline,
+    MultiprocessingBackend,
+    SerialBackend,
+)
+from repro.smp import source_weights
+
+
+@pytest.fixture
+def erlang_job(two_state_kernel):
+    return PassageTimeJob(
+        kernel=two_state_kernel,
+        alpha=source_weights(two_state_kernel, [0]),
+        targets=[1],
+    )
+
+
+class TestSerialBackend:
+    def test_matches_direct_evaluation(self, erlang_job):
+        backend = SerialBackend()
+        s_points = [0.5 + 1j, 2.0 + 0j]
+        values = backend.evaluate(erlang_job, s_points)
+        for s in s_points:
+            assert values[s] == pytest.approx(erlang_job.evaluate(s))
+
+    def test_timing_recorded(self, erlang_job):
+        backend = SerialBackend(record_timings=True)
+        backend.evaluate(erlang_job, [0.5 + 1j, 1.0 + 2j, 2.0 + 3j])
+        assert len(backend.task_durations) == 3
+        assert all(d >= 0 for d in backend.task_durations)
+
+
+class TestMultiprocessingBackend:
+    def test_matches_serial(self, erlang_job):
+        serial = SerialBackend().evaluate(erlang_job, [0.4 + 1j, 1.5 + 2j])
+        parallel = MultiprocessingBackend(processes=2).evaluate(
+            erlang_job, [0.4 + 1j, 1.5 + 2j]
+        )
+        for s, v in serial.items():
+            assert parallel[s] == pytest.approx(v)
+
+    def test_empty_input(self, erlang_job):
+        assert MultiprocessingBackend(processes=1).evaluate(erlang_job, []) == {}
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MultiprocessingBackend(processes=0)
+        with pytest.raises(ValueError):
+            MultiprocessingBackend(chunk_size=0)
+
+
+class TestDistributedPipeline:
+    def test_density_and_cdf_match_solver(self, two_state_kernel, erlang_job, t_grid):
+        pipeline = DistributedPipeline(erlang_job)
+        solver = PassageTimeSolver(two_state_kernel, sources=[0], targets=[1])
+        assert np.allclose(pipeline.density(t_grid), solver.density(t_grid), atol=1e-10)
+        assert np.allclose(pipeline.cdf(t_grid), solver.cdf(t_grid), atol=1e-10)
+
+    def test_run_returns_result_object(self, erlang_job, t_grid):
+        result = DistributedPipeline(erlang_job).run(t_grid)
+        erlang = Erlang(2.0, 3)
+        assert np.allclose(result.density, erlang.pdf(t_grid), atol=1e-6)
+        assert np.allclose(result.cdf, erlang.cdf(t_grid), atol=1e-6)
+        assert result.statistics["s_points_computed"] == 33 * len(t_grid)
+        assert result.statistics["backend"] == "serial"
+
+    def test_checkpoint_resume_skips_computation(self, erlang_job, t_grid, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = DistributedPipeline(erlang_job, checkpoint=store)
+        first.run(t_grid)
+        resumed = DistributedPipeline(erlang_job, checkpoint=store)
+        result = resumed.run(t_grid)
+        assert resumed.statistics.s_points_computed == 0
+        assert resumed.statistics.s_points_from_cache > 0
+        assert np.allclose(result.density, Erlang(2.0, 3).pdf(t_grid), atol=1e-6)
+
+    def test_checkpoints_are_per_measure(self, two_state_kernel, erlang_job, tmp_path):
+        store = CheckpointStore(tmp_path)
+        DistributedPipeline(erlang_job, checkpoint=store).density([1.0])
+        other_job = PassageTimeJob(
+            kernel=two_state_kernel,
+            alpha=source_weights(two_state_kernel, [0]),
+            targets=[0],
+        )
+        other = DistributedPipeline(other_job, checkpoint=store)
+        other.density([1.0])
+        assert other.statistics.s_points_computed > 0
+        assert len(store.digests()) == 2
+
+    def test_laguerre_conjugate_folding_halves_work(self, erlang_job):
+        pipeline = DistributedPipeline(
+            erlang_job, inversion="laguerre", inverter_options={"n_points": 64}
+        )
+        density = pipeline.density([0.5, 1.0, 2.0])
+        assert np.allclose(density, Erlang(2.0, 3).pdf([0.5, 1.0, 2.0]), atol=1e-5)
+        stats = pipeline.statistics
+        assert stats.conjugates_folded > 0
+        assert stats.s_points_computed < stats.s_points_required
+
+    def test_transient_job_pipeline(self, ctmc_kernel):
+        job = TransientJob(
+            kernel=ctmc_kernel, alpha=source_weights(ctmc_kernel, [0]), targets=[1]
+        )
+        t_points = np.array([0.2, 0.8, 2.0])
+        result = DistributedPipeline(job).run(t_points)
+        expected = TransientSolver(ctmc_kernel, sources=[0], targets=[1]).probability(t_points)
+        assert np.allclose(result.probability, expected, atol=1e-8)
+
+    def test_multiprocessing_pipeline_end_to_end(self, erlang_job):
+        backend = MultiprocessingBackend(processes=2, chunk_size=8)
+        pipeline = DistributedPipeline(erlang_job, backend=backend)
+        ts = [0.5, 1.5]
+        assert np.allclose(pipeline.density(ts), Erlang(2.0, 3).pdf(ts), atol=1e-6)
+        assert backend.last_wall_clock is not None
+
+    def test_task_durations_collected_for_scalability_model(self, erlang_job, t_grid):
+        pipeline = DistributedPipeline(erlang_job, backend=SerialBackend(record_timings=True))
+        pipeline.density(t_grid)
+        assert len(pipeline.statistics.task_durations) == 33 * len(t_grid)

@@ -1,0 +1,96 @@
+"""Tests for the s-point work queue and the checkpoint store."""
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed import CheckpointStore, SPointWorkQueue
+
+
+class TestWorkQueue:
+    def test_put_deduplicates(self):
+        queue = SPointWorkQueue()
+        added = queue.put([1 + 2j, 1 + 2j, 3 + 0j])
+        assert added == 2
+        assert queue.n_pending == 2
+        # Near-identical points (within canonical rounding) are also folded.
+        assert queue.put([1 + 2j * (1 + 1e-14)]) == 0
+
+    def test_take_and_complete(self):
+        queue = SPointWorkQueue()
+        queue.put([0.5 + 1j, 0.5 + 2j, 0.5 + 3j])
+        items = queue.take(2)
+        assert len(items) == 2 and queue.n_pending == 1
+        queue.complete(items[0], 0.25 + 0.1j, duration=0.5, worker="slave-1")
+        queue.complete(items[1], 0.5 + 0.0j, duration=0.7, worker="slave-2")
+        assert queue.n_completed == 2
+        assert queue.value_of(items[0].s) == 0.25 + 0.1j
+        assert np.allclose(queue.durations(), [0.5, 0.7])
+
+    def test_completed_points_not_requeued(self):
+        queue = SPointWorkQueue()
+        queue.put([2 + 2j])
+        item = queue.take(1)[0]
+        queue.complete(item, 1.0 + 0j)
+        assert queue.put([2 + 2j]) == 0
+
+    def test_take_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            SPointWorkQueue().take(0)
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "checkpoints")
+        values = {1.5 + 2.5j: 0.25 - 0.1j, 3.0 + 0j: 0.5 + 0j}
+        store.merge("job-a", values)
+        loaded = store.load("job-a")
+        assert loaded == {1.5 + 2.5j: 0.25 - 0.1j, 3.0 + 0j: 0.5 + 0j}
+        assert store.digests() == ["job-a"]
+        assert store.size_bytes("job-a") > 0
+
+    def test_merge_accumulates(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {1 + 1j: 2 + 2j})
+        store.merge("job", {3 + 3j: 4 + 4j})
+        assert len(store.load("job")) == 2
+
+    def test_missing_digest_is_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path).load("nothing") == {}
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {1 + 1j: 2 + 2j})
+        store.clear("job")
+        assert store.load("job") == {}
+        store.clear("job")  # idempotent
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {1 + 1j: 2 + 2j})
+        path = next((tmp_path).glob("*.json"))
+        path.write_text("{not json")
+        assert store.load("job") == {}
+
+    def test_empty_merge_is_noop(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {})
+        assert store.load("job") == {}
+
+    def test_digest_sanitised(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("weird/../digest", {1 + 0j: 1 + 0j})
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        assert "/" not in files[0].name
+        with pytest.raises(ValueError):
+            store.merge("///", {1 + 0j: 1 + 0j})
+
+    def test_file_is_valid_json(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {0.5 + 0.25j: 1.0 - 0.5j})
+        path = next(tmp_path.glob("*.json"))
+        payload = json.loads(path.read_text())
+        assert list(payload.values()) == [[1.0, -0.5]]

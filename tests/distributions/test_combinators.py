@@ -1,0 +1,106 @@
+"""Tests for mixture / convolution / scaling / shifting combinators."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Convolution,
+    Deterministic,
+    Erlang,
+    Exponential,
+    Mixture,
+    Scaled,
+    Shifted,
+    Uniform,
+    probabilistic_choice,
+)
+
+
+class TestMixture:
+    def test_lst_is_convex_combination(self):
+        a, b = Exponential(1.0), Erlang(2.0, 3)
+        mix = Mixture([a, b], [0.3, 0.7])
+        s = np.array([0.5 + 1j, 2.0, 4.0 - 2j])
+        assert np.allclose(mix.lst(s), 0.3 * a.lst(s) + 0.7 * b.lst(s))
+
+    def test_paper_t5_distribution(self):
+        """The firing distribution of transition t5 in Fig. 3 of the paper."""
+        mix = probabilistic_choice((0.8, Uniform(1.5, 10.0)), (0.2, Erlang(0.001, 5)))
+        s = 0.01 + 0.2j
+        expected = 0.8 * Uniform(1.5, 10.0).lst(s) + 0.2 * Erlang(0.001, 5).lst(s)
+        assert mix.lst(s) == pytest.approx(expected)
+        assert mix.mean() == pytest.approx(0.8 * 5.75 + 0.2 * 5000.0)
+
+    def test_weights_normalised(self):
+        mix = Mixture([Exponential(1.0), Exponential(2.0)], [2.0, 6.0])
+        assert np.allclose(mix.weights, [0.25, 0.75])
+
+    def test_sampling_branches(self, rng):
+        mix = Mixture([Deterministic(1.0), Deterministic(9.0)], [0.5, 0.5])
+        samples = np.asarray(mix.sample(rng, size=2000))
+        assert set(np.unique(samples)) == {1.0, 9.0}
+        assert abs(samples.mean() - 5.0) < 0.5
+
+    def test_mixture_variance_total_law(self):
+        a, b = Exponential(1.0), Exponential(4.0)
+        mix = Mixture([a, b], [0.6, 0.4])
+        m = 0.6 * 1.0 + 0.4 * 0.25
+        second = 0.6 * (1.0 + 1.0) + 0.4 * (1.0 / 16 + 1.0 / 16)
+        assert mix.variance() == pytest.approx(second - m**2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(TypeError):
+            Mixture([1.0], [1.0])
+        with pytest.raises(ValueError):
+            Mixture([Exponential(1.0)], [0.5, 0.5])
+
+
+class TestConvolution:
+    def test_lst_is_product(self):
+        a, b = Exponential(1.0), Exponential(3.0)
+        conv = Convolution([a, b])
+        s = np.array([0.2 + 1j, 1.5])
+        assert np.allclose(conv.lst(s), np.asarray(a.lst(s)) * np.asarray(b.lst(s)))
+
+    def test_sum_of_exponentials_matches_erlang(self):
+        conv = Convolution([Exponential(2.0)] * 4)
+        erl = Erlang(2.0, 4)
+        s = np.array([0.1, 1.0 + 2j, 3.0])
+        assert np.allclose(conv.lst(s), erl.lst(s))
+        assert conv.mean() == pytest.approx(erl.mean())
+        assert conv.variance() == pytest.approx(erl.variance())
+
+    def test_sampling_adds(self, rng):
+        conv = Convolution([Deterministic(1.0), Deterministic(2.5)])
+        assert conv.sample(rng) == pytest.approx(3.5)
+        assert np.allclose(conv.sample(rng, size=5), 3.5)
+
+
+class TestScaledShifted:
+    def test_scaled_exponential_is_rate_change(self):
+        d = Scaled(Exponential(1.0), 0.5)  # 0.5 * Exp(1) == Exp(2)
+        ref = Exponential(2.0)
+        s = np.array([0.3, 2.0 + 1j])
+        assert np.allclose(d.lst(s), ref.lst(s))
+        assert d.mean() == pytest.approx(0.5)
+
+    def test_shifted_transform(self):
+        d = Shifted(Exponential(1.0), 2.0)
+        s = 0.7 + 0.4j
+        assert d.lst(s) == pytest.approx(np.exp(-2.0 * s) / (1.0 + s))
+        assert d.mean() == pytest.approx(3.0)
+
+    def test_shift_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            Shifted(Exponential(1.0), -0.5)
+        with pytest.raises(ValueError):
+            Scaled(Exponential(1.0), 0.0)
+
+    def test_nested_composition_key_equality(self):
+        a = Shifted(Scaled(Exponential(1.0), 2.0), 1.0)
+        b = Shifted(Scaled(Exponential(1.0), 2.0), 1.0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,207 @@
+"""Unit tests for the standard distribution library."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    Immediate,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTS = [
+    Exponential(2.0),
+    Erlang(1.5, 3),
+    Gamma(2.5, 1.2),
+    Uniform(0.5, 2.5),
+    Deterministic(1.75),
+    Immediate(),
+    Weibull(1.5, 2.0),
+    LogNormal(0.1, 0.4),
+    Pareto(3.0, 1.0),
+    HyperExponential([0.3, 0.7], [1.0, 5.0]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: repr(d))
+class TestCommonContract:
+    def test_lst_at_zero_is_one(self, dist):
+        assert abs(dist.lst(0.0) - 1.0) < 1e-8
+
+    def test_lst_magnitude_bounded_by_one(self, dist):
+        s = np.array([0.5 + 3j, 2.0 - 7j, 10.0 + 0.1j, 0.01 + 0j])
+        vals = np.asarray(dist.lst(s))
+        assert np.all(np.abs(vals) <= 1.0 + 1e-9)
+
+    def test_lst_conjugate_symmetry(self, dist):
+        s = 1.3 + 4.7j
+        assert dist.lst(np.conj(s)) == pytest.approx(np.conj(dist.lst(s)), rel=1e-9, abs=1e-12)
+
+    def test_lst_shape_matches_input(self, dist):
+        s = np.array([[0.1 + 1j, 0.2], [2.0, 3.0 + 4j]])
+        out = np.asarray(dist.lst(s))
+        assert out.shape == s.shape
+        assert isinstance(dist.lst(0.5 + 0.5j), complex)
+
+    def test_sample_nonnegative_and_mean(self, dist, rng):
+        samples = np.asarray(dist.sample(rng, size=4000), dtype=float)
+        assert samples.shape == (4000,)
+        assert np.all(samples >= 0.0)
+        mean = dist.mean()
+        if math.isfinite(mean) and mean > 0:
+            # 5 sigma-ish tolerance using the sample std.
+            tol = 5 * samples.std() / math.sqrt(len(samples)) + 1e-9
+            assert abs(samples.mean() - mean) < max(tol, 0.05 * mean)
+
+    def test_equality_and_hash(self, dist):
+        assert dist == dist
+        assert hash(dist) == hash(dist)
+        assert dist != Exponential(123.456)
+
+
+class TestExponential:
+    def test_lst_closed_form(self):
+        d = Exponential(3.0)
+        s = 2.0 + 5.0j
+        assert d.lst(s) == pytest.approx(3.0 / (3.0 + s))
+
+    def test_moments(self):
+        d = Exponential(4.0)
+        assert d.mean() == pytest.approx(0.25)
+        assert d.variance() == pytest.approx(0.0625)
+
+    def test_pdf_cdf_consistency(self):
+        from scipy.integrate import cumulative_trapezoid
+
+        d = Exponential(1.5)
+        t = np.linspace(0, 5, 200)
+        numeric_cdf = cumulative_trapezoid(d.pdf(t), t, initial=0.0)
+        assert np.max(np.abs(numeric_cdf - d.cdf(t))) < 2e-3
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+
+class TestErlangAndGamma:
+    def test_erlang_matches_paper_formula(self):
+        lam, n = 0.001, 5
+        d = Erlang(lam, n)
+        s = 0.02 + 0.3j
+        assert d.lst(s) == pytest.approx((lam / (lam + s)) ** n)
+
+    def test_erlang_is_gamma_special_case(self):
+        e = Erlang(2.0, 4)
+        g = Gamma(4.0, 2.0)
+        s = np.array([0.1, 1.0 + 2j, 5.0 - 1j])
+        assert np.allclose(e.lst(s), g.lst(s))
+        assert e.mean() == pytest.approx(g.mean())
+
+    def test_erlang_requires_integer_shape(self):
+        with pytest.raises(ValueError):
+            Erlang(1.0, 2.5)
+        with pytest.raises(ValueError):
+            Erlang(1.0, 0)
+
+    def test_gamma_noninteger_shape_mean(self):
+        g = Gamma(2.7, 0.9)
+        assert g.mean() == pytest.approx(3.0)
+        assert g.variance() == pytest.approx(2.7 / 0.81)
+
+
+class TestUniform:
+    def test_lst_matches_paper_formula(self):
+        a, b = 1.5, 10.0
+        d = Uniform(a, b)
+        s = 0.7 + 2.0j
+        expected = (np.exp(-a * s) - np.exp(-b * s)) / (s * (b - a))
+        assert d.lst(s) == pytest.approx(expected)
+
+    def test_lst_small_s_stable(self):
+        d = Uniform(1.0, 2.0)
+        # Direct formula would suffer cancellation at tiny |s|.
+        val = d.lst(1e-12 + 1e-13j)
+        assert abs(val - 1.0) < 1e-9
+
+    def test_mean_variance(self):
+        d = Uniform(2.0, 6.0)
+        assert d.mean() == pytest.approx(4.0)
+        assert d.variance() == pytest.approx(16.0 / 12.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 3.0)
+        with pytest.raises(ValueError):
+            Uniform(5.0, 2.0)
+
+
+class TestDeterministic:
+    def test_lst_is_pure_exponential(self):
+        d = Deterministic(2.5)
+        s = 1.0 + 1.0j
+        assert d.lst(s) == pytest.approx(np.exp(-2.5 * s))
+
+    def test_samples_are_constant(self, rng):
+        d = Deterministic(3.25)
+        assert d.sample(rng) == 3.25
+        assert np.all(d.sample(rng, size=10) == 3.25)
+
+    def test_immediate_is_zero_delay(self, rng):
+        d = Immediate()
+        assert d.mean() == 0.0
+        assert d.lst(5.0 + 3j) == pytest.approx(1.0)
+        assert d.sample(rng) == 0.0
+
+
+class TestNumericTransformDistributions:
+    def test_weibull_mean_from_transform_derivative(self):
+        d = Weibull(1.5, 2.0)
+        h = 1e-4
+        numeric_mean = (1.0 - d.lst(h).real) / h
+        assert numeric_mean == pytest.approx(d.mean(), rel=1e-2)
+
+    def test_lognormal_moments(self):
+        d = LogNormal(0.2, 0.6)
+        assert d.mean() == pytest.approx(math.exp(0.2 + 0.18))
+        assert d.cdf(d.ppf(0.7)) == pytest.approx(0.7, rel=1e-9)
+
+    def test_pareto_infinite_mean_flagged(self):
+        assert math.isinf(Pareto(0.9, 1.0).mean())
+        assert math.isinf(Pareto(1.5, 1.0).variance())
+
+    def test_pareto_ppf_cdf_roundtrip(self):
+        d = Pareto(2.5, 2.0)
+        p = np.array([0.1, 0.5, 0.9, 0.999])
+        assert np.allclose(d.cdf(d.ppf(p)), p)
+
+
+class TestHyperExponential:
+    def test_lst_is_weighted_sum(self):
+        d = HyperExponential([0.25, 0.75], [1.0, 10.0])
+        s = 2.0 + 3.0j
+        expected = 0.25 * 1.0 / (1.0 + s) + 0.75 * 10.0 / (10.0 + s)
+        assert d.lst(s) == pytest.approx(expected)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.5], [1.0, -2.0])
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.5], [1.0])
+
+    def test_mean(self):
+        d = HyperExponential([0.5, 0.5], [1.0, 2.0])
+        assert d.mean() == pytest.approx(0.75)

@@ -1,0 +1,160 @@
+"""Tests for the DNAmaca lexer and parser."""
+from __future__ import annotations
+
+import pytest
+
+from repro.dnamaca import parse_model, strip_comments, tokenize_blocks
+from repro.dnamaca.lexer import DNAmacaSyntaxError
+
+PAPER_T5 = r"""
+\transition{t5}{
+  \condition{p7 > MM-1}
+  \action{
+    next->p3 = p3 + MM;
+    next->p7 = p7 - MM;
+  }
+  \weight{1.0}
+  \priority{2}
+  \sojourntimeLT{
+    return (0.8 * uniformLT(1.5,10,s)
+          + 0.2 * erlangLT(0.001,5,s));
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_strip_comments(self):
+        text = "keep this % drop this\nnext line"
+        assert strip_comments(text) == "keep this \nnext line"
+
+    def test_simple_block(self):
+        blocks = tokenize_blocks(r"\constant{MM}{6}")
+        assert len(blocks) == 1
+        assert blocks[0].name == "constant"
+        assert blocks[0].args == ["MM", "6"]
+
+    def test_nested_blocks_preserved_in_body(self):
+        blocks = tokenize_blocks(PAPER_T5)
+        assert len(blocks) == 1
+        assert blocks[0].name == "transition"
+        assert blocks[0].args[0] == "t5"
+        inner = tokenize_blocks(blocks[0].args[1])
+        assert [b.name for b in inner] == [
+            "condition",
+            "action",
+            "weight",
+            "priority",
+            "sojourntimeLT",
+        ]
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError, match="unbalanced"):
+            tokenize_blocks(r"\constant{MM}{6")
+
+    def test_stray_text_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError):
+            tokenize_blocks("hello world")
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError):
+            tokenize_blocks(r"\constant")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError):
+            tokenize_blocks("\\{body}")
+
+
+MINIMAL_MODEL = r"""
+\constant{K}{3}
+\model{
+  \place{on}{K}
+  \place{off}{0}
+  \transition{fail}{
+    \condition{on > 0}
+    \action{ next->on = on - 1; next->off = off + 1; }
+    \weight{1.0}
+    \priority{1}
+    \sojourntimeLT{ return expLT(0.5, s); }
+  }
+  \transition{repair}{
+    \condition{off > 0}
+    \action{ next->on = on + 1; next->off = off - 1; }
+    \weight{2.0}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(1.0, 2, s); }
+  }
+}
+"""
+
+
+class TestParser:
+    def test_minimal_model_structure(self):
+        spec = parse_model(MINIMAL_MODEL, name="on-off")
+        assert spec.name == "on-off"
+        assert spec.constants == {"K": 3.0}
+        assert spec.place_names() == ["on", "off"]
+        assert [t.name for t in spec.transitions] == ["fail", "repair"]
+        fail = spec.transitions[0]
+        assert fail.condition == "on > 0"
+        assert fail.action == [("on", "on - 1"), ("off", "off + 1")]
+        assert fail.weight == "1.0"
+        assert fail.priority == "1"
+        assert "expLT" in fail.sojourn_lt
+
+    def test_paper_t5_transition_parses(self):
+        text = r"\place{p3}{0} \place{p7}{6} \constant{MM}{6}" + PAPER_T5
+        spec = parse_model(text)
+        t5 = spec.transitions[0]
+        assert t5.name == "t5"
+        assert t5.condition == "p7 > MM-1"
+        assert t5.priority == "2"
+        assert ("p3", "p3 + MM") in t5.action
+        assert ("p7", "p7 - MM") in t5.action
+
+    def test_duplicate_place_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError, match="duplicate place"):
+            parse_model(r"\place{a}{1} \place{a}{2}" + PAPER_T5.replace("p3", "a").replace("p7", "a"))
+
+    def test_missing_sojourn_rejected(self):
+        bad = r"""
+        \place{a}{1}
+        \transition{t}{
+          \condition{a > 0}
+          \action{ next->a = a - 1; }
+        }
+        """
+        with pytest.raises(DNAmacaSyntaxError, match="sojourntimeLT"):
+            parse_model(bad)
+
+    def test_bad_constant_value_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError, match="numeric literal"):
+            parse_model(r"\constant{K}{three}" + MINIMAL_MODEL)
+
+    def test_unknown_clause_rejected(self):
+        bad = r"""
+        \place{a}{1}
+        \transition{t}{
+          \condition{a > 0}
+          \frobnicate{1}
+          \sojourntimeLT{ return expLT(1.0, s); }
+        }
+        """
+        with pytest.raises(DNAmacaSyntaxError, match="unknown clause"):
+            parse_model(bad)
+
+    def test_malformed_action_rejected(self):
+        bad = r"""
+        \place{a}{1}
+        \transition{t}{
+          \condition{a > 0}
+          \action{ a := a - 1; }
+          \sojourntimeLT{ return expLT(1.0, s); }
+        }
+        """
+        with pytest.raises(DNAmacaSyntaxError, match="action"):
+            parse_model(bad)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(DNAmacaSyntaxError):
+            parse_model(r"\constant{K}{1}")

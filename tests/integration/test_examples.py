@@ -1,0 +1,52 @@
+"""Smoke tests that the example scripts run end to end.
+
+Only the quicker examples are executed here (the full voting and distributed
+walkthroughs take minutes); they are run in-process with a patched
+``__name__`` guard so coverage still sees them.
+"""
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        return runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "voting_analysis.py",
+            "failure_mode_reliability.py",
+            "distributed_pipeline.py",
+            "dnamaca_spec.py",
+        } <= names
+
+    def test_quickstart_runs(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "mean time to failure" in out
+        assert "steady-state availability" in out
+        assert "Simulation cross-check" in out
+
+    def test_dnamaca_spec_runs(self, capsys):
+        run_example("dnamaca_spec.py")
+        out = capsys.readouterr().out
+        assert "transition t5" in out
+        assert "state space from the specification" in out
+        assert "steady state" in out

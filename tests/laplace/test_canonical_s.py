@@ -1,0 +1,43 @@
+"""Tests for the canonical s-point rounding shared by caches and inverters."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.laplace.inverter import canonical_s
+
+
+class TestCanonicalS:
+    def test_idempotent(self):
+        s = 1.234567890123456 + 9.87654321e-3j
+        assert canonical_s(canonical_s(s)) == canonical_s(s)
+
+    def test_merges_last_bit_differences(self):
+        a = (0.1 + 0.2) + 1.0j          # 0.30000000000000004
+        b = 0.3 + 1.0j
+        assert canonical_s(a) == canonical_s(b)
+
+    def test_conjugate_pairs_collapse_consistently(self):
+        # A Laguerre contour point and the conjugate of its mirror image.
+        z1 = 0.955 * np.exp(2j * np.pi * 10 / 64)
+        z2 = 0.955 * np.exp(2j * np.pi * 54 / 64)
+        s1 = (1 + z1) / (2 * (1 - z1))
+        s2 = np.conj((1 + z2) / (2 * (1 - z2)))
+        assert canonical_s(complex(s1)) == canonical_s(complex(s2))
+
+    def test_distinct_grid_points_not_merged(self):
+        from repro.laplace import euler_s_points
+
+        pts = euler_s_points(3.7)
+        canonical = {canonical_s(s) for s in pts}
+        assert len(canonical) == len(pts)
+
+    def test_scales_with_magnitude(self):
+        big = 1.23456789012e6 + 2.0j
+        assert canonical_s(big + 1e-4) == canonical_s(big)
+        small = 1.23456789012e-6 + 2.0e-6j
+        assert canonical_s(small) != canonical_s(small * (1 + 1e-3))
+
+    def test_zero_and_nonfinite_passthrough(self):
+        assert canonical_s(0j) == 0j
+        assert np.isnan(canonical_s(complex(np.nan, 1.0)).real)

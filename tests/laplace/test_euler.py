@@ -1,0 +1,132 @@
+"""Tests for the Euler Laplace-inversion algorithm."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, Mixture, Uniform, Weibull
+from repro.laplace import EulerInverter, euler_s_points
+
+
+class TestSPointGrid:
+    def test_points_per_t_matches_paper_count(self):
+        """Default parameters give 33 evaluations per t-point, i.e. the paper's
+        165 s-point evaluations for 5 t-points (Table 2)."""
+        inv = EulerInverter()
+        assert inv.points_per_t() == 33
+        assert len(inv.required_s_points([1.0] )) == 33
+        assert len(inv.required_s_points([1.0, 2.0, 3.0, 4.0, 5.0])) == 165
+
+    def test_grid_structure(self):
+        pts = euler_s_points(2.0, a=19.1, n_terms=21, euler_order=11)
+        assert pts[0] == pytest.approx(19.1 / 4.0)
+        # Successive points differ by 2*pi*i / (2 t) = pi*i / t.
+        diffs = np.diff(pts)
+        assert np.allclose(diffs, 1j * np.pi / 2.0)
+        assert np.all(pts.real > 0)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            euler_s_points(0.0)
+        with pytest.raises(ValueError):
+            euler_s_points(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EulerInverter(a=-1.0)
+        with pytest.raises(ValueError):
+            EulerInverter(n_terms=0)
+        with pytest.raises(ValueError):
+            EulerInverter(euler_order=-1)
+
+
+class TestSmoothInversion:
+    @pytest.mark.parametrize(
+        "dist",
+        [Exponential(2.0), Exponential(0.3), Erlang(1.5, 4), Erlang(3.0, 2)],
+        ids=lambda d: repr(d),
+    )
+    def test_density_recovered(self, dist, t_grid):
+        inv = EulerInverter()
+        recovered = inv.invert(dist.lst, t_grid)
+        assert np.max(np.abs(recovered - dist.pdf(t_grid))) < 1e-6
+
+    @pytest.mark.parametrize(
+        "dist",
+        [Exponential(1.0), Erlang(2.0, 3)],
+        ids=lambda d: repr(d),
+    )
+    def test_cdf_recovered_via_division_by_s(self, dist, t_grid):
+        inv = EulerInverter()
+        recovered = inv.invert_cdf(dist.lst, t_grid)
+        assert np.max(np.abs(recovered - dist.cdf(t_grid))) < 1e-6
+
+    def test_numeric_transform_roundtrip(self):
+        dist = Weibull(1.5, 2.0)
+        inv = EulerInverter()
+        ts = np.array([0.5, 1.0, 2.0, 4.0])
+        assert np.max(np.abs(inv.invert(dist.lst, ts) - dist.pdf(ts))) < 1e-6
+
+    def test_density_integrates_to_one(self):
+        dist = Erlang(2.0, 3)
+        inv = EulerInverter()
+        ts = np.linspace(0.05, 12.0, 400)
+        f = inv.invert(dist.lst, ts)
+        assert np.trapezoid(f, ts) == pytest.approx(1.0, abs=5e-3)
+
+
+class TestDiscontinuousInversion:
+    def test_uniform_density_away_from_jumps(self):
+        """Euler inversion of a discontinuous density: accurate to ~1e-2
+        away from the jumps (ringing near them is expected and documented)."""
+        dist = Uniform(1.0, 3.0)
+        inv = EulerInverter()
+        ts = np.array([0.3, 2.0, 4.0])  # well away from the jumps at 1 and 3
+        f = inv.invert(dist.lst, ts)
+        assert abs(f[0]) < 1e-2
+        assert f[1] == pytest.approx(0.5, abs=1e-2)
+        assert abs(f[2]) < 5e-2
+
+    def test_uniform_cdf_everywhere(self):
+        """CDF inversion is much better behaved than the density at jumps."""
+        dist = Uniform(1.0, 3.0)
+        inv = EulerInverter()
+        ts = np.array([0.5, 1.5, 2.0, 2.5, 3.5])
+        F = inv.invert_cdf(dist.lst, ts)
+        assert np.max(np.abs(F - dist.cdf(ts))) < 5e-3
+
+    def test_deterministic_plus_exponential(self):
+        """A shifted exponential has a jump at the shift; check both sides."""
+        from repro.distributions import Shifted
+
+        dist = Shifted(Exponential(1.0), 2.0)
+        inv = EulerInverter()
+        assert inv.invert(dist.lst, [1.0])[0] == pytest.approx(0.0, abs=1e-2)
+        assert inv.invert(dist.lst, [3.5])[0] == pytest.approx(np.exp(-1.5), abs=2e-2)
+
+    def test_paper_t5_mixture_mass_splits(self):
+        """The t5 firing distribution (Fig. 3): 0.8 of the mass lies in [1.5, 10]."""
+        dist = Mixture([Uniform(1.5, 10.0), Erlang(0.001, 5)], [0.8, 0.2])
+        inv = EulerInverter()
+        F = inv.invert_cdf(dist.lst, [10.5])[0]
+        assert F == pytest.approx(0.8, abs=1e-2)
+
+
+class TestInvertValuesProtocol:
+    def test_split_protocol_matches_direct(self):
+        dist = Erlang(1.0, 2)
+        inv = EulerInverter()
+        ts = [0.5, 1.5, 3.0]
+        s_pts = inv.required_s_points(ts)
+        values = {complex(s): complex(dist.lst(s)) for s in s_pts}
+        assert np.allclose(inv.invert_values(ts, values), inv.invert(dist.lst, ts))
+
+    def test_missing_value_raises(self):
+        inv = EulerInverter()
+        with pytest.raises(KeyError):
+            inv.invert_values([1.0], {0.5 + 0j: 1.0 + 0j})
+
+    def test_empty_t_points(self):
+        inv = EulerInverter()
+        assert inv.required_s_points([]).size == 0
+        assert inv.invert_values([], {}).size == 0

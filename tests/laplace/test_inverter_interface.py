@@ -1,0 +1,72 @@
+"""Tests for the shared inverter factory and conjugate-pair helpers."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential
+from repro.laplace import (
+    EulerInverter,
+    LaguerreInverter,
+    conjugate_reduced,
+    expand_conjugates,
+    get_inverter,
+    invert_cdf,
+    invert_density,
+)
+
+
+class TestFactory:
+    def test_get_inverter_by_name(self):
+        assert isinstance(get_inverter("euler"), EulerInverter)
+        assert isinstance(get_inverter("laguerre"), LaguerreInverter)
+        assert isinstance(get_inverter("EULER"), EulerInverter)
+
+    def test_options_forwarded(self):
+        inv = get_inverter("euler", n_terms=30, euler_order=9)
+        assert inv.n_terms == 30 and inv.euler_order == 9
+        inv2 = get_inverter("laguerre", n_points=64)
+        assert inv2.n_points == 64
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            get_inverter("talbot")
+
+    def test_module_level_helpers(self, t_grid):
+        d = Exponential(1.0)
+        assert np.allclose(invert_density(d.lst, t_grid), d.pdf(t_grid), atol=1e-6)
+        assert np.allclose(invert_cdf(d.lst, t_grid), d.cdf(t_grid), atol=1e-6)
+
+
+class TestConjugateReduction:
+    def test_reduction_folds_lower_half_plane(self):
+        pts = np.array([1 + 2j, 1 - 2j, 3 + 0j, 2 - 5j])
+        reduced = conjugate_reduced(pts)
+        assert np.all(reduced.imag >= 0)
+        assert len(reduced) == 3  # 1+2j (twice), 3, 2+5j
+
+    def test_expansion_restores_conjugates(self):
+        d = Erlang(2.0, 2)
+        pts = np.array([0.5 + 1j, 0.5 - 1j, 2.0 + 0j])
+        reduced = conjugate_reduced(pts)
+        values = {complex(s): complex(d.lst(s)) for s in reduced}
+        expanded = expand_conjugates(values)
+        for s in pts:
+            assert expanded[complex(s)] == pytest.approx(d.lst(s))
+
+    def test_laguerre_grid_halves_under_reduction(self):
+        pts = LaguerreInverter(n_points=64).required_s_points([1.0])
+        reduced = conjugate_reduced(pts)
+        # 64 contour points -> 33 after folding (j=0 and j=32 are real).
+        assert len(reduced) == 33
+
+    def test_inversion_with_reduced_evaluations_matches(self):
+        """Evaluate only the reduced set, expand, invert: same answer."""
+        d = Erlang(1.0, 3)
+        inv = LaguerreInverter(n_points=128)
+        ts = [0.5, 1.5, 4.0]
+        full = inv.required_s_points(ts)
+        reduced = conjugate_reduced(full)
+        values = {complex(s): complex(d.lst(s)) for s in reduced}
+        recovered = inv.invert_values(ts, expand_conjugates(values))
+        assert np.allclose(recovered, d.pdf(ts), atol=1e-5)

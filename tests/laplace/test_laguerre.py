@@ -1,0 +1,87 @@
+"""Tests for the Laguerre Laplace-inversion algorithm."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential, Gamma, HyperExponential
+from repro.laplace import LaguerreInverter, laguerre_s_points
+
+
+class TestSPointGrid:
+    def test_default_grid_has_400_points(self):
+        """The paper fixes the Laguerre evaluation count at 400, independent of m."""
+        inv = LaguerreInverter()
+        pts1 = inv.required_s_points([1.0])
+        pts2 = inv.required_s_points(np.linspace(0.5, 20.0, 37))
+        assert len(pts1) == 400
+        assert np.allclose(pts1, pts2)  # independent of the t-points
+
+    def test_grid_lies_in_right_half_plane(self):
+        pts = laguerre_s_points()
+        assert np.all(pts.real > 0)
+
+    def test_damping_and_scaling_shift_grid(self):
+        base = laguerre_s_points(n_points=64)
+        damped = laguerre_s_points(n_points=64, damping=0.5)
+        scaled = laguerre_s_points(n_points=64, time_scale=2.0)
+        assert np.allclose(damped, base + 0.5)
+        assert np.allclose(scaled, (base) / 2.0 + 0.0j, atol=1e-12) or np.allclose(
+            scaled, base / 2.0
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LaguerreInverter(n_points=4)
+        with pytest.raises(ValueError):
+            LaguerreInverter(radius=1.5)
+        with pytest.raises(ValueError):
+            LaguerreInverter(damping=-0.1)
+        with pytest.raises(ValueError):
+            LaguerreInverter(time_scale=0.0)
+        with pytest.raises(ValueError):
+            LaguerreInverter(terms=0)
+
+
+class TestSmoothInversion:
+    @pytest.mark.parametrize(
+        "dist",
+        [Exponential(1.0), Exponential(0.4), Erlang(2.0, 3), Gamma(2.5, 1.5),
+         HyperExponential([0.4, 0.6], [0.5, 3.0])],
+        ids=lambda d: repr(d),
+    )
+    def test_density_recovered(self, dist, t_grid):
+        inv = LaguerreInverter()
+        recovered = inv.invert(dist.lst, t_grid)
+        assert np.max(np.abs(recovered - dist.pdf(t_grid))) < 1e-5
+
+    def test_cdf_recovered(self, t_grid):
+        dist = Erlang(1.5, 2)
+        inv = LaguerreInverter()
+        recovered = inv.invert_cdf(dist.lst, t_grid)
+        assert np.max(np.abs(recovered - dist.cdf(t_grid))) < 1e-5
+
+    def test_time_scaling_helps_slow_densities(self):
+        """A density on the scale of hundreds of time units needs time_scale."""
+        dist = Erlang(0.05, 4)  # mean 80
+        ts = np.array([40.0, 80.0, 120.0, 200.0])
+        scaled = LaguerreInverter(time_scale=20.0)
+        assert np.max(np.abs(scaled.invert(dist.lst, ts) - dist.pdf(ts))) < 1e-6
+
+    def test_split_protocol_matches_direct(self):
+        dist = Exponential(2.0)
+        inv = LaguerreInverter(n_points=128)
+        ts = [0.2, 1.0, 2.5]
+        s_pts = inv.required_s_points(ts)
+        values = {complex(s): complex(dist.lst(s)) for s in s_pts}
+        assert np.allclose(inv.invert_values(ts, values), inv.invert(dist.lst, ts))
+
+
+class TestAgreementWithEuler:
+    def test_euler_and_laguerre_agree_on_smooth_density(self, t_grid):
+        from repro.laplace import EulerInverter
+
+        dist = Gamma(3.3, 2.0)
+        euler = EulerInverter().invert(dist.lst, t_grid)
+        laguerre = LaguerreInverter().invert(dist.lst, t_grid)
+        assert np.max(np.abs(euler - laguerre)) < 1e-5

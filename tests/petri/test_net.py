@@ -1,0 +1,180 @@
+"""Tests for the SM-SPN net structure and firing semantics."""
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, Uniform
+from repro.petri import SMSPN, Transition
+
+
+@pytest.fixture
+def producer_consumer():
+    """A small producer/consumer net with a priority-2 flush transition."""
+    net = SMSPN("producer-consumer")
+    net.add_place("buffer", 0)
+    net.add_place("free", 3)
+    net.add_transition(
+        Transition(
+            name="produce",
+            inputs={"free": 1},
+            outputs={"buffer": 1},
+            priority=1,
+            weight=2.0,
+            distribution=Exponential(1.0),
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="consume",
+            inputs={"buffer": 1},
+            outputs={"free": 1},
+            priority=1,
+            weight=1.0,
+            distribution=Uniform(0.5, 1.0),
+        )
+    )
+    net.add_transition(
+        Transition(
+            name="flush",
+            inputs={},
+            outputs={},
+            guard=lambda m: m["buffer"] >= 3,
+            action=lambda m: {"buffer": 0, "free": 3},
+            priority=2,
+            weight=1.0,
+            distribution=Deterministic(0.1),
+        )
+    )
+    return net
+
+
+class TestNetConstruction:
+    def test_initial_marking(self, producer_consumer):
+        assert producer_consumer.initial_marking == (0, 3)
+        assert producer_consumer.place_index == {"buffer": 0, "free": 1}
+
+    def test_duplicate_place_rejected(self):
+        net = SMSPN()
+        net.add_place("p")
+        with pytest.raises(ValueError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self, producer_consumer):
+        with pytest.raises(ValueError):
+            producer_consumer.add_transition(
+                Transition(name="produce", inputs={"free": 1}, distribution=Exponential(1.0))
+            )
+
+    def test_unknown_place_in_arc_rejected(self):
+        net = SMSPN()
+        net.add_place("a")
+        with pytest.raises(KeyError):
+            net.add_transition(
+                Transition(name="t", inputs={"zzz": 1}, distribution=Exponential(1.0))
+            )
+
+    def test_transition_needs_distribution_and_enabling(self):
+        with pytest.raises(ValueError):
+            Transition(name="t", inputs={"a": 1}, distribution=None)
+        with pytest.raises(ValueError):
+            Transition(name="t", inputs={}, guard=None, distribution=Exponential(1.0))
+        with pytest.raises(ValueError):
+            Transition(name="", inputs={"a": 1}, distribution=Exponential(1.0))
+
+    def test_set_initial(self, producer_consumer):
+        producer_consumer.set_initial(buffer=1, free=2)
+        assert producer_consumer.initial_marking == (1, 2)
+        with pytest.raises(KeyError):
+            producer_consumer.set_initial(nope=1)
+
+
+class TestEnablingSemantics:
+    def test_token_rule(self, producer_consumer):
+        enabled = producer_consumer.enabled_transitions((0, 3))
+        assert [t.name for t in enabled] == ["produce"]
+        enabled = producer_consumer.enabled_transitions((1, 2))
+        assert sorted(t.name for t in enabled) == ["consume", "produce"]
+
+    def test_priority_preemption(self, producer_consumer):
+        """When the buffer is full the priority-2 flush preempts everything."""
+        enabled = producer_consumer.enabled_transitions((3, 0))
+        assert [t.name for t in enabled] == ["flush"]
+
+    def test_weights_normalise_to_probabilities(self, producer_consumer):
+        choices = producer_consumer.firing_choices((1, 2))
+        probs = {t.name: p for t, p, _, _ in choices}
+        assert probs["produce"] == pytest.approx(2.0 / 3.0)
+        assert probs["consume"] == pytest.approx(1.0 / 3.0)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_firing_updates_marking(self, producer_consumer):
+        choices = {t.name: m for t, _, m, _ in producer_consumer.firing_choices((1, 2))}
+        assert choices["produce"] == (2, 1)
+        assert choices["consume"] == (0, 3)
+
+    def test_action_overrides_arcs(self, producer_consumer):
+        choices = producer_consumer.firing_choices((3, 0))
+        assert len(choices) == 1
+        _, prob, marking, dist = choices[0]
+        assert prob == 1.0
+        assert marking == (0, 3)
+        assert dist == Deterministic(0.1)
+
+    def test_marking_dependent_attributes(self):
+        net = SMSPN()
+        net.add_place("q", 2)
+        net.add_transition(
+            Transition(
+                name="serve",
+                inputs={"q": 1},
+                outputs={},
+                weight=lambda m: float(m["q"]),
+                priority=lambda m: 1 if m["q"] > 1 else 0,
+                distribution=lambda m: Erlang(1.0, max(m["q"], 1)),
+            )
+        )
+        view = net.view((2,))
+        t = net.transitions[0]
+        assert t.weight_in(view) == 2.0
+        assert t.priority_in(view) == 1
+        assert t.distribution_in(view) == Erlang(1.0, 2)
+
+    def test_negative_marking_rejected(self):
+        net = SMSPN()
+        net.add_place("p", 1)
+        net.add_transition(
+            Transition(
+                name="bad",
+                inputs={"p": 1},
+                outputs={},
+                guard=lambda m: True,
+                action=lambda m: {"p": m["p"] - 2},
+                distribution=Exponential(1.0),
+            )
+        )
+        with pytest.raises(ValueError):
+            net.firing_choices((1,))
+
+    def test_no_positive_weight_rejected(self):
+        net = SMSPN()
+        net.add_place("p", 1)
+        net.add_transition(
+            Transition(
+                name="zero",
+                inputs={"p": 1},
+                outputs={"p": 1},
+                weight=0.0,
+                distribution=Exponential(1.0),
+            )
+        )
+        with pytest.raises(ValueError):
+            net.firing_choices((1,))
+
+    def test_marking_view_mapping_interface(self, producer_consumer):
+        view = producer_consumer.view((2, 1))
+        assert view["buffer"] == 2 and view["free"] == 1
+        assert dict(view) == {"buffer": 2, "free": 1}
+        assert len(view) == 2
+        assert view.as_dict() == {"buffer": 2, "free": 1}
+        with pytest.raises(ValueError):
+            producer_consumer.view((1, 2, 3))

@@ -1,0 +1,143 @@
+"""Tests for the SMP trajectory simulator and the estimators."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PassageTimeSolver, TransientSolver
+from repro.distributions import Convolution, Erlang, Exponential, Uniform
+from repro.simulation import (
+    PassageTimeSample,
+    TrajectorySampler,
+    density_histogram,
+    empirical_cdf,
+    quantile_estimate,
+    simulate_passage_times,
+    simulate_transient,
+)
+
+
+class TestTrajectorySampler:
+    def test_step_respects_transition_structure(self, branching_kernel, rng):
+        sampler = TrajectorySampler(branching_kernel)
+        for _ in range(50):
+            nxt, sojourn = sampler.step(0, rng)
+            assert nxt in (1, 2)
+            assert sojourn >= 0.0
+        # State 4 has a single successor.
+        assert all(sampler.step(4, rng)[0] == 0 for _ in range(10))
+
+    def test_initial_state_follows_alpha(self, branching_kernel, rng):
+        sampler = TrajectorySampler(branching_kernel)
+        alpha = np.array([0.0, 0.25, 0.75, 0.0, 0.0])
+        draws = [sampler.sample_initial(alpha, rng) for _ in range(2000)]
+        counts = np.bincount(draws, minlength=5) / len(draws)
+        assert counts[2] == pytest.approx(0.75, abs=0.05)
+        assert counts[0] == counts[3] == counts[4] == 0
+
+
+class TestPassageTimeSimulation:
+    def test_single_hop_matches_sojourn_distribution(self, two_state_kernel, rng):
+        samples = simulate_passage_times(
+            two_state_kernel, [0], [1], n_samples=4000, rng=rng
+        )
+        erlang = Erlang(2.0, 3)
+        assert samples.mean() == pytest.approx(erlang.mean(), rel=0.05)
+        assert samples.var() == pytest.approx(erlang.variance(), rel=0.15)
+
+    def test_cycle_time_includes_both_sojourns(self, two_state_kernel, rng):
+        samples = simulate_passage_times(
+            two_state_kernel, [0], [0], n_samples=3000, rng=rng
+        )
+        cycle = Convolution([Erlang(2.0, 3), Uniform(1.0, 2.0)])
+        assert samples.mean() == pytest.approx(cycle.mean(), rel=0.05)
+        assert samples.min() > 1.0  # the uniform leg alone takes at least 1
+
+    def test_agreement_with_analytic_density(self, branching_kernel, rng):
+        """Simulation vs. the analytic pipeline — the validation of Figs. 4/6."""
+        solver = PassageTimeSolver(branching_kernel, sources=[0], targets=[4])
+        samples = simulate_passage_times(branching_kernel, [0], [4], n_samples=6000, rng=rng)
+        ts = np.quantile(samples, [0.2, 0.5, 0.8])
+        analytic_cdf = solver.cdf(ts)
+        simulated_cdf = empirical_cdf(samples, ts)
+        assert np.max(np.abs(analytic_cdf - simulated_cdf)) < 0.03
+
+    def test_invalid_arguments(self, two_state_kernel):
+        with pytest.raises(ValueError):
+            simulate_passage_times(two_state_kernel, [0], [1], n_samples=0)
+        with pytest.raises(ValueError):
+            simulate_passage_times(two_state_kernel, [0], [5])
+        with pytest.raises(ValueError):
+            simulate_passage_times(two_state_kernel, [0], [1], alpha=np.ones(3))
+
+    def test_max_transitions_guard(self, two_state_kernel):
+        with pytest.raises(RuntimeError):
+            simulate_passage_times(
+                two_state_kernel, [0], [1], n_samples=1, max_transitions=0
+            )
+
+
+class TestTransientSimulation:
+    def test_two_state_ctmc_occupancy(self, ctmc_kernel, rng):
+        t_points = np.array([0.1, 0.4, 1.0, 2.5])
+        estimate = simulate_transient(ctmc_kernel, [0], [1], t_points, n_samples=6000, rng=rng)
+        expected = 0.4 * (1.0 - np.exp(-5.0 * t_points))
+        assert np.max(np.abs(estimate - expected)) < 0.03
+
+    def test_agreement_with_analytic_transient(self, branching_kernel, rng):
+        t_points = np.array([0.3, 1.0, 3.0])
+        solver = TransientSolver(branching_kernel, sources=[0], targets=[3, 4])
+        analytic = solver.probability(t_points)
+        simulated = simulate_transient(
+            branching_kernel, [0], [3, 4], t_points, n_samples=6000, rng=rng
+        )
+        assert np.max(np.abs(analytic - simulated)) < 0.03
+
+    def test_time_zero_occupancy_is_initial_state(self, ctmc_kernel, rng):
+        est = simulate_transient(ctmc_kernel, [0], [0], [0.0], n_samples=500, rng=rng)
+        assert est[0] == 1.0
+
+    def test_empty_t_points(self, ctmc_kernel, rng):
+        assert simulate_transient(ctmc_kernel, [0], [1], [], rng=rng).size == 0
+
+    def test_negative_t_rejected(self, ctmc_kernel, rng):
+        with pytest.raises(ValueError):
+            simulate_transient(ctmc_kernel, [0], [1], [-1.0], rng=rng)
+
+
+class TestEstimators:
+    def test_density_histogram_integrates_to_one(self, rng):
+        samples = rng.gamma(3.0, 2.0, size=20_000)
+        centres, density, stderr = density_histogram(samples, bins=50)
+        widths = centres[1] - centres[0]
+        assert np.sum(density * widths) == pytest.approx(1.0, abs=1e-6)
+        assert np.all(stderr >= 0)
+
+    def test_density_histogram_matches_known_pdf(self, rng):
+        d = Exponential(1.5)
+        samples = d.sample(rng, size=50_000)
+        centres, density, _ = density_histogram(samples, bins=30, t_range=(0.0, 3.0))
+        assert np.max(np.abs(density - d.pdf(centres))) < 0.08
+
+    def test_empirical_cdf_and_quantiles(self, rng):
+        samples = rng.exponential(2.0, size=30_000)
+        ts = np.array([0.5, 1.0, 3.0])
+        expected = 1.0 - np.exp(-ts / 2.0)
+        assert np.max(np.abs(empirical_cdf(samples, ts) - expected)) < 0.02
+        assert quantile_estimate(samples, 0.5) == pytest.approx(2.0 * np.log(2.0), rel=0.05)
+        with pytest.raises(ValueError):
+            quantile_estimate(samples, 1.5)
+
+    def test_passage_time_sample_wrapper(self, rng):
+        samples = rng.normal(10.0, 1.0, size=5000).clip(min=0)
+        wrapped = PassageTimeSample(samples)
+        lo, hi = wrapped.mean_confidence_interval()
+        assert lo < 10.0 < hi
+        assert wrapped.n == 5000
+        assert wrapped.quantile(0.5) == pytest.approx(10.0, abs=0.1)
+        with pytest.raises(ValueError):
+            PassageTimeSample(np.array([]))
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            density_histogram(np.array([]))

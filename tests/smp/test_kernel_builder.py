@@ -1,0 +1,163 @@
+"""Tests for the SMP kernel representation and its builder."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.distributions import Erlang, Exponential, Mixture, Uniform
+from repro.smp import SMPBuilder, SMPKernel
+
+
+class TestBuilder:
+    def test_named_states_resolve(self, two_state_kernel):
+        assert two_state_kernel.n_states == 2
+        assert two_state_kernel.state_index("a") == 0
+        assert two_state_kernel.state_index("b") == 1
+        with pytest.raises(KeyError):
+            two_state_kernel.state_index("missing")
+
+    def test_parallel_transitions_merge_into_mixture(self):
+        b = SMPBuilder()
+        b.add_state("x")
+        b.add_state("y")
+        b.add_transition("x", "y", 0.25, Exponential(1.0))
+        b.add_transition("x", "y", 0.75, Erlang(2.0, 2))
+        b.add_transition("y", "x", 1.0, Exponential(3.0))
+        k = b.build()
+        assert k.n_transitions == 2
+        # The merged transition has total probability 1 and a Mixture sojourn.
+        idx = np.where((k.src == 0) & (k.dst == 1))[0][0]
+        assert k.probs[idx] == pytest.approx(1.0)
+        dist = k.distributions[k.dist_index[idx]]
+        assert isinstance(dist, Mixture)
+        assert np.allclose(dist.weights, [0.25, 0.75])
+
+    def test_normalise_option_rescales_weights(self):
+        b = SMPBuilder()
+        b.add_transition(0, 1, 3.0, Exponential(1.0))
+        b.add_transition(0, 0, 1.0, Exponential(1.0))
+        b.add_transition(1, 0, 5.0, Exponential(2.0))
+        k = b.build(normalise=True)
+        P = k.embedded_matrix().toarray()
+        assert P[0, 1] == pytest.approx(0.75)
+        assert P[0, 0] == pytest.approx(0.25)
+        assert P[1, 0] == pytest.approx(1.0)
+
+    def test_unnormalised_rows_rejected(self):
+        b = SMPBuilder()
+        b.add_transition(0, 1, 0.5, Exponential(1.0))
+        b.add_transition(1, 0, 1.0, Exponential(1.0))
+        with pytest.raises(ValueError, match="sum to 1"):
+            b.build()
+
+    def test_state_without_outgoing_transitions_rejected(self):
+        b = SMPBuilder(n_states=3)
+        b.add_transition(0, 1, 1.0, Exponential(1.0))
+        b.add_transition(1, 0, 1.0, Exponential(1.0))
+        with pytest.raises(ValueError, match="outgoing"):
+            b.build()
+
+    def test_duplicate_state_name_rejected(self):
+        b = SMPBuilder()
+        b.add_state("x")
+        with pytest.raises(ValueError):
+            b.add_state("x")
+
+    def test_zero_probability_transitions_dropped(self):
+        b = SMPBuilder()
+        b.add_transition(0, 1, 1.0, Exponential(1.0))
+        b.add_transition(0, 1, 0.0, Erlang(1.0, 2))
+        b.add_transition(1, 0, 1.0, Exponential(1.0))
+        k = b.build()
+        assert k.n_transitions == 2
+        assert not isinstance(k.distributions[0], Mixture)
+
+    def test_non_distribution_rejected(self):
+        b = SMPBuilder()
+        with pytest.raises(TypeError):
+            b.add_transition(0, 1, 1.0, "not a distribution")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            SMPBuilder().build()
+
+
+class TestKernel:
+    def test_from_arrays_dedupes_distributions(self):
+        d = Exponential(1.0)
+        k = SMPKernel.from_arrays(
+            2, [(0, 1, 1.0, d), (1, 0, 1.0, Exponential(1.0))]
+        )
+        assert k.n_distributions == 1
+
+    def test_embedded_matrix_row_stochastic(self, branching_kernel):
+        P = branching_kernel.embedded_matrix()
+        assert isinstance(P, sparse.csr_matrix)
+        assert np.allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_mean_sojourn_times(self, two_state_kernel):
+        m = two_state_kernel.mean_sojourn_times()
+        assert m[0] == pytest.approx(1.5)   # Erlang(2, 3)
+        assert m[1] == pytest.approx(1.5)   # Uniform(1, 2)
+
+    def test_u_matrix_values(self, two_state_kernel):
+        s = 0.4 + 1.1j
+        U = two_state_kernel.u_matrix(s).toarray()
+        assert U[0, 1] == pytest.approx(Erlang(2.0, 3).lst(s))
+        assert U[1, 0] == pytest.approx(Uniform(1.0, 2.0).lst(s))
+        assert U[0, 0] == 0 and U[1, 1] == 0
+
+    def test_u_matrix_at_zero_is_embedded_matrix(self, branching_kernel):
+        U0 = branching_kernel.u_matrix(0.0).toarray().real
+        P = branching_kernel.embedded_matrix().toarray()
+        assert np.allclose(U0, P)
+
+    def test_u_prime_zeroes_target_rows(self, branching_kernel):
+        ev = branching_kernel.evaluator()
+        mask = np.zeros(branching_kernel.n_states, dtype=bool)
+        mask[[1, 3]] = True
+        s = 0.2 + 0.9j
+        U = ev.u(s).toarray()
+        Up = ev.u_prime(s, mask).toarray()
+        assert np.allclose(Up[mask], 0.0)
+        assert np.allclose(Up[~mask], U[~mask])
+
+    def test_sojourn_lst_is_row_sum(self, branching_kernel):
+        ev = branching_kernel.evaluator()
+        s = 1.3 + 0.4j
+        h = ev.sojourn_lst(s)
+        assert np.allclose(h, ev.u(s).toarray().sum(axis=1))
+
+    def test_evaluator_caches_per_s(self, two_state_kernel):
+        ev = two_state_kernel.evaluator()
+        s = 0.5 + 2.0j
+        d1 = ev._u_data(s)
+        d2 = ev._u_data(s)
+        assert d1 is d2  # same cached array
+
+    def test_duplicate_transitions_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SMPKernel.from_arrays(
+                2,
+                [
+                    (0, 1, 0.5, Exponential(1.0)),
+                    (0, 1, 0.5, Erlang(1.0, 2)),
+                    (1, 0, 1.0, Exponential(1.0)),
+                ],
+            )
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SMPKernel.from_arrays(2, [(0, 5, 1.0, Exponential(1.0)), (1, 0, 1.0, Exponential(1.0))])
+
+    def test_states_matching(self, branching_kernel):
+        assert branching_kernel.states_matching(lambda n: n in {"s0", "s4"}) == [0, 4]
+
+    def test_bad_state_names_length(self):
+        with pytest.raises(ValueError):
+            SMPKernel.from_arrays(
+                2,
+                [(0, 1, 1.0, Exponential(1.0)), (1, 0, 1.0, Exponential(1.0))],
+                state_names=["only-one"],
+            )

@@ -1,0 +1,162 @@
+"""Tests for the ``semimarkov`` command-line interface."""
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.models import SCALED_CONFIGURATIONS, voting_spec_text
+
+PARAMS = SCALED_CONFIGURATIONS["tiny"]
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "voting.dnamaca"
+    path.write_text(voting_spec_text(PARAMS))
+    return str(path)
+
+
+ON_OFF = r"""
+\constant{K}{2}
+\model{
+  \place{on}{K}
+  \place{off}{0}
+  \transition{fail}{
+    \condition{on > 0}
+    \action{ next->on = on - 1; next->off = off + 1; }
+    \weight{1.0}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(2.0, 2, s); }
+  }
+  \transition{repair}{
+    \condition{off > 0}
+    \action{ next->on = on + 1; next->off = off - 1; }
+    \weight{2.0}
+    \priority{1}
+    \sojourntimeLT{ return uniformLT(0.5, 1.5, s); }
+  }
+}
+"""
+
+
+@pytest.fixture
+def onoff_file(tmp_path):
+    path = tmp_path / "onoff.dnamaca"
+    path.write_text(ON_OFF)
+    return str(path)
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("info", "passage", "transient", "simulate"):
+            args = parser.parse_args(
+                [command, "model.dnamaca"]
+                + (
+                    ["--source", "on > 0", "--target", "off > 0", "--t-points", "1"]
+                    if command in ("passage", "transient")
+                    else (["--target", "off > 0"] if command == "simulate" else [])
+                )
+            )
+            assert args.command == command
+
+    def test_missing_required_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["passage", "model.dnamaca"])
+
+
+class TestInfo:
+    def test_info_output(self, onoff_file, capsys):
+        assert main(["info", onoff_file]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states: 3" in out
+        assert "fail" in out and "repair" in out
+
+    def test_constant_override(self, onoff_file, capsys):
+        assert main(["info", onoff_file, "--set", "K=4"]) == 0
+        assert "reachable states: 5" in capsys.readouterr().out
+
+    def test_bad_override_format(self, onoff_file):
+        with pytest.raises(SystemExit):
+            main(["info", onoff_file, "--set", "K:4"])
+
+
+class TestPassage:
+    def test_density_and_cdf(self, onoff_file, capsys):
+        code = main([
+            "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "2", "4", "8",
+            "--cdf", "--json",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)
+        assert len(rows) == 4
+        times, densities, cdfs = zip(*rows)
+        assert all(d >= -1e-9 for d in densities)
+        assert all(-1e-6 <= c <= 1 + 1e-6 for c in cdfs)
+        assert cdfs == tuple(sorted(cdfs))
+
+    def test_quantile_and_checkpoint(self, onoff_file, capsys, tmp_path):
+        args = [
+            "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "4", "8",
+            "--quantile", "0.9",
+            "--checkpoint", str(tmp_path / "ckpt"),
+        ]
+        assert main(args) == 0
+        out1 = capsys.readouterr()
+        assert "quantile: P(T <=" in out1.out
+        # Second run resumes from the checkpoint (0 computed s-points).
+        assert main(args) == 0
+        err2 = capsys.readouterr().err
+        assert "s-points computed: 0" in err2
+
+    def test_unsatisfied_predicate_fails_cleanly(self, onoff_file):
+        with pytest.raises(SystemExit, match="target predicate"):
+            main([
+                "passage", onoff_file,
+                "--source", "on == 2", "--target", "off == 99",
+                "--t-points", "1",
+            ])
+
+    def test_voting_model_passage(self, model_file, capsys):
+        code = main([
+            "passage", model_file,
+            "--source", "p1 == CC", "--target", "p2 == CC",
+            "--t-points", "5", "10", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # header + three rows
+
+
+class TestTransientAndSimulate:
+    def test_transient(self, onoff_file, capsys):
+        code = main([
+            "transient", onoff_file,
+            "--source", "on == 2", "--target", "on == 2",
+            "--t-points", "0.5", "2", "10", "50",
+            "--solver", "direct",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady-state value" in out
+
+    def test_simulate(self, onoff_file, capsys):
+        code = main([
+            "simulate", onoff_file,
+            "--target", "off == 2",
+            "--replications", "300",
+            "--seed", "7",
+            "--t-points", "2.0", "5.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean:" in out
+        assert "P(T<=t)" in out

@@ -1,0 +1,120 @@
+"""Tests for the state-space partitioning extension."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import SCALED_CONFIGURATIONS, build_voting_kernel
+from repro.partition import (
+    bfs_locality_partition,
+    contiguous_partition,
+    evaluate_partition,
+    greedy_balanced_partition,
+    refine_partition,
+    round_robin_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def voting_kernel():
+    kernel, _ = build_voting_kernel(SCALED_CONFIGURATIONS["small"])
+    return kernel
+
+
+ALL_STRATEGIES = [
+    contiguous_partition,
+    round_robin_partition,
+    greedy_balanced_partition,
+    bfs_locality_partition,
+]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda f: f.__name__)
+class TestStrategyContract:
+    def test_every_state_assigned_to_valid_part(self, voting_kernel, strategy):
+        assignment = strategy(voting_kernel, 4)
+        assert assignment.shape == (voting_kernel.n_states,)
+        assert assignment.min() >= 0
+        assert assignment.max() <= 3
+        # every part non-empty
+        assert len(np.unique(assignment)) == 4
+
+    def test_single_part_trivial(self, voting_kernel, strategy):
+        assignment = strategy(voting_kernel, 1)
+        assert np.all(assignment == 0)
+        quality = evaluate_partition(voting_kernel, assignment)
+        assert quality.imbalance == pytest.approx(1.0)
+        assert quality.edge_cut == 0
+
+    def test_invalid_part_count(self, voting_kernel, strategy):
+        with pytest.raises(ValueError):
+            strategy(voting_kernel, 0)
+        with pytest.raises(ValueError):
+            strategy(voting_kernel, voting_kernel.n_states + 1)
+
+
+class TestQualityMetrics:
+    def test_greedy_balances_better_than_contiguous(self, voting_kernel):
+        greedy = evaluate_partition(voting_kernel, greedy_balanced_partition(voting_kernel, 8))
+        contiguous = evaluate_partition(voting_kernel, contiguous_partition(voting_kernel, 8))
+        assert greedy.imbalance <= contiguous.imbalance + 1e-9
+        assert greedy.imbalance < 1.2
+
+    def test_bfs_cuts_fewer_edges_than_round_robin(self, voting_kernel):
+        bfs = evaluate_partition(voting_kernel, bfs_locality_partition(voting_kernel, 8))
+        rr = evaluate_partition(voting_kernel, round_robin_partition(voting_kernel, 8))
+        assert bfs.edge_cut < rr.edge_cut
+
+    def test_metrics_consistency(self, voting_kernel):
+        quality = evaluate_partition(voting_kernel, round_robin_partition(voting_kernel, 4))
+        assert quality.nnz_per_part.sum() == voting_kernel.n_transitions
+        assert 0.0 <= quality.edge_cut_fraction <= 1.0
+        assert quality.summary().startswith("parts=4")
+
+    def test_bad_assignment_rejected(self, voting_kernel):
+        with pytest.raises(ValueError):
+            evaluate_partition(voting_kernel, np.zeros(3, dtype=int))
+        bad = np.zeros(voting_kernel.n_states, dtype=int)
+        bad[0] = -1
+        with pytest.raises(ValueError):
+            evaluate_partition(voting_kernel, bad)
+
+
+class TestRefinement:
+    def test_refinement_reduces_cut_and_respects_balance(self, voting_kernel):
+        seed = bfs_locality_partition(voting_kernel, 8)
+        before = evaluate_partition(voting_kernel, seed)
+        refined = refine_partition(voting_kernel, seed, balance_tolerance=1.15)
+        after = evaluate_partition(voting_kernel, refined)
+        assert after.edge_cut <= before.edge_cut
+        assert after.imbalance <= 1.15 + 0.25  # weights-based limit, nnz-based metric
+        # Same number of parts, every state still assigned.
+        assert set(np.unique(refined)) <= set(range(8))
+
+    def test_refinement_improves_round_robin_substantially(self, voting_kernel):
+        seed = round_robin_partition(voting_kernel, 8)
+        before = evaluate_partition(voting_kernel, seed)
+        after = evaluate_partition(voting_kernel, refine_partition(voting_kernel, seed))
+        assert after.edge_cut < 0.9 * before.edge_cut
+
+    def test_refinement_is_idempotent_at_fixed_point(self, voting_kernel):
+        seed = bfs_locality_partition(voting_kernel, 4)
+        once = refine_partition(voting_kernel, seed, max_passes=10)
+        twice = refine_partition(voting_kernel, once, max_passes=10)
+        assert evaluate_partition(voting_kernel, twice).edge_cut == pytest.approx(
+            evaluate_partition(voting_kernel, once).edge_cut
+        )
+
+    def test_invalid_arguments(self, voting_kernel):
+        seed = contiguous_partition(voting_kernel, 4)
+        with pytest.raises(ValueError):
+            refine_partition(voting_kernel, seed[:-1])
+        with pytest.raises(ValueError):
+            refine_partition(voting_kernel, seed, max_passes=-1)
+        with pytest.raises(ValueError):
+            refine_partition(voting_kernel, seed, balance_tolerance=0.9)
+
+    def test_single_part_untouched(self, voting_kernel):
+        seed = contiguous_partition(voting_kernel, 1)
+        refined = refine_partition(voting_kernel, seed)
+        assert np.array_equal(refined, seed)

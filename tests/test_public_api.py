@@ -1,0 +1,45 @@
+"""Tests of the top-level public API surface."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_quickstart_works(self):
+        from repro import PassageTimeSolver, SMPBuilder
+        from repro.distributions import Erlang, Uniform
+
+        builder = SMPBuilder()
+        builder.add_transition("working", "broken", 1.0, Erlang(2.0, 3))
+        builder.add_transition("broken", "working", 1.0, Uniform(1.0, 2.0))
+        kernel = builder.build()
+        solver = PassageTimeSolver(kernel, sources=[0], targets=[1])
+        density = solver.density(np.linspace(0.1, 6.0, 10))
+        assert np.all(density >= -1e-9)
+        p99 = solver.quantile(0.99, 0.1, 20.0)
+        assert Erlang(2.0, 3).cdf(p99) == pytest.approx(0.99, abs=1e-4)
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.distributed
+        import repro.distributions
+        import repro.dnamaca
+        import repro.laplace
+        import repro.models
+        import repro.partition
+        import repro.petri
+        import repro.simulation
+        import repro.smp
+        import repro.utils
+
+        assert repro.core and repro.utils

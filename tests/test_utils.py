@@ -1,0 +1,137 @@
+"""Tests for the shared utility helpers."""
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Stopwatch,
+    as_generator,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+    format_seconds,
+    require,
+    spawn_generators,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        assert check_probability(0) == 0.0
+        assert check_probability(1) == 1.0
+        for bad in (-0.1, 1.1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_probability(bad)
+
+    def test_check_positive_and_non_negative(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+        assert check_in_range(1.0, 0.0, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 1.0)
+
+    def test_probability_vector(self):
+        vec = check_probability_vector([0.25, 0.75])
+        assert np.allclose(vec, [0.25, 0.75])
+        normalised = check_probability_vector([2.0, 6.0], normalise=True)
+        assert np.allclose(normalised, [0.25, 0.75])
+        with pytest.raises(ValueError):
+            check_probability_vector([0.2, 0.2])
+        with pytest.raises(ValueError):
+            check_probability_vector([])
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.5, 1.5])
+        with pytest.raises(ValueError):
+            check_probability_vector([0.0, 0.0], normalise=True)
+
+
+class TestStopwatch:
+    def test_accumulates_across_blocks(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first > 0.0
+        assert not sw.running
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (5e-7, "0.5us"),
+            (2e-3, "2.0ms"),
+            (1.25, "1.25s"),
+            (75.0, "1m15.0s"),
+            (3723.5, "1h02m03.5s"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_negative(self):
+        assert format_seconds(-2.0) == "-2.00s"
+
+
+class TestRng:
+    def test_as_generator_accepts_all_forms(self):
+        g1 = as_generator(42)
+        g2 = as_generator(42)
+        assert g1.random() == g2.random()
+        existing = np.random.default_rng(7)
+        assert as_generator(existing) is existing
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawned_streams_are_independent_and_reproducible(self):
+        a = spawn_generators(123, 3)
+        b = spawn_generators(123, 3)
+        assert len(a) == 3
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+        values = [g.random() for g in spawn_generators(123, 3)]
+        assert len(set(values)) == 3
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(5), 2)
+        assert len(children) == 2
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
