@@ -16,11 +16,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..smp.kernel import SMPKernel, UEvaluator
-from ..smp.linear import passage_transform_direct
-from ..smp.passage import PassageTimeOptions, passage_transform, passage_transform_vector
-from ..smp.transient import transient_transform
+from ..smp.linear import passage_transform_direct, passage_transform_direct_batch
+from ..smp.passage import (
+    PassageTimeOptions,
+    SPointPolicy,
+    passage_transform,
+    passage_transform_batch,
+    passage_transform_vector,
+)
+from ..smp.transient import transient_transform, transient_transform_batch
 
 __all__ = ["TransformJob", "PassageTimeJob", "TransientJob"]
+
+#: Relative cost, in matvec-equivalents, attributed to one sparse-LU solve
+#: when apportioning a batch's wall-clock time over its s-points.  Only the
+#: *shape* matters (the simulated cluster replays relative durations); a
+#: factorisation is far more expensive than a single sparse matvec but
+#: independent of ``|s|``.
+_DIRECT_SOLVE_COST = 100.0
 
 
 def _kernel_digest(kernel: SMPKernel) -> str:
@@ -45,6 +58,9 @@ class TransformJob(abc.ABC):
     targets: np.ndarray
     options: PassageTimeOptions = field(default_factory=PassageTimeOptions)
     solver: str = "iterative"
+    #: iterative/direct routing used by the batched path; ``None`` means the
+    #: engine default (small-|s| points go to the sparse-LU solve)
+    policy: SPointPolicy | None = None
 
     def __post_init__(self):
         self.alpha = np.asarray(self.alpha, dtype=float)
@@ -77,7 +93,9 @@ class TransformJob(abc.ABC):
         h.update(_kernel_digest(self.kernel).encode())
         h.update(self.alpha.tobytes())
         h.update(self.targets.tobytes())
-        h.update(f"{self.options.epsilon}:{self.solver}".encode())
+        # The routing policy changes which points come back exact vs
+        # truncated, so checkpoints must not be shared across policies.
+        h.update(f"{self.options.epsilon}:{self.solver}:{self.policy!r}".encode())
         return h.hexdigest()[:32]
 
     # ----------------------------------------------------------------- API
@@ -89,9 +107,20 @@ class TransformJob(abc.ABC):
     def evaluate(self, s: complex) -> complex:
         """The transform value at ``s``."""
 
+    @abc.abstractmethod
+    def evaluate_batch(self, s_values) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate a whole s-grid in one sweep via the batched engine.
+
+        Returns ``(values, costs)``: the transform values (in input order)
+        and non-negative relative per-point costs (matvec-equivalents) that
+        backends use to apportion the batch's wall-clock time.
+        """
+
     def evaluate_many(self, s_values) -> dict[complex, complex]:
-        """Evaluate a batch of s-points serially (used by the serial backend)."""
-        return {complex(s): self.evaluate(complex(s)) for s in s_values}
+        """Evaluate a batch of s-points, returned as an ``{s: L(s)}`` mapping."""
+        s_list = [complex(s) for s in s_values]
+        values, _ = self.evaluate_batch(np.asarray(s_list, dtype=complex))
+        return {s: complex(v) for s, v in zip(s_list, values)}
 
 
 class PassageTimeJob(TransformJob):
@@ -114,6 +143,31 @@ class PassageTimeJob(TransformJob):
         )
         return value
 
+    def evaluate_batch(self, s_values) -> tuple[np.ndarray, np.ndarray]:
+        s_values = np.asarray(s_values, dtype=complex).ravel()
+        values = np.empty(s_values.shape, dtype=complex)
+        costs = np.zeros(s_values.shape, dtype=float)
+        nonzero = np.flatnonzero(s_values != 0)
+        values[s_values == 0] = 1.0 + 0.0j  # reached almost surely, as in evaluate()
+        if nonzero.size == 0:
+            return values, costs
+        s_work = s_values[nonzero]
+        alpha = np.asarray(self.alpha, dtype=complex)
+        if self.solver == "direct":
+            vecs = passage_transform_direct_batch(self.evaluator, self.targets, s_work)
+            values[nonzero] = vecs @ alpha
+            costs[nonzero] = _DIRECT_SOLVE_COST
+            return values, costs
+        vals, diags = passage_transform_batch(
+            self.evaluator, alpha, self.targets, s_work, self.options,
+            policy=self.policy,
+        )
+        values[nonzero] = vals
+        costs[nonzero] = [
+            d.matvec_count + d.direct_solves * _DIRECT_SOLVE_COST for d in diags
+        ]
+        return values, costs
+
 
 class TransientJob(TransformJob):
     """Evaluates the transient-probability transform ``T*_{i->j}(s)``."""
@@ -130,3 +184,20 @@ class TransientJob(TransformJob):
             self.options,
             solver=self.solver,
         )
+
+    def evaluate_batch(self, s_values) -> tuple[np.ndarray, np.ndarray]:
+        s_values = np.asarray(s_values, dtype=complex).ravel()
+        values, diags = transient_transform_batch(
+            self.evaluator,
+            self.alpha,
+            self.targets,
+            s_values,
+            self.options,
+            solver=self.solver,
+            policy=self.policy,
+        )
+        costs = np.asarray(
+            [d.matvec_count + d.direct_solves * _DIRECT_SOLVE_COST for d in diags],
+            dtype=float,
+        )
+        return values, costs

@@ -73,25 +73,45 @@ class DistributedPipeline:
         self.queue = SPointWorkQueue()
         self.statistics = PipelineStatistics()
         self._values: dict[complex, complex] = {}
+        self._required_seen: set[complex] = set()
 
     # ----------------------------------------------------------- internals
     def _gather_values(self, t_points: np.ndarray) -> dict[complex, complex]:
         stats = self.statistics
         required = self.inverter.required_s_points(t_points)
-        stats.s_points_required += len(required)
 
-        wanted = conjugate_reduced(required) if self.fold_conjugates else np.asarray(required)
-        stats.conjugates_folded += len(required) - len(wanted)
+        # Statistics count each distinct s-point once per pipeline run,
+        # however many measures re-request it: density() and cdf() share one
+        # grid, so a point the pipeline already accounted for is neither
+        # "required" again nor a phantom cache hit.  Bookkeeping (seen set and
+        # counters) is committed only after evaluation succeeds, so a failed
+        # backend run leaves the pipeline retryable.
+        new_seen: set[complex] = set()
+        new_required = []
+        for s in required:
+            key = canonical_s(s)
+            if key not in self._required_seen and key not in new_seen:
+                new_seen.add(key)
+                new_required.append(complex(s))
+
+        wanted = (
+            conjugate_reduced(new_required)
+            if self.fold_conjugates
+            else np.asarray(new_required, dtype=complex)
+        )
 
         # Seed from the in-memory cache and the on-disk checkpoint.
         if self.checkpoint is not None:
             for s, v in self.checkpoint.load(self.job.digest()).items():
                 self._values.setdefault(canonical_s(s), complex(v))
 
+        cache_hits = 0
         missing = []
         for s in wanted:
             if canonical_s(s) in self._values:
-                stats.s_points_from_cache += 1
+                # A true cache hit: a point this run never dispatched was
+                # already available (e.g. loaded from the checkpoint).
+                cache_hits += 1
             else:
                 missing.append(complex(s))
 
@@ -114,14 +134,24 @@ class DistributedPipeline:
             if self.checkpoint is not None:
                 self.checkpoint.merge(self.job.digest(), computed)
 
+        # Every wanted point is now in _values — commit the bookkeeping.
+        self._required_seen |= new_seen
+        stats.s_points_required += len(new_required)
+        stats.conjugates_folded += len(new_required) - len(wanted)
+        stats.s_points_from_cache += cache_hits
+
         # Expand the folded conjugates back out and key the result by the
-        # exact s-points the inverter asked for.
-        lookup: dict[complex, complex] = {}
-        for s in wanted:
-            value = self._values[canonical_s(s)]
-            lookup[canonical_s(s)] = value
-            lookup[canonical_s(np.conj(complex(s)))] = complex(np.conj(value))
-        return {complex(s): lookup[canonical_s(s)] for s in required}
+        # exact s-points the inverter asked for.  ``_values`` stores only the
+        # upper-half-plane member of each folded pair, so a point absent from
+        # it is recovered as the conjugate of its mirror image.
+        out: dict[complex, complex] = {}
+        for s in required:
+            s = complex(s)
+            value = self._values.get(canonical_s(s))
+            if value is None:
+                value = complex(np.conj(self._values[canonical_s(np.conj(s))]))
+            out[s] = value
+        return out
 
     # ------------------------------------------------------------------ API
     def density(self, t_points) -> np.ndarray:

@@ -27,6 +27,28 @@ class Distribution(abc.ABC):
         and returns a value of matching shape.
         """
 
+    def lst_batch(self, s_values: np.ndarray) -> np.ndarray:
+        """Vectorised transform evaluation over a 1-D array of s-points.
+
+        All distributions shipped with this library implement :meth:`lst` so
+        that it broadcasts over ndarrays, in which case this is a single
+        call.  Third-party subclasses whose ``lst`` only handles scalars are
+        still supported: if the vectorised call does not produce an array of
+        the expected shape, the points are evaluated one at a time.
+        """
+        s_values = np.asarray(s_values, dtype=complex).ravel()
+        if s_values.size == 0:
+            return np.empty(0, dtype=complex)
+        try:
+            values = np.asarray(self.lst(s_values), dtype=complex)
+        except TypeError:
+            # Scalar-only third-party lst; genuine input errors (ValueError
+            # et al.) propagate rather than triggering a slow re-sweep.
+            values = None
+        if values is None or values.shape != s_values.shape:
+            values = np.asarray([complex(self.lst(s)) for s in s_values], dtype=complex)
+        return values
+
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator, size: int | None = None):
         """Draw ``size`` independent samples (or a scalar when ``size=None``)."""

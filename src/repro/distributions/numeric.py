@@ -52,21 +52,33 @@ def numeric_lst(
     if not np.isfinite(upper):
         raise ValueError("upper integration limit must be finite")
 
-    out = np.empty(s_values.shape, dtype=complex)
-    length = upper - lower
-    for idx, s in enumerate(s_values):
-        if s.real < -1e-12:
-            raise ValueError(f"numeric_lst requires Re(s) >= 0, got {s!r}")
-        # Truncate further when the exponential damping makes the far tail
-        # negligible: beyond t0 with Re(s) * (t0 - lower) > 46, e^{-Re(s) t} < 1e-20.
-        eff_upper = upper
-        if s.real > 0:
-            eff_upper = min(upper, lower + 46.0 / s.real)
-            eff_upper = max(eff_upper, lower + 1e-12)
-        eff_length = eff_upper - lower
+    if np.any(s_values.real < -1e-12):
+        bad = s_values[s_values.real < -1e-12][0]
+        raise ValueError(f"numeric_lst requires Re(s) >= 0, got {bad!r}")
 
-        periods = abs(s.imag) * eff_length / (2.0 * np.pi)
-        n_panels = int(min(max(min_panels, panels_per_period * (periods + 1)), max_panels))
+    # Truncate further when the exponential damping makes the far tail
+    # negligible: beyond t0 with Re(s) * (t0 - lower) > 46, e^{-Re(s) t} < 1e-20.
+    eff_uppers = np.full(s_values.shape, upper)
+    damped = s_values.real > 0
+    eff_uppers[damped] = np.minimum(upper, lower + 46.0 / s_values.real[damped])
+    eff_uppers = np.maximum(eff_uppers, lower + 1e-12)
+
+    periods = np.abs(s_values.imag) * (eff_uppers - lower) / (2.0 * np.pi)
+    panel_counts = np.clip(
+        panels_per_period * (periods + 1), min_panels, max_panels
+    ).astype(np.int64)
+
+    # s-points sharing a quadrature grid — same truncation point and panel
+    # count — are integrated together so the (expensive) density evaluation
+    # at the nodes happens once per grid rather than once per s-point.  The
+    # inversion contours this library uses produce long runs of such points:
+    # every Euler s-point for one t-value has the same real part.
+    out = np.empty(s_values.shape, dtype=complex)
+    grids: dict[tuple[float, int], list[int]] = {}
+    for idx in range(s_values.size):
+        grids.setdefault((float(eff_uppers[idx]), int(panel_counts[idx])), []).append(idx)
+
+    for (eff_upper, n_panels), indices in grids.items():
         edges = np.linspace(lower, eff_upper, n_panels + 1)
         # Many densities (Weibull, gamma with shape < 1, ...) have derivative
         # singularities at the lower endpoint; grade the first uniform panel
@@ -76,15 +88,21 @@ def numeric_lst(
         edges = np.concatenate(([edges[0]], graded, edges[1:]))
         half = 0.5 * (edges[1:] - edges[:-1])
         mid = 0.5 * (edges[1:] + edges[:-1])
-        # nodes has shape (n_panels, 16)
-        nodes = mid[:, None] + half[:, None] * _GL_NODES[None, :]
-        weights = half[:, None] * _GL_WEIGHTS[None, :]
-        integrand = pdf(nodes) * np.exp(-s * nodes)
-        value = np.sum(weights * integrand)
-
+        # nodes has shape (n_panels + 24, 16); flattened for broadcasting.
+        nodes = (mid[:, None] + half[:, None] * _GL_NODES[None, :]).ravel()
+        weights = (half[:, None] * _GL_WEIGHTS[None, :]).ravel()
+        weighted_pdf = weights * np.asarray(pdf(nodes), dtype=float)
+        tail = 0.0
         if cdf is not None:
-            tail = 1.0 - float(np.asarray(cdf(np.asarray([eff_upper])))[0])
+            tail = max(1.0 - float(np.asarray(cdf(np.asarray([eff_upper])))[0]), 0.0)
+        # Broadcast over the group's s-points in modest chunks so the
+        # (n_s, n_nodes) oscillation factor never dominates memory.
+        group = np.asarray(indices, dtype=np.int64)
+        for start in range(0, group.size, 32):
+            chunk = group[start : start + 32]
+            s_chunk = s_values[chunk]
+            values = np.exp(-s_chunk[:, None] * nodes[None, :]) @ weighted_pdf
             if tail > 0.0:
-                value = value + tail * np.exp(-s * eff_upper)
-        out[idx] = value
+                values = values + tail * np.exp(-s_chunk * eff_upper)
+            out[chunk] = values
     return out

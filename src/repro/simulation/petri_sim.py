@@ -9,6 +9,7 @@ cheap.
 """
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable
 
 import numpy as np
@@ -67,14 +68,87 @@ class PetriSimulator:
         rng = as_generator(rng)
         is_target = self._predicate(target_predicate)
         start = tuple(initial_marking) if initial_marking is not None else self.net.initial_marking
+
+        # Rare-event passages fire millions of transitions per run, so the
+        # replication loop works on interned integer state ids with plain
+        # Python scalars: markings, firing choices and the target predicate
+        # are resolved once per distinct marking, and random draws (branch
+        # uniforms, firing delays) are taken from block-sampled buffers
+        # instead of one generator call per firing.  The tables live only for
+        # this call; persistent memoisation stays in ``_choice_cache``.
+        state_of: dict[tuple[int, ...], int] = {}
+        markings: list[tuple[int, ...]] = []
+        cum_rows: list[list[float] | None] = []
+        succ_rows: list[list[int] | None] = []
+        dist_rows: list[list[int] | None] = []
+        target_flags: list[bool] = []
+
+        samplers: dict[object, int] = {}
+        sampler_dists: list = []
+        delay_bufs: list[list[float]] = []
+        delay_pos: list[int] = []
+
+        def intern(marking: tuple[int, ...]) -> int:
+            sid = state_of.get(marking)
+            if sid is None:
+                sid = len(markings)
+                state_of[marking] = sid
+                markings.append(marking)
+                cum_rows.append(None)
+                succ_rows.append(None)
+                dist_rows.append(None)
+                target_flags.append(bool(is_target(marking)))
+            return sid
+
+        def prepare(sid: int) -> None:
+            cum, nexts, dists = self._choices(markings[sid])
+            cum_rows[sid] = list(map(float, cum))
+            succ_rows[sid] = [intern(m) for m in nexts]
+            row = []
+            for dist in dists:
+                di = samplers.get(dist)
+                if di is None:
+                    di = len(sampler_dists)
+                    samplers[dist] = di
+                    sampler_dists.append(dist)
+                    delay_bufs.append([])
+                    delay_pos.append(0)
+                row.append(di)
+            dist_rows[sid] = row
+
+        start_id = intern(start)
+        uniform_buf: list[float] = []
+        uniform_pos = 0
+
         out = np.empty(n_samples, dtype=float)
         for i in range(n_samples):
-            marking = start
+            sid = start_id
             elapsed = 0.0
             for _ in range(max_firings):
-                marking, delay = self._step(marking, rng)
-                elapsed += delay
-                if is_target(marking):
+                cum = cum_rows[sid]
+                if cum is None:
+                    prepare(sid)
+                    cum = cum_rows[sid]
+                if uniform_pos == len(uniform_buf):
+                    uniform_buf = rng.random(4096).tolist()
+                    uniform_pos = 0
+                branch = bisect_left(cum, uniform_buf[uniform_pos])
+                uniform_pos += 1
+                if branch >= len(cum):
+                    branch = len(cum) - 1
+                di = dist_rows[sid][branch]
+                pos = delay_pos[di]
+                buf = delay_bufs[di]
+                if pos == len(buf):
+                    buf = np.ravel(
+                        np.asarray(sampler_dists[di].sample(rng, size=1024), dtype=float)
+                    ).tolist()
+                    delay_bufs[di] = buf
+                    pos = 0
+                delay_pos[di] = pos + 1
+                elapsed += buf[pos]
+                sid = succ_rows[sid][branch]
+                if target_flags[sid]:
                     break
             else:
                 raise RuntimeError(

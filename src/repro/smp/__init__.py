@@ -22,12 +22,15 @@ from .embedded import dtmc_steady_state, source_weights
 from .steady import smp_steady_state, steady_state_probability
 from .passage import (
     PassageTimeOptions,
+    SPointPolicy,
     passage_transform,
+    passage_transform_batch,
     passage_transform_vector,
+    passage_transform_vector_batch,
     ConvergenceDiagnostics,
 )
-from .linear import passage_transform_direct
-from .transient import transient_transform, sojourn_lsts
+from .linear import passage_transform_direct, passage_transform_direct_batch
+from .transient import transient_transform, transient_transform_batch, sojourn_lsts
 
 __all__ = [
     "SMPKernel",
@@ -38,10 +41,15 @@ __all__ = [
     "smp_steady_state",
     "steady_state_probability",
     "PassageTimeOptions",
+    "SPointPolicy",
     "passage_transform",
+    "passage_transform_batch",
     "passage_transform_vector",
+    "passage_transform_vector_batch",
     "ConvergenceDiagnostics",
     "passage_transform_direct",
+    "passage_transform_direct_batch",
     "transient_transform",
+    "transient_transform_batch",
     "sojourn_lsts",
 ]

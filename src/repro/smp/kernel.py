@@ -22,7 +22,28 @@ from scipy import sparse
 from ..distributions import Distribution
 from ..utils.validation import require
 
-__all__ = ["SMPKernel", "UEvaluator"]
+__all__ = ["SMPKernel", "UEvaluator", "as_evaluator", "target_mask"]
+
+
+def as_evaluator(kernel_or_evaluator) -> "UEvaluator":
+    """Coerce an :class:`SMPKernel` or :class:`UEvaluator` to an evaluator."""
+    if isinstance(kernel_or_evaluator, UEvaluator):
+        return kernel_or_evaluator
+    if isinstance(kernel_or_evaluator, SMPKernel):
+        return kernel_or_evaluator.evaluator()
+    raise TypeError("expected an SMPKernel or UEvaluator")
+
+
+def target_mask(n_states: int, targets) -> np.ndarray:
+    """Validated boolean mask over states for a target index set."""
+    targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+    if targets.size == 0:
+        raise ValueError("at least one target state is required")
+    if targets.min() < 0 or targets.max() >= n_states:
+        raise ValueError("target state index out of range")
+    mask = np.zeros(n_states, dtype=bool)
+    mask[targets] = True
+    return mask
 
 
 class SMPKernel:
@@ -183,6 +204,12 @@ class _EvaluatorCache:
     data: np.ndarray | None = None
 
 
+@dataclass
+class _BatchCache:
+    key: bytes | None = None
+    data: np.ndarray | None = None
+
+
 class UEvaluator:
     """Evaluates ``U(s)`` and target-absorbing ``U'(s)`` re-using one CSR structure.
 
@@ -207,6 +234,7 @@ class UEvaluator:
             np.arange(kernel.n_states), np.diff(self._indptr)
         )
         self._cache = _EvaluatorCache()
+        self._batch_cache = _BatchCache()
 
     # ------------------------------------------------------------ internals
     def _u_data(self, s: complex) -> np.ndarray:
@@ -253,3 +281,150 @@ class UEvaluator:
         out.real = np.bincount(rows, weights=data.real, minlength=n)
         out.imag = np.bincount(rows, weights=data.imag, minlength=n)
         return out
+
+    # ------------------------------------------------------------- batch API
+    def u_data_batch(self, s_values) -> np.ndarray:
+        """CSR data of ``U(s)`` for a whole grid of s-points at once.
+
+        Returns an ``(n_s, nnz)`` array whose row ``t`` is the data vector of
+        ``U(s_values[t])`` in the shared CSR entry order.  Each distinct
+        distribution's transform is evaluated exactly once over the full grid,
+        so the per-s-point Python overhead of the scalar path is amortised
+        across the batch.  The most recent grid is cached: the transient
+        computation re-requests the same grid once per target state.
+        """
+        s_values = np.asarray(s_values, dtype=complex).ravel()
+        key = s_values.tobytes()
+        if self._batch_cache.key == key and self._batch_cache.data is not None:
+            return self._batch_cache.data
+        lst_matrix = np.empty(
+            (s_values.size, len(self.kernel.distributions)), dtype=complex
+        )
+        for k, dist in enumerate(self.kernel.distributions):
+            lst_matrix[:, k] = dist.lst_batch(s_values)
+        data = lst_matrix[:, self._csr_dist_index]
+        data *= self._csr_probs
+        self._batch_cache = _BatchCache(key=key, data=data)
+        return data
+
+    def u_prime_data_batch(self, s_values, target_mask: np.ndarray) -> np.ndarray:
+        """As :meth:`u_data_batch` but with the target states' rows zeroed."""
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if target_mask.shape != (self.kernel.n_states,):
+            raise ValueError("target_mask must have one boolean per state")
+        data = self.u_data_batch(s_values).copy()
+        data[:, target_mask[self._csr_rows]] = 0.0
+        return data
+
+    def sojourn_lst_batch(self, s_values) -> np.ndarray:
+        """``(n_s, n_states)`` sojourn transforms ``h*_i(s)`` for a grid of s."""
+        return np.add.reduceat(self.u_data_batch(s_values), self._indptr[:-1], axis=1)
+
+    def row_abs_sums(self, data_batch: np.ndarray) -> np.ndarray:
+        """Per-state row sums of ``|data|`` for every s-point: ``(n_s, n_states)``.
+
+        The maximum over states bounds the per-iteration contraction of the
+        iterative sum, which is what the adaptive iterative/direct policy uses
+        to predict iteration counts.
+        """
+        return np.add.reduceat(np.abs(data_batch), self._indptr[:-1], axis=1)
+
+    def direct_solve_structure(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached CSC symbolic structure of ``A = I - U K`` (Eq. 3).
+
+        The pattern is independent of both ``s`` and the target set (targets
+        only zero data), so it is assembled once per evaluator: the identity's
+        coordinates are merged with ``U``'s, sorted into CSC order, and
+        duplicates collapsed (a self-loop of ``U`` shares its position with
+        the diagonal).  Returns ``(nnz_A, indices, indptr, diag_pos, u_pos)``
+        where ``diag_pos``/``u_pos`` map the identity/U entries into the CSC
+        data vector.
+        """
+        if getattr(self, "_a_structure", None) is None:
+            n = self.kernel.n_states
+            diag = np.arange(n, dtype=np.int64)
+            all_rows = np.concatenate((diag, self._csr_rows))
+            all_cols = np.concatenate((diag, self._indices))
+            keys = all_cols * np.int64(n) + all_rows
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            a_indices = (unique_keys % n).astype(np.int32)
+            col_counts = np.bincount((unique_keys // n).astype(np.int64), minlength=n)
+            a_indptr = np.concatenate(([0], np.cumsum(col_counts))).astype(np.int32)
+            self._a_structure = (
+                int(unique_keys.size), a_indices, a_indptr, inverse[:n], inverse[n:]
+            )
+        return self._a_structure
+
+    def _csc_structure(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSC view of the shared structure: (entry order, indptr, row indices)."""
+        if getattr(self, "_csc_order", None) is None:
+            order = np.argsort(self._indices, kind="stable")
+            counts = np.bincount(self._indices, minlength=self.kernel.n_states)
+            self._csc_order = order
+            self._csc_indptr = np.concatenate(([0], np.cumsum(counts)))
+            self._csc_rows = self._csr_rows[order]
+        return self._csc_order, self._csc_indptr, self._csc_rows
+
+    def block_diag_matrix(self, data_batch: np.ndarray, *, transpose: bool = False):
+        """``block_diag(M(s_1), ..., M(s_k))`` as one CSR matrix.
+
+        The batched iterative loops run one C-level sparse matvec per
+        iteration on this operator instead of ``k`` separate products (or a
+        Python-level gather/segment-sum), which is what makes grid-sized
+        batches cheaper than the scalar loop even when each point converges
+        quickly.  With ``transpose=True`` the blocks are ``M(s_t)^T``, so a
+        single matvec computes every row-form product ``v_t @ M(s_t)``.
+        """
+        from scipy import sparse as _sparse
+
+        k, nnz = data_batch.shape
+        n = self.kernel.n_states
+        offsets_e = (np.arange(k, dtype=np.int64) * nnz)[:, None]
+        offsets_s = (np.arange(k, dtype=np.int64) * n)[:, None]
+        if transpose:
+            order, indptr, rows = self._csc_structure()
+            data = data_batch[:, order].ravel()
+            indices = (rows[None, :] + offsets_s).ravel()
+            block_indptr = indptr
+        else:
+            data = np.ascontiguousarray(data_batch).ravel()
+            indices = (self._indices[None, :] + offsets_s).ravel()
+            block_indptr = self._indptr
+        big_indptr = np.append(
+            (block_indptr[None, :-1] + offsets_e).ravel(), k * nnz
+        )
+        return _sparse.csr_matrix(
+            (data, indices, big_indptr), shape=(k * n, k * n), copy=False
+        )
+
+    def alpha_vec_matrix_batch(self, alpha: np.ndarray, data_batch: np.ndarray) -> np.ndarray:
+        """``out[t] = alpha @ M(s_t)`` for one shared row vector ``alpha``.
+
+        The batched engines start every s-point from the same source
+        weighting, so the product only needs the entries whose *source row*
+        carries alpha weight — for the typical single-source passage measure
+        that is a handful of transitions rather than the whole kernel.
+        """
+        alpha = np.asarray(alpha, dtype=complex)
+        weights = alpha[self._csr_rows]
+        sel = np.flatnonzero(weights != 0)
+        out = np.zeros((data_batch.shape[0], self.kernel.n_states), dtype=complex)
+        if sel.size == 0:
+            return out
+        cols = self._indices[sel]
+        contrib = data_batch[:, sel] * weights[sel]
+        order = np.argsort(cols, kind="stable")
+        sorted_cols = cols[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_cols)) + 1))
+        out[:, sorted_cols[starts]] = np.add.reduceat(contrib[:, order], starts, axis=1)
+        return out
+
+    def matrix_vec_batch(self, data_batch: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Column-form batched product: ``out[t] = M(s_t) @ x[t]``.
+
+        Every state has at least one outgoing transition (enforced at kernel
+        construction), so the CSR row segments are all non-empty and a single
+        ``reduceat`` over ``indptr`` performs all row reductions at once.
+        """
+        contrib = data_batch * x[:, self._indices]
+        return np.add.reduceat(contrib, self._indptr[:-1], axis=1)

@@ -16,9 +16,68 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as splinalg
 
-from .kernel import SMPKernel, UEvaluator
+from .kernel import SMPKernel, UEvaluator, as_evaluator, target_mask
 
-__all__ = ["passage_transform_direct"]
+__all__ = ["passage_transform_direct", "passage_transform_direct_batch"]
+
+
+def passage_transform_direct_batch(
+    kernel_or_evaluator,
+    targets,
+    s_values,
+    *,
+    u_data: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve Eq. (3) for every s-point of a grid, sharing all symbolic set-up.
+
+    Returns an ``(n_s, n_states)`` array whose row ``t`` is the passage-time
+    vector at ``s_values[t]``.  The coefficient matrix ``A(s) = I - U(s) K``
+    has the *same* sparsity pattern for every s-point and target set, so the
+    CSC structure of ``A`` is assembled once per evaluator (see
+    :meth:`UEvaluator.direct_solve_structure`); per s-point only the numeric
+    data vector is refilled before the sparse LU factorisation.
+    """
+    evaluator = as_evaluator(kernel_or_evaluator)
+    n = evaluator.kernel.n_states
+    mask = target_mask(n, targets)
+    s_values = np.asarray(s_values, dtype=complex).ravel()
+    out = np.empty((s_values.size, n), dtype=complex)
+    if s_values.size == 0:
+        return out
+
+    rows_u = evaluator._csr_rows
+    cols_u = evaluator._indices
+    # Entries of U that land in a target column feed the right-hand side
+    # b_i = sum_{k in j} r*_ik(s); the remaining entries form U K.
+    tgt_entries = mask[cols_u]
+
+    nnz_a, a_indices, a_indptr, diag_pos, u_pos = evaluator.direct_solve_structure()
+
+    # ``u_data`` lets callers that already hold the batch's U(s) data (the
+    # adaptive engine routing a subset of its grid here) skip re-evaluating
+    # the distributions' transforms.
+    if u_data is None:
+        data_batch = evaluator.u_data_batch(s_values)
+    else:
+        data_batch = np.asarray(u_data, dtype=complex)
+        if data_batch.shape != (s_values.size, evaluator._indices.size):
+            raise ValueError("u_data must have shape (n_s, nnz)")
+    for t in range(s_values.size):
+        data = data_batch[t]
+        b = np.zeros(n, dtype=complex)
+        b.real = np.bincount(rows_u[tgt_entries], weights=data.real[tgt_entries], minlength=n)
+        b.imag = np.bincount(rows_u[tgt_entries], weights=data.imag[tgt_entries], minlength=n)
+        a_data = np.zeros(nnz_a, dtype=complex)
+        a_data[diag_pos] = 1.0
+        kept = data.copy()
+        kept[tgt_entries] = 0.0
+        # u_pos has no internal duplicates (the kernel rejects parallel
+        # transitions), so plain fancy-index subtraction is safe.
+        a_data[u_pos] -= kept
+        A = sparse.csc_matrix((a_data, a_indices, a_indptr), shape=(n, n))
+        lu = splinalg.splu(A)
+        out[t] = lu.solve(b)
+    return out
 
 
 def passage_transform_direct(
@@ -37,21 +96,10 @@ def passage_transform_direct(
     s:
         Complex transform argument.
     """
-    if isinstance(kernel_or_evaluator, UEvaluator):
-        evaluator = kernel_or_evaluator
-    elif isinstance(kernel_or_evaluator, SMPKernel):
-        evaluator = kernel_or_evaluator.evaluator()
-    else:
-        raise TypeError("expected an SMPKernel or UEvaluator")
-
+    evaluator = as_evaluator(kernel_or_evaluator)
     n = evaluator.kernel.n_states
-    targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
-    if targets.size == 0:
-        raise ValueError("at least one target state is required")
-    if targets.min() < 0 or targets.max() >= n:
-        raise ValueError("target state index out of range")
-    mask = np.zeros(n, dtype=bool)
-    mask[targets] = True
+    mask = target_mask(n, targets)
+    targets = np.flatnonzero(mask)
 
     U = evaluator.u(s).tocsc()
     # Right-hand side: probability-weighted transforms of one-step entries

@@ -27,13 +27,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .kernel import SMPKernel, UEvaluator
+from .kernel import SMPKernel, UEvaluator, as_evaluator, target_mask
 
 __all__ = [
     "PassageTimeOptions",
     "ConvergenceDiagnostics",
+    "SPointPolicy",
     "passage_transform",
     "passage_transform_vector",
+    "passage_transform_batch",
+    "passage_transform_vector_batch",
 ]
 
 
@@ -76,28 +79,58 @@ class ConvergenceDiagnostics:
     converged: bool
     final_delta: float
     matvec_count: int = field(default=0)
+    #: which solver produced the value: "iterative", "direct" (policy-routed)
+    #: or "direct-fallback" (iterative hit the cap and was re-solved exactly)
+    solver: str = field(default="iterative")
+    #: number of sparse-LU solves spent on this value (fallback points keep
+    #: their matvec_count too — they paid for both)
+    direct_solves: int = field(default=0)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.converged
 
 
-def _prepare(kernel_or_evaluator) -> UEvaluator:
-    if isinstance(kernel_or_evaluator, UEvaluator):
-        return kernel_or_evaluator
-    if isinstance(kernel_or_evaluator, SMPKernel):
-        return kernel_or_evaluator.evaluator()
-    raise TypeError("expected an SMPKernel or UEvaluator")
+@dataclass(frozen=True)
+class SPointPolicy:
+    """Per-s-point routing between the iterative sum and the sparse LU solve.
 
+    The iterative algorithm's per-step contraction is bounded by the maximum
+    row sum ``rho(s)`` of ``|U'(s)|``, which tends to one as ``s -> 0`` — the
+    rare-event regime of Fig. 6, where a single s-point can need thousands of
+    matvecs.  Since the first term of the sum has 1-norm at most one, reaching
+    the truncation threshold ``epsilon`` needs roughly
+    ``log(epsilon) / log(rho)`` transitions; points whose prediction exceeds
+    ``predicted_iteration_limit`` are handed to the direct solver instead,
+    where they cost one LU factorisation regardless of ``|s|`` (and come back
+    exact rather than truncated).
 
-def _target_mask(n_states: int, targets) -> np.ndarray:
-    targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
-    if targets.size == 0:
-        raise ValueError("at least one target state is required")
-    if targets.min() < 0 or targets.max() >= n_states:
-        raise ValueError("target state index out of range")
-    mask = np.zeros(n_states, dtype=bool)
-    mask[targets] = True
-    return mask
+    Attributes
+    ----------
+    predicted_iteration_limit:
+        Predicted-iteration count above which an s-point is routed to the
+        direct solver.  Set to a huge value to force the pure iterative path.
+    fallback_to_direct:
+        Re-solve directly any point that the iterative sum fails to converge
+        within ``max_iterations`` (rather than returning a truncated value).
+    """
+
+    predicted_iteration_limit: int = 2000
+    fallback_to_direct: bool = True
+
+    def __post_init__(self):
+        if self.predicted_iteration_limit < 1:
+            raise ValueError("predicted_iteration_limit must be >= 1")
+
+    def predicted_iterations(self, epsilon: float, contraction: np.ndarray) -> np.ndarray:
+        """Estimated iterations to reach ``epsilon`` given per-s contractions."""
+        contraction = np.minimum(np.asarray(contraction, dtype=float), 1.0 - 1e-15)
+        with np.errstate(divide="ignore"):
+            log_rho = np.log(contraction)
+        return np.where(log_rho < 0.0, np.log(epsilon) / log_rho, np.inf)
+
+    def route_direct(self, epsilon: float, contraction: np.ndarray) -> np.ndarray:
+        """Boolean mask of s-points that should use the direct solver."""
+        return self.predicted_iterations(epsilon, contraction) > self.predicted_iteration_limit
 
 
 def passage_transform(
@@ -122,14 +155,10 @@ def passage_transform(
         Complex transform argument with ``Re(s) >= 0``.
     """
     options = options or PassageTimeOptions()
-    evaluator = _prepare(kernel_or_evaluator)
+    evaluator = as_evaluator(kernel_or_evaluator)
     n = evaluator.kernel.n_states
-    alpha = np.asarray(alpha, dtype=complex)
-    if alpha.shape != (n,):
-        raise ValueError("alpha must have one weight per state")
-    if abs(alpha.sum() - 1.0) > 1e-6:
-        raise ValueError("alpha must sum to 1")
-    mask = _target_mask(n, targets)
+    alpha = _check_alpha(alpha, n)
+    mask = target_mask(n, targets)
     e = mask.astype(complex)
 
     U = evaluator.u(s)
@@ -189,9 +218,9 @@ def passage_transform_vector(
     the convergence test monitors.
     """
     options = options or PassageTimeOptions()
-    evaluator = _prepare(kernel_or_evaluator)
+    evaluator = as_evaluator(kernel_or_evaluator)
     n = evaluator.kernel.n_states
-    mask = _target_mask(n, targets)
+    mask = target_mask(n, targets)
     e = mask.astype(complex)
 
     U = evaluator.u(s)
@@ -224,3 +253,288 @@ def passage_transform_vector(
         final_delta=float(np.max(np.abs(term))),
         matvec_count=matvecs,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched evaluation: all s-points of an inversion grid iterate together.
+#
+# The r-transition recurrence is identical for every s-point — only the CSR
+# data vector of U'(s) differs — so the whole grid advances through one
+# vectorised gather/segment-sum per iteration and converged s-points drop out
+# of the active set.  This amortises the per-iteration Python overhead of the
+# scalar loop across the grid and is what the transform-evaluation jobs and
+# execution backends dispatch to.
+# ---------------------------------------------------------------------------
+
+
+def _check_alpha(alpha, n: int) -> np.ndarray:
+    alpha = np.asarray(alpha, dtype=complex)
+    if alpha.shape != (n,):
+        raise ValueError("alpha must have one weight per state")
+    if abs(alpha.sum() - 1.0) > 1e-6:
+        raise ValueError("alpha must sum to 1")
+    return alpha
+
+
+def passage_transform_batch(
+    kernel_or_evaluator,
+    alpha: np.ndarray,
+    targets,
+    s_values,
+    options: PassageTimeOptions | None = None,
+    *,
+    policy: SPointPolicy | None = None,
+) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
+    """Evaluate ``L_{i->j}(s)`` at every point of an s-grid in one sweep.
+
+    Semantically equivalent to calling :func:`passage_transform` per point
+    (same truncation rule, so iteratively-solved points match the scalar path
+    bit-for-bit up to float associativity), but the whole grid shares each
+    transform evaluation of the underlying distributions and each iteration's
+    sparse product.  Points that the :class:`SPointPolicy` predicts to need
+    too many iterations — the small-``|s|`` rare-event regime — are solved
+    with the sparse-LU direct method instead and come back exact.
+
+    Returns the values as an ``(n_s,)`` array plus one
+    :class:`ConvergenceDiagnostics` per s-point (in input order).
+    """
+    from .linear import passage_transform_direct_batch
+
+    options = options or PassageTimeOptions()
+    policy = policy or SPointPolicy()
+    evaluator = as_evaluator(kernel_or_evaluator)
+    n = evaluator.kernel.n_states
+    alpha = _check_alpha(alpha, n)
+    mask = target_mask(n, targets)
+
+    s_values = np.asarray(s_values, dtype=complex).ravel()
+    n_s = s_values.size
+    values = np.empty(n_s, dtype=complex)
+    diags: list[ConvergenceDiagnostics | None] = [None] * n_s
+    if n_s == 0:
+        return values, []
+
+    u_data = evaluator.u_data_batch(s_values)
+    up_data = evaluator.u_prime_data_batch(s_values, mask)
+
+    contraction = evaluator.row_abs_sums(up_data).max(axis=1)
+    direct_mask = policy.route_direct(options.epsilon, contraction)
+    direct_idx = np.flatnonzero(direct_mask)
+    iter_idx = np.flatnonzero(~direct_mask)
+
+    def _solve_direct(
+        indices: np.ndarray, solver_label: str, iterations: int, matvecs: int
+    ) -> None:
+        vecs = passage_transform_direct_batch(
+            evaluator, targets, s_values[indices], u_data=u_data[indices]
+        )
+        values[indices] = vecs @ alpha
+        for idx in indices:
+            diags[idx] = ConvergenceDiagnostics(
+                iterations=iterations,
+                converged=True,
+                final_delta=0.0,
+                matvec_count=matvecs,
+                solver=solver_label,
+                direct_solves=1,
+            )
+
+    if direct_idx.size:
+        _solve_direct(direct_idx, "direct", 0, 0)
+
+    if iter_idx.size:
+        # All active s-points advance together through one block-diagonal
+        # sparse matvec per iteration.  Converged points are snapshotted and
+        # their state zeroed (numerically inert thereafter); the operator is
+        # rebuilt on the surviving blocks whenever the live set halves, so
+        # total work stays within 2x of the per-point optimum.
+        active = iter_idx.copy()
+        up_active = up_data[active]
+        e = mask.astype(complex)
+        v0 = evaluator.alpha_vec_matrix_batch(alpha, u_data[active])
+        operator = evaluator.block_diag_matrix(up_active, transpose=True)
+        V = v0.ravel()
+        totals = v0 @ e
+        below = np.zeros(active.size, dtype=np.int64)
+        delta = np.abs(v0).sum(axis=1)
+        live = np.ones(active.size, dtype=bool)
+        for iteration in range(1, options.max_iterations + 1):
+            V = operator @ V
+            v2 = V.reshape(active.size, n)
+            totals += v2 @ e
+            delta = np.abs(v2).sum(axis=1)
+            below = np.where(delta < options.epsilon, below + 1, 0)
+            done = live & (below >= options.consecutive)
+            if done.any():
+                for pos in np.flatnonzero(done):
+                    idx = int(active[pos])
+                    values[idx] = totals[pos]
+                    diags[idx] = ConvergenceDiagnostics(
+                        iterations=iteration,
+                        converged=True,
+                        final_delta=float(delta[pos]),
+                        matvec_count=iteration + 1,
+                    )
+                live &= ~done
+                n_live = int(live.sum())
+                if n_live == 0:
+                    break
+                v2[done] = 0.0
+                if n_live <= active.size // 2:
+                    active = active[live]
+                    up_active = up_active[live]
+                    operator = evaluator.block_diag_matrix(up_active, transpose=True)
+                    V = v2[live].ravel()
+                    totals = totals[live]
+                    below = below[live]
+                    delta = delta[live]
+                    live = np.ones(active.size, dtype=bool)
+        if live.any():
+            leftovers = active[live]
+            if policy.fallback_to_direct:
+                _solve_direct(
+                    leftovers,
+                    "direct-fallback",
+                    options.max_iterations,
+                    options.max_iterations + 1,
+                )
+            else:
+                for pos in np.flatnonzero(live):
+                    idx = int(active[pos])
+                    values[idx] = totals[pos]
+                    diags[idx] = ConvergenceDiagnostics(
+                        iterations=options.max_iterations,
+                        converged=False,
+                        final_delta=float(delta[pos]),
+                        matvec_count=options.max_iterations + 1,
+                    )
+    return values, diags  # type: ignore[return-value]
+
+
+def passage_transform_vector_batch(
+    kernel_or_evaluator,
+    targets,
+    s_values,
+    options: PassageTimeOptions | None = None,
+    *,
+    policy: SPointPolicy | None = None,
+) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
+    """Batched :func:`passage_transform_vector`: ``(n_s, n_states)`` at once.
+
+    Column-accumulation form used by the transient computation; the same
+    active-set convergence masking and iterative/direct policy as
+    :func:`passage_transform_batch` apply.
+    """
+    from .linear import passage_transform_direct_batch
+
+    options = options or PassageTimeOptions()
+    policy = policy or SPointPolicy()
+    evaluator = as_evaluator(kernel_or_evaluator)
+    n = evaluator.kernel.n_states
+    mask = target_mask(n, targets)
+    e = mask.astype(complex)
+
+    s_values = np.asarray(s_values, dtype=complex).ravel()
+    n_s = s_values.size
+    result = np.empty((n_s, n), dtype=complex)
+    diags: list[ConvergenceDiagnostics | None] = [None] * n_s
+    if n_s == 0:
+        return result, []
+
+    u_data = evaluator.u_data_batch(s_values)
+    up_data = evaluator.u_prime_data_batch(s_values, mask)
+
+    contraction = evaluator.row_abs_sums(up_data).max(axis=1)
+    direct_mask = policy.route_direct(options.epsilon, contraction)
+    direct_idx = np.flatnonzero(direct_mask)
+    iter_idx = np.flatnonzero(~direct_mask)
+
+    if direct_idx.size:
+        result[direct_idx] = passage_transform_direct_batch(
+            evaluator, targets, s_values[direct_idx], u_data=u_data[direct_idx]
+        )
+        for idx in direct_idx:
+            diags[idx] = ConvergenceDiagnostics(
+                iterations=0, converged=True, final_delta=0.0, matvec_count=0,
+                solver="direct", direct_solves=1,
+            )
+
+    if iter_idx.size:
+        # Same block-diagonal active-set scheme as passage_transform_batch,
+        # in the column-accumulation shape of Eq. (9).
+        active = iter_idx.copy()
+        up_active = up_data[active]
+        operator = evaluator.block_diag_matrix(up_active, transpose=False)
+        X = np.tile(e, active.size)
+        acc = np.tile(e, (active.size, 1))
+        below = np.zeros(active.size, dtype=np.int64)
+        delta = np.full(active.size, np.inf)
+        live = np.ones(active.size, dtype=bool)
+        # Converged accumulators are parked here and hit with the final
+        # ``U(s) @ acc`` multiplication in one batched product at the end.
+        final_idx: list[int] = []
+        final_acc: list[np.ndarray] = []
+        for iteration in range(1, options.max_iterations + 1):
+            X = operator @ X
+            term = X.reshape(active.size, n)
+            acc += term
+            delta = np.abs(term).max(axis=1)
+            below = np.where(delta < options.epsilon, below + 1, 0)
+            done = live & (below >= options.consecutive)
+            if done.any():
+                for pos in np.flatnonzero(done):
+                    idx = int(active[pos])
+                    final_idx.append(idx)
+                    final_acc.append(acc[pos].copy())
+                    diags[idx] = ConvergenceDiagnostics(
+                        iterations=iteration,
+                        converged=True,
+                        final_delta=float(delta[pos]),
+                        matvec_count=iteration + 1,
+                    )
+                live &= ~done
+                n_live = int(live.sum())
+                if n_live == 0:
+                    break
+                term[done] = 0.0
+                if n_live <= active.size // 2:
+                    active = active[live]
+                    up_active = up_active[live]
+                    operator = evaluator.block_diag_matrix(up_active, transpose=False)
+                    X = term[live].ravel()
+                    acc = acc[live]
+                    below = below[live]
+                    delta = delta[live]
+                    live = np.ones(active.size, dtype=bool)
+        if live.any():
+            leftovers = active[live]
+            if policy.fallback_to_direct:
+                result[leftovers] = passage_transform_direct_batch(
+                    evaluator, targets, s_values[leftovers], u_data=u_data[leftovers]
+                )
+                for idx in leftovers:
+                    diags[idx] = ConvergenceDiagnostics(
+                        iterations=options.max_iterations,
+                        converged=True,
+                        final_delta=0.0,
+                        matvec_count=options.max_iterations + 1,
+                        solver="direct-fallback",
+                        direct_solves=1,
+                    )
+            else:
+                for pos in np.flatnonzero(live):
+                    idx = int(active[pos])
+                    final_idx.append(idx)
+                    final_acc.append(acc[pos].copy())
+                    diags[idx] = ConvergenceDiagnostics(
+                        iterations=options.max_iterations,
+                        converged=False,
+                        final_delta=float(delta[pos]),
+                        matvec_count=options.max_iterations + 1,
+                    )
+        if final_idx:
+            idx_arr = np.asarray(final_idx, dtype=np.int64)
+            result[idx_arr] = evaluator.matrix_vec_batch(
+                u_data[idx_arr], np.asarray(final_acc)
+            )
+    return result, diags  # type: ignore[return-value]

@@ -15,21 +15,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from .kernel import SMPKernel, UEvaluator
-from .linear import passage_transform_direct
-from .passage import PassageTimeOptions, passage_transform_vector
+from .kernel import SMPKernel, UEvaluator, as_evaluator
+from .linear import passage_transform_direct, passage_transform_direct_batch
+from .passage import (
+    ConvergenceDiagnostics,
+    PassageTimeOptions,
+    SPointPolicy,
+    _check_alpha,
+    passage_transform_vector,
+    passage_transform_vector_batch,
+)
 
-__all__ = ["transient_transform", "sojourn_lsts"]
+__all__ = ["transient_transform", "transient_transform_batch", "sojourn_lsts"]
 
 
 def sojourn_lsts(kernel_or_evaluator, s: complex) -> np.ndarray:
     """Per-state sojourn-time transforms ``h*_i(s) = sum_j r*_ij(s)``."""
-    if isinstance(kernel_or_evaluator, UEvaluator):
-        evaluator = kernel_or_evaluator
-    elif isinstance(kernel_or_evaluator, SMPKernel):
-        evaluator = kernel_or_evaluator.evaluator()
-    else:
-        raise TypeError("expected an SMPKernel or UEvaluator")
+    evaluator = as_evaluator(kernel_or_evaluator)
     return evaluator.sojourn_lst(s)
 
 
@@ -54,12 +56,7 @@ def transient_transform(
         ``"iterative"`` uses the paper's algorithm for the per-target
         passage-time vectors, ``"direct"`` uses the sparse linear solve.
     """
-    if isinstance(kernel_or_evaluator, UEvaluator):
-        evaluator = kernel_or_evaluator
-    elif isinstance(kernel_or_evaluator, SMPKernel):
-        evaluator = kernel_or_evaluator.evaluator()
-    else:
-        raise TypeError("expected an SMPKernel or UEvaluator")
+    evaluator = as_evaluator(kernel_or_evaluator)
     if solver not in ("iterative", "direct"):
         raise ValueError("solver must be 'iterative' or 'direct'")
 
@@ -68,11 +65,7 @@ def transient_transform(
         raise ValueError("the transient transform has a pole at s = 0; use Re(s) > 0")
 
     n = evaluator.kernel.n_states
-    alpha = np.asarray(alpha, dtype=complex)
-    if alpha.shape != (n,):
-        raise ValueError("alpha must have one weight per state")
-    if abs(alpha.sum() - 1.0) > 1e-6:
-        raise ValueError("alpha must sum to 1")
+    alpha = _check_alpha(alpha, n)
 
     targets = np.unique(np.atleast_1d(np.asarray(targets, dtype=np.int64)))
     if targets.size == 0:
@@ -100,3 +93,94 @@ def transient_transform(
             else:
                 total += alpha[i] * lam_k * l_vec[i]
     return complex(total / s)
+
+
+def transient_transform_batch(
+    kernel_or_evaluator,
+    alpha: np.ndarray,
+    targets,
+    s_values,
+    options: PassageTimeOptions | None = None,
+    *,
+    solver: str = "iterative",
+    policy: SPointPolicy | None = None,
+) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
+    """Evaluate ``T*_{i->j}(s)`` at every point of an s-grid in one sweep.
+
+    Batched counterpart of :func:`transient_transform`: the per-target
+    passage-time vectors of Eq. (7) are computed with
+    :func:`passage_transform_vector_batch` (or the batched direct solve), so
+    the sojourn transforms and each iteration's sparse product are shared by
+    the whole grid.  Returns the values plus one aggregated
+    :class:`ConvergenceDiagnostics` per s-point (matvec counts summed over
+    the target states, used by backends to apportion wall-clock time).
+    """
+    evaluator = as_evaluator(kernel_or_evaluator)
+    if solver not in ("iterative", "direct"):
+        raise ValueError("solver must be 'iterative' or 'direct'")
+
+    s_values = np.asarray(s_values, dtype=complex).ravel()
+    if np.any(s_values == 0):
+        raise ValueError("the transient transform has a pole at s = 0; use Re(s) > 0")
+
+    n = evaluator.kernel.n_states
+    alpha = _check_alpha(alpha, n)
+
+    targets = np.unique(np.atleast_1d(np.asarray(targets, dtype=np.int64)))
+    if targets.size == 0:
+        raise ValueError("at least one target state is required")
+    if targets.min() < 0 or targets.max() >= n:
+        raise ValueError("target state index out of range")
+
+    n_s = s_values.size
+    if n_s == 0:
+        return np.empty(0, dtype=complex), []
+
+    h = evaluator.sojourn_lst_batch(s_values)
+    source_states = np.where(np.abs(alpha) > 0)[0]
+    weights = alpha[source_states]
+
+    totals = np.zeros(n_s, dtype=complex)
+    matvec_totals = np.zeros(n_s, dtype=np.int64)
+    direct_totals = np.zeros(n_s, dtype=np.int64)
+    iterations_max = np.zeros(n_s, dtype=np.int64)
+    converged_all = np.ones(n_s, dtype=bool)
+    for k in targets:
+        if solver == "direct":
+            l_mat = passage_transform_direct_batch(
+                evaluator, [k], s_values, u_data=evaluator.u_data_batch(s_values)
+            )
+            target_diags: list[ConvergenceDiagnostics] | None = None
+            direct_totals += 1
+        else:
+            l_mat, target_diags = passage_transform_vector_batch(
+                evaluator, [k], s_values, options, policy=policy
+            )
+        lam = (1.0 - h[:, k]) / (1.0 - l_mat[:, k])
+        l_src = l_mat[:, source_states].copy()
+        in_sources = np.flatnonzero(source_states == k)
+        if in_sources.size:
+            # The delta term of Eq. (7): a source equal to the target
+            # contributes Lambda_k itself rather than Lambda_k L_kk(s).
+            l_src[:, in_sources[0]] = 1.0
+        totals += lam * (l_src @ weights)
+        if target_diags is not None:
+            for t, diag in enumerate(target_diags):
+                matvec_totals[t] += diag.matvec_count
+                direct_totals[t] += diag.direct_solves
+                iterations_max[t] = max(iterations_max[t], diag.iterations)
+                converged_all[t] &= diag.converged
+
+    values = totals / s_values
+    diags = [
+        ConvergenceDiagnostics(
+            iterations=int(iterations_max[t]),
+            converged=bool(converged_all[t]),
+            final_delta=0.0,
+            matvec_count=int(matvec_totals[t]),
+            solver="direct" if direct_totals[t] and matvec_totals[t] == 0 else "iterative",
+            direct_solves=int(direct_totals[t]),
+        )
+        for t in range(n_s)
+    ]
+    return values, diags

@@ -1,0 +1,103 @@
+"""Regression tests for :class:`PipelineStatistics` bookkeeping.
+
+One ``DistributedPipeline.run()`` over a 5-point t-grid needs exactly
+165 s-points (33 per t-point with the default Euler parameters).  The
+density and CDF measures share that grid, so the pipeline must count the
+165 unique points once — not once per measure — and must not report the
+second measure's reuse of them as cache hits.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import PassageTimeJob
+from repro.distributed import CheckpointStore, DistributedPipeline
+from repro.smp import source_weights
+
+T_GRID = np.array([0.5, 1.0, 1.5, 2.0, 3.0])  # 5 t-points -> 165 s-points
+
+
+@pytest.fixture
+def job(two_state_kernel):
+    return PassageTimeJob(
+        kernel=two_state_kernel,
+        alpha=source_weights(two_state_kernel, [0]),
+        targets=[1],
+    )
+
+
+def test_run_counts_unique_required_points_once(job):
+    pipeline = DistributedPipeline(job)
+    pipeline.run(T_GRID)
+    stats = pipeline.statistics
+    assert stats.s_points_required == 165
+    assert stats.s_points_computed == 165
+    assert stats.s_points_from_cache == 0
+
+
+def test_second_measure_adds_no_phantom_hits(job):
+    pipeline = DistributedPipeline(job)
+    density = pipeline.density(T_GRID)
+    stats_after_density = (
+        pipeline.statistics.s_points_required,
+        pipeline.statistics.s_points_computed,
+        pipeline.statistics.s_points_from_cache,
+    )
+    assert stats_after_density == (165, 165, 0)
+    cdf = pipeline.cdf(T_GRID)
+    assert (
+        pipeline.statistics.s_points_required,
+        pipeline.statistics.s_points_computed,
+        pipeline.statistics.s_points_from_cache,
+    ) == stats_after_density
+    assert np.all(np.diff(cdf) >= -1e-9)
+    assert np.all(density > -1e-9)
+
+
+def test_new_t_points_extend_required_count(job):
+    pipeline = DistributedPipeline(job)
+    pipeline.density(T_GRID)
+    pipeline.density(np.array([4.0]))  # 33 genuinely new points
+    stats = pipeline.statistics
+    assert stats.s_points_required == 165 + 33
+    assert stats.s_points_computed == 165 + 33
+    assert stats.s_points_from_cache == 0
+
+
+def test_failed_backend_run_is_retryable(job):
+    """A backend failure must not poison the pipeline's bookkeeping: a retry
+    recomputes the missing points instead of raising KeyError."""
+
+    class FlakyBackend:
+        name = "flaky"
+
+        def __init__(self):
+            self.calls = 0
+
+        def evaluate(self, job, s_points):
+            self.calls += 1
+            if self.calls == 1:
+                raise RuntimeError("simulated worker crash")
+            return job.evaluate_many(s_points)
+
+    pipeline = DistributedPipeline(job, backend=FlakyBackend())
+    with pytest.raises(RuntimeError, match="simulated worker crash"):
+        pipeline.density(T_GRID)
+    density = pipeline.density(T_GRID)
+    assert np.all(np.isfinite(density))
+    stats = pipeline.statistics
+    assert stats.s_points_required == 165
+    assert stats.s_points_computed == 165
+    assert stats.s_points_from_cache == 0
+
+
+def test_checkpoint_reuse_counts_as_true_cache_hits(job, tmp_path):
+    store = CheckpointStore(tmp_path)
+    DistributedPipeline(job, checkpoint=store).run(T_GRID)
+    resumed = DistributedPipeline(job, checkpoint=store)
+    resumed.run(T_GRID)
+    stats = resumed.statistics
+    assert stats.s_points_required == 165
+    assert stats.s_points_computed == 0
+    assert stats.s_points_from_cache == 165
