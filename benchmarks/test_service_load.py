@@ -1,0 +1,136 @@
+"""Load test — warm-cache throughput of the analysis server under concurrency.
+
+The serving layer exists to amortise model building and transform evaluation
+across queries, so the number that matters is sustained *warm* throughput:
+with the registry and result cache populated, how many HTTP passage/transient
+queries per second does the server answer for a pool of concurrent clients?
+
+The workload is deliberately mixed — passage density+CDF on two different
+t-grids plus a transient measure, round-robin across 8 client threads over
+the voting model — so requests exercise the registry, the per-measure cache
+entries and the JSON transport rather than one hot dictionary entry.
+
+Acceptance floor (ISSUE 2): >= 50 warm queries/sec with 8 concurrent clients.
+"""
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.models import SCALED_CONFIGURATIONS, voting_spec_text
+from repro.service import AnalysisService, ServiceClient, create_server
+
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 40
+THROUGHPUT_FLOOR_QPS = 50.0
+
+
+@pytest.fixture(scope="module")
+def served_client():
+    service = AnalysisService()
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{server.server_address[1]}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _workload(model: str) -> list[dict]:
+    """The mixed per-client request cycle (all warm after the priming pass)."""
+    return [
+        dict(kind="passage", model=model, source="p1 == CC", target="p2 == CC",
+             t_points=[2.0, 5.0, 10.0, 20.0], cdf=True),
+        dict(kind="passage", model=model, source="p1 == CC", target="p7 > 0",
+             t_points=[1.0, 3.0, 9.0], cdf=True),
+        dict(kind="transient", model=model, source="p1 == CC", target="p2 >= 1",
+             t_points=[1.0, 5.0, 25.0]),
+    ]
+
+
+def _run(client: ServiceClient, request: dict) -> dict:
+    request = dict(request)
+    kind = request.pop("kind")
+    return getattr(client, kind)(**request)
+
+
+def test_warm_cache_throughput(served_client, report):
+    client, service = served_client
+    spec = voting_spec_text(SCALED_CONFIGURATIONS["tiny"])
+
+    # ------------------------------------------------------------- cold pass
+    t0 = time.perf_counter()
+    model = client.register_model(spec, name="voting-tiny")["model"]
+    build_seconds = time.perf_counter() - t0
+    workload = _workload(model)
+    cold_ms = []
+    for request in workload:
+        t0 = time.perf_counter()
+        reply = _run(client, request)
+        cold_ms.append((time.perf_counter() - t0) * 1e3)
+        assert reply["statistics"]["s_points_computed"] > 0
+
+    # All later queries must be answered without evaluating anything.
+    evaluated_after_priming = service.scheduler.points_evaluated
+
+    # ------------------------------------------------------------- warm pass
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def client_loop(offset: int) -> None:
+        local: list[float] = []
+        try:
+            for i in range(QUERIES_PER_CLIENT):
+                request = workload[(offset + i) % len(workload)]
+                t0 = time.perf_counter()
+                _run(client, request)
+                local.append((time.perf_counter() - t0) * 1e3)
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=client_loop, args=(i,)) for i in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+
+    assert not errors
+    n_queries = N_CLIENTS * QUERIES_PER_CLIENT
+    assert len(latencies) == n_queries
+    qps = n_queries / elapsed
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[int(len(latencies) * 0.99) - 1]
+
+    # Warm queries evaluated no s-points and rebuilt no models.
+    assert service.scheduler.points_evaluated == evaluated_after_priming
+    assert service.registry.models_built == 1
+
+    stats = service.stats()
+    report("service_load", [
+        "Analysis-server warm-cache load test (HTTP, ThreadingHTTPServer)",
+        f"model: voting 'tiny' ({stats['registry']['models']} registered, "
+        f"built once in {build_seconds*1e3:.1f} ms including registration RTT)",
+        f"workload: {len(workload)} measures (2 passage density+CDF grids + 1 transient), "
+        f"{N_CLIENTS} concurrent clients x {QUERIES_PER_CLIENT} queries",
+        "",
+        f"cold per-measure latency : {', '.join(f'{ms:.1f} ms' for ms in cold_ms)}",
+        f"warm throughput          : {qps:.0f} queries/sec "
+        f"({n_queries} queries in {elapsed:.2f} s)",
+        f"warm latency             : p50 {p50:.2f} ms, p99 {p99:.2f} ms",
+        f"s-points evaluated       : {stats['scheduler']['points_evaluated']} total "
+        f"(warm pass: 0), memory hits {stats['cache']['memory_hits']}",
+        f"acceptance floor         : {THROUGHPUT_FLOOR_QPS:.0f} qps -> "
+        f"{'PASS' if qps >= THROUGHPUT_FLOOR_QPS else 'FAIL'}",
+    ])
+    assert qps >= THROUGHPUT_FLOOR_QPS

@@ -10,6 +10,15 @@ provides the same workflow::
         --t-points 5 10 20 50
     semimarkov simulate model.dnamaca --target "p2 >= 18" --replications 2000
 
+Long-lived serving (models built once, transform values cached and coalesced
+across queries — see :mod:`repro.service`)::
+
+    semimarkov serve --port 8400 --checkpoint /var/lib/semimarkov
+    semimarkov query register model.dnamaca
+    semimarkov query passage model.dnamaca --source "p1 == 18" \
+        --target "p2 >= 18" --t-points 10 20 50 --cdf
+    semimarkov query stats
+
 Source and target sets are marking predicates written in the same expression
 language as the specification's ``\\condition`` clauses (place names,
 constants, comparisons, ``&&`` / ``||``).
@@ -25,8 +34,7 @@ import numpy as np
 
 from .core.jobs import PassageTimeJob
 from .distributed import CheckpointStore, DistributedPipeline, MultiprocessingBackend, SerialBackend
-from .dnamaca import load_model, parse_model
-from .dnamaca.expressions import SafeExpression
+from .dnamaca import load_model, marking_predicate, parse_model
 from .petri import build_kernel, explore
 from .simulation import PetriSimulator, empirical_cdf
 from .smp import PassageTimeOptions, source_weights
@@ -36,25 +44,23 @@ __all__ = ["main", "build_parser"]
 
 def _predicate_from_expression(source: str, constants: dict[str, float]):
     """Compile a marking predicate from a condition-style expression."""
-    expression = SafeExpression(source)
-
-    def predicate(view) -> bool:
-        env = dict(constants)
-        env.update(view.as_dict())
-        return bool(expression.evaluate(env))
-
-    return predicate
+    return marking_predicate(source, constants)
 
 
-def _load(path: str, overrides: list[str] | None):
-    text = Path(path).read_text()
-    spec = parse_model(text, name=Path(path).stem)
+def _parse_overrides(overrides: list[str] | None) -> dict[str, float]:
     override_map: dict[str, float] = {}
     for item in overrides or []:
         if "=" not in item:
             raise SystemExit(f"--set expects NAME=VALUE, got {item!r}")
         name, value = item.split("=", 1)
         override_map[name.strip()] = float(value)
+    return override_map
+
+
+def _load(path: str, overrides: list[str] | None):
+    text = Path(path).read_text()
+    spec = parse_model(text, name=Path(path).stem)
+    override_map = _parse_overrides(overrides)
     net = load_model(text, name=Path(path).stem, overrides=override_map or None)
     constants = dict(spec.constants)
     constants.update(override_map)
@@ -204,6 +210,161 @@ def _cmd_simulate(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Serving
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from .service import AnalysisService, create_server
+
+    service = AnalysisService(
+        checkpoint_dir=args.checkpoint,
+        cache_points=args.cache_points,
+        default_max_states=args.max_states,
+    )
+    overrides = _parse_overrides(args.set)
+    for path in args.preload or []:
+        info = service.register_model(
+            Path(path).read_text(), name=Path(path).stem,
+            overrides=overrides or None,
+        )
+        print(f"preloaded {path}: model {info['model']} "
+              f"({info['states']} states, {info['build_seconds']:.2f}s)")
+    server = create_server(service, host=args.host, port=args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(f"semimarkov analysis server listening on http://{host}:{port} "
+          f"(checkpoint: {args.checkpoint or 'none'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _model_reference(model: str, overrides: list[str] | None) -> dict:
+    """Interpret a query's MODEL argument as a spec path or a digest."""
+    override_map = _parse_overrides(overrides)
+    if Path(model).exists():
+        ref: dict = {"spec": Path(model).read_text()}
+        if override_map:
+            ref["overrides"] = override_map
+        return ref
+    if override_map:
+        raise SystemExit(
+            "--set needs the specification text; pass a spec file path, not a digest"
+        )
+    return {"model": model}
+
+
+def _client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_query_stats(reply: dict) -> None:
+    stats = reply.get("statistics", {})
+    print(
+        f"# s-points: {stats.get('s_points_required', 0)} required, "
+        f"{stats.get('s_points_computed', 0)} computed, "
+        f"{stats.get('s_points_from_memory', 0)} memory, "
+        f"{stats.get('s_points_from_disk', 0)} disk, "
+        f"{stats.get('s_points_coalesced', 0)} coalesced",
+        file=sys.stderr,
+    )
+
+
+def _cmd_query_register(args) -> int:
+    from .service import ServiceClientError
+
+    override_map = _parse_overrides(args.set)
+    try:
+        info = _client(args).register_model(
+            Path(args.model).read_text(),
+            name=args.name or Path(args.model).stem,
+            overrides=override_map or None,
+            max_states=args.max_states,
+        )
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        print(f"model    : {info['model']} ({'built' if info['created'] else 'cached'})")
+        print(f"name     : {info['name']}")
+        print(f"states   : {info['states']}")
+        print(f"build    : {info['build_seconds']:.3f}s")
+    return 0
+
+
+def _cmd_query_passage(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        reply = _client(args).passage(
+            **_model_reference(args.model, args.set),
+            source=args.source,
+            target=args.target,
+            t_points=args.t_points,
+            cdf=args.cdf,
+            quantile=args.quantile,
+            solver=args.solver,
+            inversion=args.inversion,
+            epsilon=args.epsilon,
+        )
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc))
+    rows = [[float(t), float(f)] for t, f in zip(reply["t_points"], reply["density"])]
+    header = ["t", "density"]
+    if "cdf" in reply:
+        header.append("cdf")
+        for row, value in zip(rows, reply["cdf"]):
+            row.append(float(value))
+    _emit(rows, header, args)
+    if "quantile" in reply:
+        q = reply["quantile"]
+        print(f"quantile: P(T <= {q['t']:.6g}) = {q['q']}")
+    _print_query_stats(reply)
+    return 0
+
+
+def _cmd_query_transient(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        reply = _client(args).transient(
+            **_model_reference(args.model, args.set),
+            source=args.source,
+            target=args.target,
+            t_points=args.t_points,
+            solver=args.solver,
+            inversion=args.inversion,
+            epsilon=args.epsilon,
+        )
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc))
+    rows = [[float(t), float(p)] for t, p in zip(reply["t_points"], reply["probability"])]
+    _emit(rows, ["t", "probability"], args)
+    if "steady_state" in reply:
+        print(f"steady-state value: {reply['steady_state']:.6g}")
+    _print_query_stats(reply)
+    return 0
+
+
+def _cmd_query_stats(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        stats = _client(args).stats()
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -262,6 +423,66 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--t-points", type=float, nargs="*", default=None,
                           help="optionally report the empirical CDF at these times")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis server (model registry, coalescing "
+             "scheduler, tiered result cache, HTTP JSON API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8400,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--checkpoint", default=None,
+                       help="directory for the on-disk result-cache tier")
+    serve.add_argument("--cache-points", type=int, default=500_000,
+                       help="in-memory cache bound (total s-points)")
+    serve.add_argument("--max-states", type=int, default=None,
+                       help="default state-space cap for registered models")
+    serve.add_argument("--preload", action="append", metavar="MODEL",
+                       help="register this spec file at startup (repeatable)")
+    serve.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="constant overrides applied to preloaded models")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = sub.add_parser("query", help="query a running analysis server")
+    query.add_argument("--url", default="http://127.0.0.1:8400",
+                       help="base URL of the server")
+    qsub = query.add_subparsers(dest="query_command", required=True)
+
+    q_register = qsub.add_parser("register", help="register a model spec with the server")
+    q_register.add_argument("model", help="path to the DNAmaca specification file")
+    q_register.add_argument("--name", default=None)
+    q_register.add_argument("--set", action="append", metavar="NAME=VALUE")
+    q_register.add_argument("--max-states", type=int, default=None)
+    q_register.add_argument("--json", action="store_true")
+    q_register.set_defaults(handler=_cmd_query_register)
+
+    def add_query_measure(p):
+        p.add_argument("model", help="model digest, or path to a spec file")
+        p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="constant overrides (spec-file form only)")
+        p.add_argument("--source", required=True)
+        p.add_argument("--target", required=True)
+        p.add_argument("--t-points", type=float, nargs="+", required=True)
+        p.add_argument("--solver", choices=["iterative", "direct"], default="iterative")
+        p.add_argument("--inversion", choices=["euler", "laguerre"], default="euler")
+        p.add_argument("--epsilon", type=float, default=1e-8)
+        p.add_argument("--json", action="store_true")
+
+    q_passage = qsub.add_parser("passage", help="passage-time query over HTTP")
+    add_query_measure(q_passage)
+    q_passage.add_argument("--cdf", action="store_true")
+    q_passage.add_argument("--quantile", type=float, default=None)
+    q_passage.set_defaults(handler=_cmd_query_passage)
+
+    q_transient = qsub.add_parser("transient", help="transient query over HTTP")
+    add_query_measure(q_transient)
+    q_transient.set_defaults(handler=_cmd_query_transient)
+
+    q_stats = qsub.add_parser("stats", help="print the server's /v1/stats counters")
+    q_stats.set_defaults(handler=_cmd_query_stats)
     return parser
 
 

@@ -37,7 +37,14 @@ _DIRECT_SOLVE_COST = 100.0
 
 
 def _kernel_digest(kernel: SMPKernel) -> str:
-    """A stable content hash of the kernel's structure and distributions."""
+    """A stable content hash of the kernel's structure and distributions.
+
+    Memoised on the kernel object: a long-lived analysis service re-digests
+    the same kernel on every query, and the arrays are immutable after build.
+    """
+    cached = getattr(kernel, "_content_digest", None)
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     h.update(np.int64(kernel.n_states).tobytes())
     h.update(kernel.src.tobytes())
@@ -46,7 +53,9 @@ def _kernel_digest(kernel: SMPKernel) -> str:
     h.update(kernel.dist_index.tobytes())
     for dist in kernel.distributions:
         h.update(repr(dist._key()).encode())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    kernel._content_digest = digest
+    return digest
 
 
 @dataclass
@@ -80,6 +89,20 @@ class TransformJob(abc.ABC):
         if getattr(self, "_evaluator", None) is None:
             self._evaluator = self.kernel.evaluator()
         return self._evaluator
+
+    def attach_evaluator(self, evaluator: UEvaluator) -> None:
+        """Install a shared (per-kernel) evaluator instead of building one.
+
+        The analysis service keeps one :class:`UEvaluator` per registered
+        model so every measure on that kernel reuses the CSR structure, the
+        cached ``U(s)`` grid data and the symbolic direct-solve structure.
+        Callers sharing an evaluator across threads must serialise their
+        evaluations (its grid caches are not thread-safe).  Like the lazily
+        built evaluator, an attached one is dropped on pickling.
+        """
+        if evaluator.kernel is not self.kernel:
+            raise ValueError("evaluator was built for a different kernel")
+        self._evaluator = evaluator
 
     def __getstate__(self):
         state = self.__dict__.copy()

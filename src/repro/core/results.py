@@ -66,11 +66,17 @@ class PassageTimeResult:
         if not 0.0 < q < 1.0:
             raise ValueError("q must lie strictly between 0 and 1")
         cdf = np.clip(self.cdf, 0.0, 1.0)
-        if q < cdf[0] or q > cdf[-1]:
+        # Euler-inversion oscillation can leave the sampled CDF locally
+        # non-monotone, and ``np.interp`` on a non-increasing abscissa
+        # silently returns a wrong t.  Interpolating on the running-max
+        # envelope yields a genuine generalised inverse of the samples.
+        envelope = np.maximum.accumulate(cdf)
+        if q < envelope[0] or q > envelope[-1]:
             raise ValueError(
-                f"quantile {q} lies outside the covered CDF range [{cdf[0]:.4g}, {cdf[-1]:.4g}]"
+                f"quantile {q} lies outside the covered CDF range "
+                f"[{envelope[0]:.4g}, {envelope[-1]:.4g}]"
             )
-        return float(np.interp(q, cdf, self.t_points))
+        return float(np.interp(q, envelope, self.t_points))
 
     def mean_estimate(self) -> float:
         """Mean passage time estimated from the density samples (trapezoid rule)."""

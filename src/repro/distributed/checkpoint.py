@@ -7,14 +7,72 @@ keeps one JSON file per (model, measure) digest under a checkpoint directory.
 """
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
+
+try:  # POSIX; absent on some platforms (the O_EXCL fallback covers those)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX only
+    fcntl = None
 
 from ..laplace.inverter import canonical_s
 
 __all__ = ["CheckpointStore"]
+
+
+@contextlib.contextmanager
+def _interprocess_lock(path: Path):
+    """Hold an exclusive lock file while mutating a checkpoint file.
+
+    ``merge`` is a read-modify-write of the whole per-digest file; two
+    concurrent writers (multiprocessing backend workers, or two server
+    processes sharing a checkpoint directory) that interleave ``load`` and
+    ``os.replace`` would silently drop each other's s-points.  ``flock`` on a
+    sidecar lock file serialises them (including two descriptors within one
+    process).  Where ``fcntl`` is unavailable, an ``O_EXCL`` create-spin is
+    used instead, with stale locks (a writer killed mid-merge) stolen after a
+    timeout.
+    """
+    if fcntl is not None:
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        return
+    # O_EXCL create-spin fallback.  Staleness is judged by the *lock file's*
+    # age (its holder created it at mtime), never by how long this waiter has
+    # been spinning — a waiter-side deadline would eventually unlink a live
+    # holder's lock and break mutual exclusion under long contention.
+    stale_after = 30.0  # pragma: no cover - non-POSIX only
+    while True:  # pragma: no cover - non-POSIX only
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            try:
+                held_for = time.time() - os.path.getmtime(path)
+            except OSError:
+                continue  # holder released between open and stat; retry now
+            if held_for > stale_after:
+                # The holder almost certainly died mid-merge (a live merge is
+                # milliseconds); remove its leftover lock and race to
+                # recreate a fresh one.
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(path)
+            time.sleep(0.005)
+    try:  # pragma: no cover - non-POSIX only
+        yield
+    finally:  # pragma: no cover - non-POSIX only
+        os.close(fd)
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(path)
 
 
 def _encode(s: complex) -> str:
@@ -55,27 +113,34 @@ class CheckpointStore:
         return {_decode(k): complex(v[0], v[1]) for k, v in raw.items()}
 
     def merge(self, digest: str, values: dict[complex, complex]) -> None:
-        """Merge ``values`` into the checkpoint file (atomic rewrite)."""
+        """Merge ``values`` into the checkpoint file (atomic rewrite).
+
+        The whole read-modify-write is serialised per digest across processes
+        (and threads) by a lock file; the final ``os.replace`` stays atomic so
+        readers never observe a torn file even without taking the lock.
+        """
         if not values:
             return
-        current = self.load(digest)
-        current.update({canonical_s(k): complex(v) for k, v in values.items()})
-        payload = {_encode(k): [v.real, v.imag] for k, v in current.items()}
         path = self._path(digest)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+        with _interprocess_lock(path.with_suffix(".lock")):
+            current = self.load(digest)
+            current.update({canonical_s(k): complex(v) for k, v in values.items()})
+            payload = {_encode(k): [v.real, v.imag] for k, v in current.items()}
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
 
     def clear(self, digest: str) -> None:
         path = self._path(digest)
-        if path.exists():
-            path.unlink()
+        with _interprocess_lock(path.with_suffix(".lock")):
+            if path.exists():
+                path.unlink()
 
     def digests(self) -> list[str]:
         """All measures with checkpoint files in this store."""

@@ -29,7 +29,7 @@ for a complete model written in the language.
 from .lexer import Block, tokenize_blocks, strip_comments
 from .ast import ModelSpec, PlaceSpec, TransitionSpec
 from .parser import parse_model
-from .expressions import SafeExpression, parse_lt_expression
+from .expressions import SafeExpression, marking_predicate, parse_lt_expression
 from .compiler import compile_model, load_model
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "TransitionSpec",
     "parse_model",
     "SafeExpression",
+    "marking_predicate",
     "parse_lt_expression",
     "compile_model",
     "load_model",

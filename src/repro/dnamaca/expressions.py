@@ -35,7 +35,7 @@ from ..distributions import (
     Weibull,
 )
 
-__all__ = ["SafeExpression", "parse_lt_expression", "ExpressionError"]
+__all__ = ["SafeExpression", "marking_predicate", "parse_lt_expression", "ExpressionError"]
 
 
 class ExpressionError(ValueError):
@@ -363,3 +363,23 @@ class _LTExpression:
 def parse_lt_expression(source: str) -> _LTExpression:
     """Parse a ``\\sojourntimeLT`` body into a reusable distribution factory."""
     return _LTExpression(source)
+
+
+def marking_predicate(expression: str, constants: Mapping[str, float] | None = None):
+    """Compile a condition-style expression into a marking predicate.
+
+    The returned callable accepts a :class:`repro.petri.MarkingView` and
+    evaluates ``expression`` (the ``\\condition`` language: place names,
+    declared constants, comparisons, ``&&`` / ``||``) over the marking plus
+    ``constants``.  Used by the CLI and the analysis service to turn
+    ``--source`` / ``--target`` predicates into state sets.
+    """
+    compiled = SafeExpression(expression)
+    bound = dict(constants or {})
+
+    def predicate(view) -> bool:
+        env = dict(bound)
+        env.update(view.as_dict())
+        return bool(compiled.evaluate(env))
+
+    return predicate

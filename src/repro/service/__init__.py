@@ -1,0 +1,49 @@
+"""Long-lived analysis service: registry, coalescing scheduler, tiered cache.
+
+One-shot CLI runs re-parse the spec, re-explore the state space and re-price
+their own s-grid on every invocation.  This subsystem amortises all three
+across queries, the way the paper's master caches ``L(s)`` values in memory
+and on disk:
+
+* :class:`ModelRegistry` — content-addresses DNAmaca specs and caches the
+  reachability graph, SMP kernel and a shared ``UEvaluator`` per model;
+* :class:`CoalescingScheduler` — merges overlapping s-points of concurrent
+  in-flight queries into single batched evaluations (each point computed at
+  most once);
+* :class:`TieredResultCache` — in-memory LRU of transform values per measure
+  digest over the on-disk :class:`~repro.distributed.CheckpointStore`;
+* :class:`AnalysisService` + :func:`create_server` / :class:`ServiceClient`
+  — the transport-agnostic facade and its stdlib HTTP JSON API
+  (``semimarkov serve`` / ``semimarkov query`` on the command line).
+"""
+from .cache import CacheLookup, TieredResultCache
+from .client import ServiceClient, ServiceClientError
+from .registry import ModelEntry, ModelRegistry, spec_digest
+from .scheduler import CoalescingScheduler, QueryStatistics
+from .server import AnalysisHTTPServer, create_server
+from .service import (
+    AnalysisService,
+    ModelNotFound,
+    QueryError,
+    ServiceError,
+    ValidationError,
+)
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisService",
+    "CacheLookup",
+    "CoalescingScheduler",
+    "ModelEntry",
+    "ModelNotFound",
+    "ModelRegistry",
+    "QueryError",
+    "QueryStatistics",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "TieredResultCache",
+    "ValidationError",
+    "create_server",
+    "spec_digest",
+]

@@ -1,0 +1,149 @@
+"""Stdlib-only client for the analysis server's HTTP JSON API."""
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """Non-2xx response from the server, carrying its JSON error message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to a running ``semimarkov serve`` instance.
+
+    >>> client = ServiceClient("http://127.0.0.1:8400")
+    >>> model = client.register_model(spec_text)["model"]
+    >>> reply = client.passage(model=model, source="p1 == 4", target="p2 == 4",
+    ...                        t_points=[5, 10, 20], cdf=True)
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", exc.reason)
+            except Exception:
+                detail = str(exc.reason)
+            raise ServiceClientError(exc.code, detail) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach server at {self.base_url}: {exc.reason}"
+            ) from None
+
+    @staticmethod
+    def _measure_payload(
+        model, spec, source, target, t_points, overrides, max_states,
+        solver, inversion, epsilon,
+    ) -> dict:
+        payload = {
+            "source": source,
+            "target": target,
+            "t_points": [float(t) for t in t_points],
+            "solver": solver,
+            "inversion": inversion,
+            "epsilon": epsilon,
+        }
+        if model is not None:
+            payload["model"] = model
+        if spec is not None:
+            payload["spec"] = spec
+        if overrides:
+            payload["overrides"] = overrides
+        if max_states is not None:
+            payload["max_states"] = max_states
+        return payload
+
+    # ------------------------------------------------------------------ API
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def register_model(
+        self,
+        spec: str,
+        *,
+        name: str | None = None,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+    ) -> dict:
+        payload: dict = {"spec": spec}
+        if name is not None:
+            payload["name"] = name
+        if overrides:
+            payload["overrides"] = overrides
+        if max_states is not None:
+            payload["max_states"] = max_states
+        return self._request("POST", "/v1/models", payload)
+
+    def passage(
+        self,
+        *,
+        model: str | None = None,
+        spec: str | None = None,
+        source: str,
+        target: str,
+        t_points,
+        cdf: bool = True,
+        quantile: float | None = None,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+        solver: str = "iterative",
+        inversion: str = "euler",
+        epsilon: float = 1e-8,
+    ) -> dict:
+        payload = self._measure_payload(
+            model, spec, source, target, t_points, overrides, max_states,
+            solver, inversion, epsilon,
+        )
+        payload["cdf"] = cdf
+        if quantile is not None:
+            payload["quantile"] = quantile
+        return self._request("POST", "/v1/passage", payload)
+
+    def transient(
+        self,
+        *,
+        model: str | None = None,
+        spec: str | None = None,
+        source: str,
+        target: str,
+        t_points,
+        steady_state: bool = True,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+        solver: str = "iterative",
+        inversion: str = "euler",
+        epsilon: float = 1e-8,
+    ) -> dict:
+        payload = self._measure_payload(
+            model, spec, source, target, t_points, overrides, max_states,
+            solver, inversion, epsilon,
+        )
+        payload["steady_state"] = steady_state
+        return self._request("POST", "/v1/transient", payload)

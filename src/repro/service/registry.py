@@ -1,0 +1,228 @@
+"""Content-addressed registry of built models.
+
+The expensive part of answering a DNAmaca query is everything *before* the
+transform evaluations: parsing the specification, exploring the reachability
+graph, eliminating vanishing states and assembling the SMP kernel.  The
+registry content-addresses each model by a digest of its specification text
+plus constant overrides, builds the artefacts once, and hands every later
+query the same :class:`ModelEntry` — including one shared
+:class:`~repro.smp.kernel.UEvaluator` so all measures on the kernel reuse its
+CSR structure and cached ``U(s)`` grids.
+
+Registration is thread-safe: concurrent registrations of the same spec
+observe a single build (waiters block on the builder's event rather than
+re-exploring the state space).
+"""
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dnamaca import load_model, parse_model
+from ..dnamaca.expressions import ExpressionError, marking_predicate
+from ..petri import build_kernel, explore
+from ..smp.kernel import SMPKernel, UEvaluator
+from ..smp.steady import steady_state_probability
+from ..utils.timing import Stopwatch
+
+__all__ = ["ModelEntry", "ModelRegistry", "spec_digest"]
+
+
+def spec_digest(
+    text: str,
+    overrides: dict[str, float] | None = None,
+    max_states: int | None = None,
+) -> str:
+    """Content address of a model: spec text + constant overrides + state cap."""
+    h = hashlib.sha256()
+    h.update(text.strip().encode())
+    for name, value in sorted((overrides or {}).items()):
+        h.update(f"|{name}={float(value)!r}".encode())
+    h.update(f"|max_states={max_states}".encode())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class ModelEntry:
+    """Everything the service caches per registered model."""
+
+    digest: str
+    name: str
+    spec_text: str
+    overrides: dict[str, float]
+    constants: dict[str, float]
+    net: object
+    graph: object
+    kernel: SMPKernel
+    evaluator: UEvaluator
+    build_seconds: float
+    #: serialises transform evaluations on the shared evaluator (its grid
+    #: caches are not thread-safe); held by the scheduler, not by callers
+    eval_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    _state_sets: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _steady_states: dict[bytes, float] = field(default_factory=dict, repr=False)
+    _memo_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def n_states(self) -> int:
+        return self.kernel.n_states
+
+    def states_matching(self, expression: str) -> np.ndarray:
+        """State indices whose marking satisfies a condition-style expression.
+
+        Memoised per expression text: a serving workload re-resolves the same
+        handful of source/target predicates on every query.
+        """
+        with self._memo_lock:
+            hit = self._state_sets.get(expression)
+        if hit is not None:
+            return hit
+        try:
+            predicate = marking_predicate(expression, self.constants)
+            states = np.asarray(self.graph.states_where(predicate), dtype=np.int64)
+        except ExpressionError:
+            raise
+        except Exception as exc:  # evaluation errors (unknown names, ...)
+            raise ExpressionError(f"cannot evaluate predicate {expression!r}: {exc}") from exc
+        with self._memo_lock:
+            self._state_sets.setdefault(expression, states)
+        return states
+
+    def steady_state(self, targets) -> float:
+        """``P(Z(inf) in targets)``, memoised per target set.
+
+        The embedded-DTMC steady-state solve depends only on the kernel and
+        the target set, so a serving workload pays it once per measure rather
+        than once per transient query.
+        """
+        targets = np.unique(np.atleast_1d(np.asarray(targets, dtype=np.int64)))
+        key = targets.tobytes()
+        with self._memo_lock:
+            hit = self._steady_states.get(key)
+        if hit is not None:
+            return hit
+        value = float(steady_state_probability(self.kernel, targets))
+        with self._memo_lock:
+            self._steady_states.setdefault(key, value)
+        return value
+
+    def describe(self) -> dict:
+        """JSON-serialisable summary used by the registration response."""
+        return {
+            "model": self.digest,
+            "name": self.name,
+            "states": int(self.kernel.n_states),
+            "kernel_transitions": int(self.kernel.n_transitions),
+            "distinct_distributions": int(self.kernel.n_distributions),
+            "constants": {k: float(v) for k, v in self.constants.items()},
+            "build_seconds": self.build_seconds,
+        }
+
+
+class ModelRegistry:
+    """Builds and caches :class:`ModelEntry` objects, keyed by spec digest."""
+
+    def __init__(self, *, default_max_states: int | None = None):
+        self.default_max_states = default_max_states
+        self._entries: dict[str, ModelEntry] = {}
+        self._building: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+        self.models_built = 0
+        self.registry_hits = 0
+        self.build_seconds_total = 0.0
+
+    # ------------------------------------------------------------------ API
+    def register(
+        self,
+        text: str,
+        *,
+        name: str | None = None,
+        overrides: dict[str, float] | None = None,
+        max_states: int | None = None,
+    ) -> tuple[ModelEntry, bool]:
+        """Return the entry for this spec, building it at most once.
+
+        Returns ``(entry, created)`` where ``created`` tells whether *this*
+        call paid the exploration/build cost.
+        """
+        if max_states is None:
+            max_states = self.default_max_states
+        overrides = {k: float(v) for k, v in (overrides or {}).items()}
+        digest = spec_digest(text, overrides, max_states)
+        while True:
+            with self._lock:
+                entry = self._entries.get(digest)
+                if entry is not None:
+                    self.registry_hits += 1
+                    return entry, False
+                event = self._building.get(digest)
+                if event is None:
+                    event = threading.Event()
+                    self._building[digest] = event
+                    break  # this thread builds
+            event.wait()  # another thread is building this digest
+        try:
+            entry = self._build(digest, text, name, overrides, max_states)
+            with self._lock:
+                self._entries[digest] = entry
+                self.models_built += 1
+                self.build_seconds_total += entry.build_seconds
+            return entry, True
+        finally:
+            with self._lock:
+                self._building.pop(digest, None)
+            event.set()
+
+    def get(self, digest: str) -> ModelEntry | None:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self.registry_hits += 1
+            return entry
+
+    def entries(self) -> list[ModelEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "models": len(self._entries),
+                "models_built": self.models_built,
+                "registry_hits": self.registry_hits,
+                "build_seconds_total": self.build_seconds_total,
+            }
+
+    # ------------------------------------------------------------ internals
+    def _build(
+        self,
+        digest: str,
+        text: str,
+        name: str | None,
+        overrides: dict[str, float],
+        max_states: int | None,
+    ) -> ModelEntry:
+        stopwatch = Stopwatch()
+        with stopwatch:
+            spec = parse_model(text, name=name or "model")
+            net = load_model(text, name=name or spec.name or "model", overrides=overrides or None)
+            graph = explore(net, max_states=max_states)
+            kernel = build_kernel(graph, allow_truncated=graph.truncated)
+            evaluator = kernel.evaluator()
+        constants = dict(spec.constants)
+        constants.update(overrides)
+        return ModelEntry(
+            digest=digest,
+            name=net.name,
+            spec_text=text,
+            overrides=overrides,
+            constants=constants,
+            net=net,
+            graph=graph,
+            kernel=kernel,
+            evaluator=evaluator,
+            build_seconds=stopwatch.elapsed,
+        )

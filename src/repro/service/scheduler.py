@@ -1,0 +1,218 @@
+"""Coalescing s-point scheduler: each point is evaluated at most once.
+
+Concurrent queries on the same measure expand to overlapping inversion
+s-grids (the Euler grid for a given t-grid is identical across requests).
+The scheduler keeps a single-flight table keyed by ``(measure digest,
+canonical s)``: the first request to need a point registers a ticket and
+evaluates it as part of one :meth:`TransformJob.evaluate_batch` call on the
+batched engine; every other in-flight request needing that point blocks on
+the ticket and receives the same value — one evaluation fans out to all
+waiting queries.
+
+Evaluations on one kernel are serialised by the model entry's ``eval_lock``
+(the shared :class:`~repro.smp.kernel.UEvaluator` grid caches are not
+thread-safe); waiting on tickets never happens while that lock is held, so
+the scheme is deadlock-free.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..core.jobs import TransformJob
+from ..laplace.inverter import canonical_s
+from ..utils.timing import Stopwatch
+from .cache import TieredResultCache
+
+__all__ = ["CoalescingScheduler", "QueryStatistics"]
+
+#: upper bound on waiting for another request's in-flight evaluation; far
+#: beyond any single batch on models this library handles in-process
+_COALESCE_TIMEOUT_SECONDS = 600.0
+
+
+@dataclass
+class QueryStatistics:
+    """Per-request accounting, returned in every query response."""
+
+    s_points_required: int = 0
+    s_points_from_memory: int = 0
+    s_points_from_disk: int = 0
+    s_points_coalesced: int = 0
+    s_points_computed: int = 0
+    batches: int = 0
+    evaluation_seconds: float = 0.0
+    inversion_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {
+            "s_points_required": self.s_points_required,
+            "s_points_from_memory": self.s_points_from_memory,
+            "s_points_from_disk": self.s_points_from_disk,
+            "s_points_coalesced": self.s_points_coalesced,
+            "s_points_computed": self.s_points_computed,
+            "batches": self.batches,
+            "evaluation_seconds": self.evaluation_seconds,
+            "inversion_seconds": self.inversion_seconds,
+        }
+        out.update(self.extra)
+        return out
+
+
+class _Ticket:
+    """One in-flight s-point: waiters block on ``event`` for the value."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: complex | None = None
+        self.error: BaseException | None = None
+
+
+class CoalescingScheduler:
+    """Single-flight batched evaluation over a tiered result cache."""
+
+    def __init__(self, cache: TieredResultCache):
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._in_flight: dict[tuple[str, complex], _Ticket] = {}
+        self.points_evaluated = 0
+        self.points_coalesced = 0
+        self.batches_dispatched = 0
+        self.evaluation_seconds_total = 0.0
+
+    # ------------------------------------------------------------------ API
+    def evaluate(
+        self,
+        job: TransformJob,
+        s_points,
+        *,
+        eval_lock=None,
+        stats: QueryStatistics | None = None,
+    ) -> dict[complex, complex]:
+        """Transform values for ``s_points``, keyed by canonical s.
+
+        Points are resolved in tier order: memory cache, disk checkpoint,
+        another request's in-flight evaluation, and only then a fresh batched
+        evaluation of the leftovers (one ``evaluate_batch`` call, serialised
+        on ``eval_lock`` when the job shares its evaluator).
+        """
+        digest = job.digest()
+        canonical: list[complex] = []
+        seen: set[complex] = set()
+        for s in s_points:
+            key = canonical_s(complex(s))
+            if key not in seen:
+                seen.add(key)
+                canonical.append(key)
+
+        lookup = self.cache.lookup(digest, canonical)
+        found = lookup.found
+        if stats is not None:
+            stats.s_points_required += len(canonical)
+            stats.s_points_from_memory += lookup.memory_hits
+            stats.s_points_from_disk += lookup.disk_hits
+
+        waits: dict[complex, _Ticket] = {}
+        owned: list[complex] = []
+        if lookup.missing:
+            with self._lock:
+                for s in lookup.missing:
+                    ticket = self._in_flight.get((digest, s))
+                    if ticket is not None:
+                        waits[s] = ticket
+                    else:
+                        ticket = _Ticket()
+                        self._in_flight[(digest, s)] = ticket
+                        owned.append(s)
+
+        if owned:
+            # Double-check the memory tier: an owner that completed between
+            # our lookup and our ticket registration has already inserted its
+            # values, and those points must not be evaluated a second time.
+            already = self.cache.peek(digest, owned)
+            if already:
+                with self._lock:
+                    for s, v in already.items():
+                        ticket = self._in_flight.pop((digest, s), None)
+                        if ticket is not None:
+                            ticket.value = v
+                            ticket.event.set()
+                owned = [s for s in owned if s not in already]
+                found.update(already)
+                if stats is not None:
+                    stats.s_points_from_memory += len(already)
+        if owned:
+            computed = self._evaluate_owned(job, digest, owned, eval_lock, stats)
+            found.update(computed)
+
+        for s, ticket in waits.items():
+            if not ticket.event.wait(_COALESCE_TIMEOUT_SECONDS):
+                raise TimeoutError(
+                    f"timed out waiting for in-flight evaluation of s={s}"
+                )
+            if ticket.error is not None:
+                raise RuntimeError(
+                    f"coalesced evaluation of s={s} failed in another request"
+                ) from ticket.error
+            found[s] = ticket.value
+        if waits:
+            with self._lock:
+                self.points_coalesced += len(waits)
+            if stats is not None:
+                stats.s_points_coalesced += len(waits)
+        return found
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "points_evaluated": self.points_evaluated,
+                "points_coalesced": self.points_coalesced,
+                "batches_dispatched": self.batches_dispatched,
+                "points_in_flight": len(self._in_flight),
+                "evaluation_seconds_total": self.evaluation_seconds_total,
+            }
+
+    # ------------------------------------------------------------ internals
+    def _evaluate_owned(
+        self,
+        job: TransformJob,
+        digest: str,
+        owned: list[complex],
+        eval_lock,
+        stats: QueryStatistics | None,
+    ) -> dict[complex, complex]:
+        stopwatch = Stopwatch()
+        try:
+            with stopwatch:
+                if eval_lock is not None:
+                    with eval_lock:
+                        computed = job.evaluate_many(owned)
+                else:
+                    computed = job.evaluate_many(owned)
+        except BaseException as exc:
+            with self._lock:
+                for s in owned:
+                    ticket = self._in_flight.pop((digest, s), None)
+                    if ticket is not None:
+                        ticket.error = exc
+                        ticket.event.set()
+            raise
+        # evaluate_many keys results by the exact (canonical) inputs.
+        self.cache.insert(digest, computed)
+        with self._lock:
+            for s in owned:
+                ticket = self._in_flight.pop((digest, s), None)
+                if ticket is not None:
+                    ticket.value = computed[s]
+                    ticket.event.set()
+            self.points_evaluated += len(owned)
+            self.batches_dispatched += 1
+            self.evaluation_seconds_total += stopwatch.elapsed
+        if stats is not None:
+            stats.s_points_computed += len(owned)
+            stats.batches += 1
+            stats.evaluation_seconds += stopwatch.elapsed
+        return computed

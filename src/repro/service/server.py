@@ -1,0 +1,143 @@
+"""Stdlib-only HTTP JSON transport for the analysis service.
+
+Routes (all JSON request/response bodies):
+
+======  =================  ====================================================
+POST    ``/v1/models``     register a spec; returns its digest and build info
+POST    ``/v1/passage``    passage-time density / CDF / quantile query
+POST    ``/v1/transient``  transient state-distribution query
+GET     ``/v1/stats``      registry / cache / scheduler counters
+GET     ``/v1/health``     liveness probe
+======  =================  ====================================================
+
+Built on :class:`http.server.ThreadingHTTPServer` so concurrent requests map
+onto threads — which is exactly the shape the coalescing scheduler expects.
+"""
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import AnalysisService, ServiceError, ValidationError
+
+__all__ = ["create_server", "AnalysisHTTPServer"]
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: AnalysisService, *, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _ServiceHandler)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: AnalysisHTTPServer
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message, "status": status})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValidationError("request needs a JSON body")
+        if length > _MAX_BODY_BYTES:
+            raise ValidationError("request body too large")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        return payload
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/stats":
+            self._reply(200, self.server.service.stats())
+        elif path == "/v1/health":
+            self._reply(200, {"status": "ok"})
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if path == "/v1/models":
+                self._reply(200, service.register_model(
+                    payload.get("spec", ""),
+                    name=payload.get("name"),
+                    overrides=payload.get("overrides"),
+                    max_states=payload.get("max_states"),
+                ))
+            elif path == "/v1/passage":
+                self._reply(200, service.passage(**self._measure_kwargs(
+                    payload,
+                    include_cdf=bool(payload.get("cdf", True)),
+                    quantile=payload.get("quantile"),
+                )))
+            elif path == "/v1/transient":
+                self._reply(200, service.transient(**self._measure_kwargs(
+                    payload,
+                    include_steady_state=bool(payload.get("steady_state", True)),
+                )))
+            else:
+                self._error(404, f"unknown endpoint {self.path!r}")
+        except ServiceError as exc:
+            self._error(exc.status, str(exc))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"internal error: {exc}")
+
+    @staticmethod
+    def _measure_kwargs(payload: dict, **extra) -> dict:
+        kwargs = dict(
+            model=payload.get("model"),
+            spec=payload.get("spec"),
+            overrides=payload.get("overrides"),
+            max_states=payload.get("max_states"),
+            source=payload.get("source"),
+            target=payload.get("target"),
+            t_points=payload.get("t_points") or [],
+            solver=payload.get("solver", "iterative"),
+            inversion=payload.get("inversion", "euler"),
+            epsilon=payload.get("epsilon", 1e-8),
+        )
+        kwargs.update(extra)
+        return kwargs
+
+
+def create_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 8400,
+    *,
+    quiet: bool = True,
+) -> AnalysisHTTPServer:
+    """Bind the service to an address (``port=0`` picks a free port)."""
+    return AnalysisHTTPServer((host, port), service, quiet=quiet)

@@ -1,0 +1,363 @@
+"""The analysis service: registry + coalescing scheduler + tiered cache.
+
+:class:`AnalysisService` is the long-lived, transport-agnostic core of the
+serving layer.  It owns a :class:`~repro.service.registry.ModelRegistry` (one
+build per distinct spec), a :class:`~repro.service.cache.TieredResultCache`
+(in-memory LRU over the on-disk checkpoint store) and a
+:class:`~repro.service.scheduler.CoalescingScheduler` (each s-point evaluated
+at most once across concurrent queries).  The HTTP layer in
+:mod:`repro.service.http` is a thin JSON adapter over the three query
+methods; tests and benchmarks may drive the service in-process.
+"""
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+from scipy import optimize
+
+from ..core.jobs import PassageTimeJob, TransformJob, TransientJob
+from ..distributed.checkpoint import CheckpointStore
+from ..dnamaca.expressions import ExpressionError
+from ..laplace import get_inverter
+from ..laplace.inverter import conjugate_reduced, expand_conjugates
+from ..smp import PassageTimeOptions, source_weights
+from ..utils.timing import Stopwatch
+from .cache import TieredResultCache
+from .registry import ModelEntry, ModelRegistry
+from .scheduler import CoalescingScheduler, QueryStatistics
+
+__all__ = [
+    "AnalysisService",
+    "ServiceError",
+    "ValidationError",
+    "ModelNotFound",
+    "QueryError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for errors the transport layer maps to HTTP statuses."""
+
+    status = 500
+
+
+class ValidationError(ServiceError):
+    """Malformed request payload (missing fields, wrong types)."""
+
+    status = 400
+
+
+class ModelNotFound(ServiceError):
+    """Query referenced a model digest the registry does not hold."""
+
+    status = 404
+
+
+class QueryError(ServiceError):
+    """Well-formed request the model cannot answer (bad predicate, ...)."""
+
+    status = 422
+
+
+def _as_t_points(raw) -> np.ndarray:
+    try:
+        t_points = np.asarray(list(raw), dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"t_points must be a list of numbers: {exc}") from None
+    if t_points.size == 0:
+        raise ValidationError("t_points must not be empty")
+    if not np.all(np.isfinite(t_points)) or np.any(t_points <= 0):
+        raise ValidationError("t_points must be finite and strictly positive")
+    return t_points
+
+
+class AnalysisService:
+    """Serves passage-time and transient queries over registered models."""
+
+    def __init__(
+        self,
+        *,
+        checkpoint_dir=None,
+        cache_points: int = 500_000,
+        default_max_states: int | None = None,
+    ):
+        store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self.registry = ModelRegistry(default_max_states=default_max_states)
+        self.cache = TieredResultCache(store=store, max_points=cache_points)
+        self.scheduler = CoalescingScheduler(self.cache)
+        self._counter_lock = threading.Lock()
+        self._query_counts = {"passage": 0, "transient": 0}
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------ models
+    def register_model(
+        self,
+        spec: str,
+        *,
+        name: str | None = None,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+    ) -> dict:
+        """Register (or look up) a spec; returns the JSON-ready description."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise ValidationError("spec must be a non-empty DNAmaca specification string")
+        if overrides is not None and not isinstance(overrides, dict):
+            raise ValidationError("overrides must be a {constant: value} object")
+        try:
+            entry, created = self.registry.register(
+                spec, name=name, overrides=overrides, max_states=max_states
+            )
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise QueryError(f"cannot build model: {exc}") from exc
+        out = entry.describe()
+        out["created"] = created
+        return out
+
+    def _resolve_entry(
+        self,
+        model: str | None,
+        spec: str | None,
+        overrides: dict | None,
+        max_states: int | None,
+    ) -> tuple[ModelEntry, bool]:
+        if spec is not None:
+            if not isinstance(spec, str) or not spec.strip():
+                raise ValidationError("spec must be a non-empty string")
+            try:
+                return self.registry.register(
+                    spec, overrides=overrides, max_states=max_states
+                )
+            except Exception as exc:
+                raise QueryError(f"cannot build model: {exc}") from exc
+        if not model:
+            raise ValidationError("request needs either 'model' (a digest) or 'spec'")
+        if overrides:
+            raise ValidationError(
+                "constant overrides apply at registration; re-register the spec "
+                "with 'overrides' instead of overriding a digest"
+            )
+        entry = self.registry.get(str(model))
+        if entry is None:
+            raise ModelNotFound(
+                f"unknown model {model!r}; register it via POST /v1/models first"
+            )
+        return entry, False
+
+    def _state_sets(self, entry: ModelEntry, source: str, target: str):
+        if not source or not isinstance(source, str):
+            raise ValidationError("source must be a marking-predicate expression")
+        if not target or not isinstance(target, str):
+            raise ValidationError("target must be a marking-predicate expression")
+        try:
+            sources = entry.states_matching(source)
+            targets = entry.states_matching(target)
+        except ExpressionError as exc:
+            raise QueryError(str(exc)) from None
+        if sources.size == 0:
+            raise QueryError(f"no reachable marking satisfies the source predicate {source!r}")
+        if targets.size == 0:
+            raise QueryError(f"no reachable marking satisfies the target predicate {target!r}")
+        return sources, targets
+
+    # ------------------------------------------------------------ queries
+    def passage(
+        self,
+        *,
+        model: str | None = None,
+        spec: str | None = None,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+        source: str,
+        target: str,
+        t_points,
+        include_cdf: bool = True,
+        quantile: float | None = None,
+        solver: str = "iterative",
+        inversion: str = "euler",
+        epsilon: float = 1e-8,
+    ) -> dict:
+        """First-passage-time density (and optionally CDF / quantile)."""
+        t_points = _as_t_points(t_points)
+        entry, registered = self._resolve_entry(model, spec, overrides, max_states)
+        sources, targets = self._state_sets(entry, source, target)
+        job = self._make_job(
+            PassageTimeJob, entry, sources, targets, solver, epsilon
+        )
+        inverter = self._make_inverter(inversion)
+        stats = QueryStatistics()
+        stats.extra["model_registered"] = registered
+
+        values = self._gather(job, entry, inverter, t_points, stats)
+        stopwatch = Stopwatch()
+        with stopwatch:
+            density = inverter.invert_values(t_points, values)
+            cdf = None
+            if include_cdf:
+                cdf_values = {s: v / s for s, v in values.items() if s != 0}
+                cdf = inverter.invert_values(t_points, cdf_values)
+        stats.inversion_seconds += stopwatch.elapsed
+
+        response = {
+            "model": entry.digest,
+            "measure": "passage",
+            "t_points": [float(t) for t in t_points],
+            "density": [float(f) for f in density],
+        }
+        if cdf is not None:
+            response["cdf"] = [float(F) for F in cdf]
+        if quantile is not None:
+            response["quantile"] = {
+                "q": float(quantile),
+                "t": self._refine_quantile(job, entry, inverter, t_points, quantile, stats),
+            }
+        self._count_query("passage")
+        response["statistics"] = stats.as_dict()
+        return response
+
+    def transient(
+        self,
+        *,
+        model: str | None = None,
+        spec: str | None = None,
+        overrides: dict | None = None,
+        max_states: int | None = None,
+        source: str,
+        target: str,
+        t_points,
+        include_steady_state: bool = True,
+        solver: str = "iterative",
+        inversion: str = "euler",
+        epsilon: float = 1e-8,
+    ) -> dict:
+        """Transient probability ``P(Z(t) in targets)`` on a t-grid."""
+        t_points = _as_t_points(t_points)
+        entry, registered = self._resolve_entry(model, spec, overrides, max_states)
+        sources, targets = self._state_sets(entry, source, target)
+        job = self._make_job(TransientJob, entry, sources, targets, solver, epsilon)
+        inverter = self._make_inverter(inversion)
+        stats = QueryStatistics()
+        stats.extra["model_registered"] = registered
+
+        values = self._gather(job, entry, inverter, t_points, stats)
+        stopwatch = Stopwatch()
+        with stopwatch:
+            probability = inverter.invert_values(t_points, values)
+        stats.inversion_seconds += stopwatch.elapsed
+
+        response = {
+            "model": entry.digest,
+            "measure": "transient",
+            "t_points": [float(t) for t in t_points],
+            "probability": [float(p) for p in probability],
+        }
+        if include_steady_state:
+            response["steady_state"] = entry.steady_state(targets)
+        self._count_query("transient")
+        response["statistics"] = stats.as_dict()
+        return response
+
+    # ------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        with self._counter_lock:
+            queries = dict(self._query_counts)
+        queries["total"] = sum(queries.values())
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "queries": queries,
+            "registry": self.registry.stats(),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _make_job(self, cls, entry, sources, targets, solver, epsilon) -> TransformJob:
+        if solver not in ("iterative", "direct"):
+            raise ValidationError("solver must be 'iterative' or 'direct'")
+        try:
+            epsilon = float(epsilon)
+        except (TypeError, ValueError):
+            raise ValidationError("epsilon must be a number") from None
+        job = cls(
+            kernel=entry.kernel,
+            alpha=source_weights(entry.kernel, sources),
+            targets=targets,
+            options=PassageTimeOptions(epsilon=epsilon),
+            solver=solver,
+        )
+        job.attach_evaluator(entry.evaluator)
+        return job
+
+    def _make_inverter(self, inversion: str):
+        try:
+            return get_inverter(inversion)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+
+    def _gather(
+        self,
+        job: TransformJob,
+        entry: ModelEntry,
+        inverter,
+        t_points: np.ndarray,
+        stats: QueryStatistics,
+    ) -> dict[complex, complex]:
+        """Transform values covering the t-grid's inversion s-points.
+
+        Conjugate pairs are folded before hitting the scheduler/cache and
+        expanded back afterwards; the inverters canonicalise their lookups,
+        so keying by the evaluated (canonical) points is sufficient.
+        """
+        required = inverter.required_s_points(t_points)
+        folded = conjugate_reduced(required)
+        resolved = self.scheduler.evaluate(
+            job, folded, eval_lock=entry.eval_lock, stats=stats
+        )
+        return expand_conjugates(resolved)
+
+    def _refine_quantile(
+        self,
+        job: TransformJob,
+        entry: ModelEntry,
+        inverter,
+        t_points: np.ndarray,
+        q,
+        stats: QueryStatistics,
+    ) -> float:
+        """Root-find ``F(t) = q`` with extra inversions through the scheduler."""
+        try:
+            q = float(q)
+        except (TypeError, ValueError):
+            raise ValidationError("quantile must be a number") from None
+        if not 0.0 < q < 1.0:
+            raise ValidationError("quantile must lie strictly between 0 and 1")
+
+        def cdf_at(t: float) -> float:
+            grid = np.asarray([t], dtype=float)
+            values = self._gather(job, entry, inverter, grid, stats)
+            cdf_values = {s: v / s for s, v in values.items() if s != 0}
+            stopwatch = Stopwatch()
+            with stopwatch:
+                result = float(inverter.invert_values(grid, cdf_values)[0])
+            stats.inversion_seconds += stopwatch.elapsed
+            return result
+
+        t_lower = float(np.min(t_points))
+        t_upper = float(np.max(t_points)) * 10.0
+        lo = cdf_at(t_lower) - q
+        hi = cdf_at(t_upper) - q
+        if lo > 0 or hi < 0:
+            raise QueryError(
+                f"quantile {q} is not bracketed by [{t_lower:.6g}, {t_upper:.6g}] "
+                f"(F(lower)-q={lo:.4g}, F(upper)-q={hi:.4g})"
+            )
+        return float(
+            optimize.brentq(lambda t: cdf_at(t) - q, t_lower, t_upper, xtol=1e-6)
+        )
+
+    def _count_query(self, kind: str) -> None:
+        with self._counter_lock:
+            self._query_counts[kind] += 1

@@ -13,6 +13,7 @@ fill of a pre-assembled CSR structure.
 """
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -204,10 +205,31 @@ class _EvaluatorCache:
     data: np.ndarray | None = None
 
 
-@dataclass
-class _BatchCache:
-    key: bytes | None = None
-    data: np.ndarray | None = None
+class _BatchLRU:
+    """A handful of recent ``U(s)`` data grids, keyed by the grid bytes.
+
+    One slot covers the transient computation (which re-requests the same
+    grid once per target state); a long-lived analysis service additionally
+    interleaves *measures* on one shared evaluator — density, CDF and
+    quantile-refinement requests that alternate between a few distinct
+    grids — so a short LRU keeps those from evicting each other.
+    """
+
+    def __init__(self, capacity: int = 4):
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        data = self._entries.get(key)
+        if data is not None:
+            self._entries.move_to_end(key)
+        return data
+
+    def put(self, key: bytes, data: np.ndarray) -> None:
+        self._entries[key] = data
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
 
 
 class UEvaluator:
@@ -234,7 +256,7 @@ class UEvaluator:
             np.arange(kernel.n_states), np.diff(self._indptr)
         )
         self._cache = _EvaluatorCache()
-        self._batch_cache = _BatchCache()
+        self._batch_cache = _BatchLRU()
 
     # ------------------------------------------------------------ internals
     def _u_data(self, s: complex) -> np.ndarray:
@@ -290,13 +312,16 @@ class UEvaluator:
         ``U(s_values[t])`` in the shared CSR entry order.  Each distinct
         distribution's transform is evaluated exactly once over the full grid,
         so the per-s-point Python overhead of the scalar path is amortised
-        across the batch.  The most recent grid is cached: the transient
-        computation re-requests the same grid once per target state.
+        across the batch.  Recently used grids are cached (see
+        :class:`_BatchLRU`): the transient computation re-requests the same
+        grid once per target state, and measures sharing one evaluator
+        alternate between a few grids.
         """
         s_values = np.asarray(s_values, dtype=complex).ravel()
         key = s_values.tobytes()
-        if self._batch_cache.key == key and self._batch_cache.data is not None:
-            return self._batch_cache.data
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            return cached
         lst_matrix = np.empty(
             (s_values.size, len(self.kernel.distributions)), dtype=complex
         )
@@ -304,7 +329,7 @@ class UEvaluator:
             lst_matrix[:, k] = dist.lst_batch(s_values)
         data = lst_matrix[:, self._csr_dist_index]
         data *= self._csr_probs
-        self._batch_cache = _BatchCache(key=key, data=data)
+        self._batch_cache.put(key, data)
         return data
 
     def u_prime_data_batch(self, s_values, target_mask: np.ndarray) -> np.ndarray:

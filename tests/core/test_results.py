@@ -34,6 +34,37 @@ class TestPassageTimeResult:
         with pytest.raises(ValueError):
             result.quantile(0.999999)  # outside the covered CDF range
 
+    def test_quantile_on_oscillating_cdf(self):
+        # Euler-inversion oscillation can leave the sampled CDF locally
+        # non-monotone; raw np.interp over such samples silently returns a
+        # wrong t.  The quantile must interpolate the running-max envelope.
+        t = np.array([1.0, 2.0, 3.0, 4.0])
+        cdf = np.array([0.1, 0.5, 0.45, 0.8])  # dips at t=3
+        result = PassageTimeResult(t_points=t, cdf=cdf)
+        # q inside the dip: the envelope is flat at 0.5 over [2, 3], so any
+        # q <= 0.5 must resolve within [1, 2] (the rising segment), never
+        # inside the decreasing stretch.
+        assert result.quantile(0.47) == pytest.approx(
+            np.interp(0.47, [0.1, 0.5], [1.0, 2.0])
+        )
+        # q above the dip interpolates the final rising segment from the
+        # envelope value 0.5, not from the raw sample 0.45.
+        assert result.quantile(0.6) == pytest.approx(
+            np.interp(0.6, [0.5, 0.8], [3.0, 4.0])
+        )
+        # Monotonicity of the quantile function over a fine sweep.
+        qs = np.linspace(0.11, 0.79, 40)
+        ts = [result.quantile(q) for q in qs]
+        assert all(a <= b + 1e-12 for a, b in zip(ts, ts[1:]))
+
+    def test_quantile_out_of_range_uses_envelope_bounds(self):
+        t = np.array([1.0, 2.0, 3.0])
+        result = PassageTimeResult(t_points=t, cdf=np.array([0.3, 0.6, 0.55]))
+        with pytest.raises(ValueError, match=r"\[0.3, 0.6\]"):
+            result.quantile(0.7)  # the raw final sample 0.55 is not the cap
+        with pytest.raises(ValueError):
+            result.quantile(0.2)
+
     def test_mean_and_normalisation(self, erlang_result):
         result, dist = erlang_result
         assert result.mean_estimate() == pytest.approx(dist.mean(), rel=0.02)

@@ -2,11 +2,26 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import threading
 
 import numpy as np
 import pytest
 
 from repro.distributed import CheckpointStore, SPointWorkQueue
+
+
+def _contending_writer(directory, digest: str, start: int, count: int) -> None:
+    """Merge ``count`` one-point updates [start, start+count) into one digest.
+
+    Module-level so it pickles under any multiprocessing start method.  Each
+    merge is a full read-modify-write of the shared file, maximising the
+    window in which an unlocked implementation loses the other writer's
+    points.
+    """
+    store = CheckpointStore(directory)
+    for i in range(start, start + count):
+        store.merge(digest, {complex(i, 1.0): complex(i, -1.0)})
 
 
 class TestWorkQueue:
@@ -94,3 +109,50 @@ class TestCheckpointStore:
         path = next(tmp_path.glob("*.json"))
         payload = json.loads(path.read_text())
         assert list(payload.values()) == [[1.0, -0.5]]
+
+    def test_lock_file_not_listed_as_digest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.merge("job", {1 + 1j: 2 + 2j})
+        assert store.digests() == ["job"]
+        assert (tmp_path / "job.lock").exists()
+
+
+class TestCheckpointContention:
+    """merge() is a read-modify-write; concurrent writers must not lose points."""
+
+    def test_two_writer_processes_lose_no_values(self, tmp_path):
+        digest = "shared-measure"
+        per_writer = 120
+        workers = [
+            multiprocessing.Process(
+                target=_contending_writer,
+                args=(str(tmp_path), digest, w * per_writer, per_writer),
+            )
+            for w in range(2)
+        ]
+        for p in workers:
+            p.start()
+        for p in workers:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        merged = CheckpointStore(tmp_path).load(digest)
+        assert len(merged) == 2 * per_writer
+        for i in range(2 * per_writer):
+            assert merged[complex(i, 1.0)] == complex(i, -1.0)
+
+    def test_many_writer_threads_lose_no_values(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        digest = "threaded-measure"
+        per_writer, n_threads = 40, 4
+        threads = [
+            threading.Thread(
+                target=_contending_writer,
+                args=(tmp_path, digest, w * per_writer, per_writer),
+            )
+            for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store.load(digest)) == n_threads * per_writer

@@ -35,6 +35,7 @@ class TestExamples:
             "failure_mode_reliability.py",
             "distributed_pipeline.py",
             "dnamaca_spec.py",
+            "service_demo.py",
         } <= names
 
     def test_quickstart_runs(self, capsys):
@@ -43,6 +44,14 @@ class TestExamples:
         assert "mean time to failure" in out
         assert "steady-state availability" in out
         assert "Simulation cross-check" in out
+
+    def test_service_demo_runs(self, capsys):
+        run_example("service_demo.py")
+        out = capsys.readouterr().out
+        assert "cold query" in out
+        assert "warm query" in out
+        assert "s-points evaluated once" in out
+        assert "coalesced" in out
 
     def test_dnamaca_spec_runs(self, capsys):
         run_example("dnamaca_spec.py")

@@ -1,0 +1,89 @@
+"""Tests for the content-addressed model registry."""
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import ModelRegistry, spec_digest
+
+
+class TestSpecDigest:
+    def test_stable_and_whitespace_insensitive(self, onoff_spec):
+        assert spec_digest(onoff_spec) == spec_digest(onoff_spec)
+        assert spec_digest(onoff_spec) == spec_digest("\n" + onoff_spec + "  \n")
+
+    def test_overrides_and_caps_change_the_digest(self, onoff_spec):
+        base = spec_digest(onoff_spec)
+        assert spec_digest(onoff_spec, {"K": 4.0}) != base
+        assert spec_digest(onoff_spec, {"K": 4.0}) == spec_digest(onoff_spec, {"K": 4})
+        assert spec_digest(onoff_spec, max_states=10) != base
+
+
+class TestModelRegistry:
+    def test_identical_specs_share_one_entry(self, onoff_spec):
+        registry = ModelRegistry()
+        first, created_first = registry.register(onoff_spec)
+        second, created_second = registry.register(onoff_spec)
+        assert created_first and not created_second
+        assert second is first
+        assert second.kernel is first.kernel
+        assert second.evaluator is first.evaluator
+        assert registry.models_built == 1
+        assert registry.registry_hits == 1
+
+    def test_overrides_build_distinct_kernels(self, onoff_spec):
+        registry = ModelRegistry()
+        base, _ = registry.register(onoff_spec)
+        bigger, created = registry.register(onoff_spec, overrides={"K": 4})
+        assert created
+        assert bigger is not base
+        assert base.n_states == 3       # on+off in {2..0}
+        assert bigger.n_states == 5     # K=4 -> five markings
+        assert bigger.constants["K"] == 4.0
+        assert registry.models_built == 2
+
+    def test_lookup_by_digest(self, onoff_spec):
+        registry = ModelRegistry()
+        entry, _ = registry.register(onoff_spec)
+        assert registry.get(entry.digest) is entry
+        assert registry.get("no-such-digest") is None
+
+    def test_state_set_memoisation(self, onoff_spec):
+        registry = ModelRegistry()
+        entry, _ = registry.register(onoff_spec)
+        first = entry.states_matching("off == K")
+        second = entry.states_matching("off == K")
+        assert first is second
+        np.testing.assert_array_equal(first, entry.graph.states_where(
+            lambda view: view.as_dict()["off"] == 2
+        ))
+
+    def test_concurrent_registration_builds_once(self, onoff_spec):
+        registry = ModelRegistry()
+        entries = []
+        barrier = threading.Barrier(8)
+
+        def register():
+            barrier.wait()
+            entry, _ = registry.register(onoff_spec)
+            entries.append(entry)
+
+        threads = [threading.Thread(target=register) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.models_built == 1
+        assert len(entries) == 8
+        assert all(e is entries[0] for e in entries)
+
+    def test_bad_spec_raises_for_every_caller(self):
+        registry = ModelRegistry()
+        with pytest.raises(Exception):
+            registry.register(r"\model{ not valid")
+        assert registry.models_built == 0
+        # The failed build must not leave a stuck "building" event behind.
+        with pytest.raises(Exception):
+            registry.register(r"\model{ not valid")

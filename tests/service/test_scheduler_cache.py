@@ -1,0 +1,154 @@
+"""Coalescing and tiered-cache behaviour of the analysis service."""
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import AnalysisService, QueryError, TieredResultCache
+
+T_POINTS = [1.0, 2.0, 4.0, 8.0]
+QUERY = dict(source="on == K", target="off == K", t_points=T_POINTS)
+
+
+class TestWarmCache:
+    def test_repeated_query_computes_nothing(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        cold = service.passage(model=model, **QUERY)
+        warm = service.passage(model=model, **QUERY)
+        assert cold["statistics"]["s_points_computed"] > 0
+        assert warm["statistics"]["s_points_computed"] == 0
+        assert warm["statistics"]["s_points_from_memory"] == \
+            cold["statistics"]["s_points_required"]
+        np.testing.assert_allclose(warm["density"], cold["density"])
+        np.testing.assert_allclose(warm["cdf"], cold["cdf"])
+        # The model itself was built exactly once.
+        assert service.registry.models_built == 1
+
+    def test_distinct_measures_do_not_share_values(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        service.passage(model=model, **QUERY)
+        other = service.passage(
+            model=model, source="on == K", target="off > 0", t_points=T_POINTS
+        )
+        # Different target set -> different measure digest -> fresh points.
+        assert other["statistics"]["s_points_computed"] > 0
+
+    def test_epsilon_keys_the_measure(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        service.passage(model=model, **QUERY)
+        looser = service.passage(model=model, epsilon=1e-4, **QUERY)
+        assert looser["statistics"]["s_points_computed"] > 0
+
+
+class TestCoalescing:
+    def test_concurrent_queries_evaluate_each_point_once(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        replies: list[dict] = []
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                barrier.wait()
+                replies.append(service.passage(model=model, **QUERY))
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(replies) == n_threads
+
+        required = replies[0]["statistics"]["s_points_required"]
+        assert required > 0
+        # The single-flight table guarantees each distinct s-point was
+        # evaluated exactly once across all eight requests...
+        assert service.scheduler.points_evaluated == required
+        # ...and every other request's points were served by coalescing onto
+        # the in-flight evaluation or by the freshly warmed memory tier.
+        total_served = sum(
+            r["statistics"]["s_points_from_memory"]
+            + r["statistics"]["s_points_coalesced"]
+            + r["statistics"]["s_points_computed"]
+            for r in replies
+        )
+        assert total_served == n_threads * required
+        coalesced = service.scheduler.points_coalesced
+        memory_hits = service.cache.memory_hits
+        assert coalesced + memory_hits == (n_threads - 1) * required
+        for reply in replies[1:]:
+            np.testing.assert_allclose(reply["density"], replies[0]["density"])
+
+    def test_transient_and_passage_share_the_kernel_not_values(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        p = service.passage(model=model, **QUERY)
+        t = service.transient(model=model, source="on == K", target="on > 0",
+                              t_points=T_POINTS)
+        assert p["statistics"]["s_points_computed"] > 0
+        assert t["statistics"]["s_points_computed"] > 0
+        assert service.registry.models_built == 1
+
+
+class TestTieredCache:
+    def test_disk_tier_survives_a_restart(self, onoff_spec, tmp_path):
+        first = AnalysisService(checkpoint_dir=tmp_path / "ckpt")
+        model = first.register_model(onoff_spec)["model"]
+        cold = first.passage(model=model, **QUERY)
+        assert cold["statistics"]["s_points_computed"] > 0
+
+        # A fresh service process over the same checkpoint directory must
+        # answer from disk without re-evaluating anything.
+        second = AnalysisService(checkpoint_dir=tmp_path / "ckpt")
+        model2 = second.register_model(onoff_spec)["model"]
+        assert model2 == model
+        warm = second.passage(model=model2, **QUERY)
+        assert warm["statistics"]["s_points_computed"] == 0
+        assert warm["statistics"]["s_points_from_disk"] == \
+            cold["statistics"]["s_points_required"]
+        np.testing.assert_allclose(warm["density"], cold["density"])
+
+    def test_lru_eviction_recovers_from_disk(self, onoff_spec, tmp_path):
+        service = AnalysisService(checkpoint_dir=tmp_path / "ckpt", cache_points=40)
+        model = service.register_model(onoff_spec)["model"]
+        service.passage(model=model, **QUERY)            # measure A (33 points)
+        service.passage(model=model, source="on == K", target="off > 0",
+                        t_points=T_POINTS)               # measure B evicts A
+        assert service.cache.measures_evicted >= 1
+        again = service.passage(model=model, **QUERY)
+        assert again["statistics"]["s_points_computed"] == 0
+        assert again["statistics"]["s_points_from_disk"] > 0
+
+    def test_memory_only_eviction_recomputes(self, onoff_spec):
+        service = AnalysisService(cache_points=40)
+        model = service.register_model(onoff_spec)["model"]
+        service.passage(model=model, **QUERY)
+        service.passage(model=model, source="on == K", target="off > 0",
+                        t_points=T_POINTS)
+        again = service.passage(model=model, **QUERY)
+        assert again["statistics"]["s_points_computed"] > 0
+
+    def test_cache_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            TieredResultCache(max_points=0)
+
+
+class TestQuantile:
+    def test_service_quantile_matches_cdf(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        reply = service.passage(model=model, quantile=0.9, **QUERY)
+        t90 = reply["quantile"]["t"]
+        check = service.passage(model=model, source="on == K", target="off == K",
+                                t_points=[t90])
+        assert check["cdf"][0] == pytest.approx(0.9, abs=1e-4)
+
+    def test_unbracketed_quantile_is_a_query_error(self, service, onoff_spec):
+        model = service.register_model(onoff_spec)["model"]
+        with pytest.raises(QueryError, match="not bracketed"):
+            service.passage(model=model, source="on == K", target="off == K",
+                            t_points=[50.0, 60.0], quantile=0.001)

@@ -136,6 +136,93 @@ class TestPassage:
         assert out.count("\n") >= 4  # header + three rows
 
 
+class TestServeAndQuery:
+    @pytest.fixture
+    def server_url(self):
+        import threading
+
+        from repro.service import AnalysisService, create_server
+
+        server = create_server(AnalysisService(), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_serve_and_query_parsers(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--checkpoint", "x"])
+        assert args.command == "serve" and args.port == 0
+        args = parser.parse_args([
+            "query", "--url", "http://h:1", "passage", "m.dnamaca",
+            "--source", "a > 0", "--target", "b > 0", "--t-points", "1", "2",
+        ])
+        assert args.query_command == "passage"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["query"])  # a query sub-command is required
+
+    def test_query_register_and_passage(self, server_url, onoff_file, capsys):
+        assert main(["query", "--url", server_url, "register", onoff_file]) == 0
+        out = capsys.readouterr().out
+        assert "built" in out and "states   : 3" in out
+
+        code = main([
+            "query", "--url", server_url, "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "2", "4", "8", "--cdf", "--json",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out.split("quantile:")[0])
+        assert len(rows) == 4
+        assert all(len(row) == 3 for row in rows)
+        assert "s-points" in captured.err
+
+        # Second run: the server answers without computing anything.
+        assert main([
+            "query", "--url", server_url, "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "2", "4", "8", "--cdf",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "0 computed" in err
+
+    def test_query_transient_and_stats(self, server_url, onoff_file, capsys):
+        code = main([
+            "query", "--url", server_url, "transient", onoff_file,
+            "--source", "on == 2", "--target", "on > 0",
+            "--t-points", "1", "5", "25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady-state value" in out
+
+        assert main(["query", "--url", server_url, "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["queries"]["transient"] == 1
+        assert stats["registry"]["models"] == 1
+
+    def test_query_digest_with_set_is_rejected(self, server_url):
+        with pytest.raises(SystemExit, match="spec file"):
+            main([
+                "query", "--url", server_url, "passage", "0123abcd",
+                "--set", "K=4",
+                "--source", "on == 2", "--target", "off == 2",
+                "--t-points", "1",
+            ])
+
+    def test_query_against_dead_server_fails_cleanly(self, onoff_file):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--url", "http://127.0.0.1:1", "passage", onoff_file,
+                "--source", "on == 2", "--target", "off == 2", "--t-points", "1",
+            ])
+
+
 class TestTransientAndSimulate:
     def test_transient(self, onoff_file, capsys):
         code = main([
