@@ -8,7 +8,9 @@ queries per second does the server answer for a pool of concurrent clients?
 The workload is deliberately mixed — passage density+CDF on two different
 t-grids plus a transient measure, round-robin across 8 client threads over
 the voting model — so requests exercise the registry, the per-measure cache
-entries and the JSON transport rather than one hot dictionary entry.
+entries and the JSON transport rather than one hot dictionary entry.  The
+queries are issued through the public api facade (``repro.api.Model`` +
+``RemoteEngine``), the same path the CLI's ``query`` sub-commands use.
 
 Acceptance floor (ISSUE 2): >= 50 warm queries/sec with 8 concurrent clients.
 """
@@ -19,6 +21,7 @@ import time
 
 import pytest
 
+from repro.api import Model, RemoteEngine
 from repro.models import SCALED_CONFIGURATIONS, voting_spec_text
 from repro.service import AnalysisService, ServiceClient, create_server
 
@@ -41,22 +44,14 @@ def served_client():
         thread.join(timeout=5)
 
 
-def _workload(model: str) -> list[dict]:
-    """The mixed per-client request cycle (all warm after the priming pass)."""
+def _workload(digest: str) -> list:
+    """The mixed per-client query cycle (all warm after the priming pass)."""
+    model = Model.from_digest(digest)
     return [
-        dict(kind="passage", model=model, source="p1 == CC", target="p2 == CC",
-             t_points=[2.0, 5.0, 10.0, 20.0], cdf=True),
-        dict(kind="passage", model=model, source="p1 == CC", target="p7 > 0",
-             t_points=[1.0, 3.0, 9.0], cdf=True),
-        dict(kind="transient", model=model, source="p1 == CC", target="p2 >= 1",
-             t_points=[1.0, 5.0, 25.0]),
+        model.passage("p1 == CC", "p2 == CC").density([2.0, 5.0, 10.0, 20.0]).cdf(),
+        model.passage("p1 == CC", "p7 > 0").density([1.0, 3.0, 9.0]).cdf(),
+        model.transient("p1 == CC", "p2 >= 1").probability([1.0, 5.0, 25.0]),
     ]
-
-
-def _run(client: ServiceClient, request: dict) -> dict:
-    request = dict(request)
-    kind = request.pop("kind")
-    return getattr(client, kind)(**request)
 
 
 def test_warm_cache_throughput(served_client, report):
@@ -67,13 +62,14 @@ def test_warm_cache_throughput(served_client, report):
     t0 = time.perf_counter()
     model = client.register_model(spec, name="voting-tiny")["model"]
     build_seconds = time.perf_counter() - t0
+    engine = RemoteEngine(client=client)
     workload = _workload(model)
     cold_ms = []
-    for request in workload:
+    for query in workload:
         t0 = time.perf_counter()
-        reply = _run(client, request)
+        result = query.run(engine)
         cold_ms.append((time.perf_counter() - t0) * 1e3)
-        assert reply["statistics"]["s_points_computed"] > 0
+        assert result.statistics["s_points_computed"] > 0
 
     # All later queries must be answered without evaluating anything.
     evaluated_after_priming = service.scheduler.points_evaluated
@@ -87,9 +83,9 @@ def test_warm_cache_throughput(served_client, report):
         local: list[float] = []
         try:
             for i in range(QUERIES_PER_CLIENT):
-                request = workload[(offset + i) % len(workload)]
+                query = workload[(offset + i) % len(workload)]
                 t0 = time.perf_counter()
-                _run(client, request)
+                query.run(engine)
                 local.append((time.perf_counter() - t0) * 1e3)
         except BaseException as exc:  # pragma: no cover - diagnostic
             errors.append(exc)

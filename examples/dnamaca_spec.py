@@ -9,8 +9,9 @@ example:
 2. parses and compiles it into an SM-SPN,
 3. generates the semi-Markov state space and checks it against the
    natively-constructed Python model,
-4. runs a passage-time and a transient analysis straight from the parsed
-   model.
+4. runs a passage-time and a transient analysis through the public api
+   facade (``repro.api.Model``), with predicates written in the
+   specification's own expression language.
 
 Run:  python examples/dnamaca_spec.py
 """
@@ -18,16 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Model
 from repro.dnamaca import load_model, parse_model
 from repro.models import (
     SCALED_CONFIGURATIONS,
-    all_voted_predicate,
     build_voting_graph,
-    initial_marking_predicate,
-    voters_done_predicate,
     voting_spec_text,
 )
-from repro.petri import explore, passage_solver, transient_solver
+from repro.petri import explore
 
 
 def main() -> None:
@@ -57,30 +56,33 @@ def main() -> None:
     assert sorted(graph.markings) == sorted(reference.markings), "state spaces must agree"
 
     # ------------------------------------------------------------------
-    # 3. Analyses driven directly by the parsed model.
+    # 3. Analyses through the api facade, with predicate *expressions*.
     # ------------------------------------------------------------------
-    voters = passage_solver(
-        graph, initial_marking_predicate(params), all_voted_predicate(params)
-    )
-    mean = voters.mean()
-    ts = np.linspace(0.5 * mean, 2.0 * mean, 7)
-    print(f"\npassage time to process all {params.voters} voters (mean {mean:.2f}):")
-    for t, F in zip(ts, voters.cdf(ts)):
+    model = Model.from_spec(spec_text, name="voting")
+    voting_started = "p1 == CC && p3 == MM && p5 == NN"
+    all_voted = "p2 == CC"
+
+    ts = np.linspace(4.0, 16.0, 7)
+    passage = model.passage(voting_started, all_voted).density(ts).cdf().run()
+    print(f"\npassage time to process all {params.voters} voters:")
+    for t, F in zip(passage.t_points, passage.cdf):
         print(f"  P(done by {t:6.2f}) = {F:.4f}")
 
-    transient = transient_solver(
-        graph, initial_marking_predicate(params), voters_done_predicate(2)
+    transient = (
+        model.transient(voting_started, "p2 >= 2")
+        .probability([2.0, 5.0, 10.0, 50.0])
+        .run()
     )
-    print(f"\nP(at least 2 voters done at t) -> steady state {transient.steady_state():.4f}:")
-    for t in (2.0, 5.0, 10.0, 50.0):
-        print(f"  t={t:6.1f}: {transient.probability([t])[0]:.4f}")
+    print(f"\nP(at least 2 voters done at t) -> steady state {transient.steady_state:.4f}:")
+    for t, p in zip(transient.t_points, transient.probability):
+        print(f"  t={t:6.1f}: {p:.4f}")
 
     # ------------------------------------------------------------------
     # 4. Re-parameterise the same specification via constant overrides.
     # ------------------------------------------------------------------
-    bigger = load_model(spec_text, overrides={"CC": 6, "MM": 3})
-    bigger_graph = explore(bigger)
-    print(f"\nsame specification with CC=6, MM=3 overrides: {bigger_graph.n_states} states")
+    bigger = Model.from_spec(spec_text, overrides={"CC": 6, "MM": 3})
+    print(f"\nsame specification with CC=6, MM=3 overrides: {bigger.n_states} states "
+          f"(digest {bigger.digest})")
 
 
 if __name__ == "__main__":

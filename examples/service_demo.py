@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Demo of the analysis service: registry, coalescing, tiered caching.
 
-Starts the HTTP analysis server in-process, registers the voting model once,
-and then shows what the serving layer buys over one-shot CLI runs:
+Starts the HTTP analysis server in-process and drives it through the public
+api facade (``Model`` -> ``PassageQuery`` -> ``engine="remote"``), showing
+what the serving layer buys over one-shot runs:
 
 1. the first (cold) query pays state-space exploration + s-point evaluation,
 2. a repeated (warm) query answers entirely from the in-memory cache,
@@ -16,6 +17,9 @@ from __future__ import annotations
 import threading
 import time
 
+import numpy as np
+
+from repro.api import Model, RemoteEngine
 from repro.models import SCALED_CONFIGURATIONS, voting_spec_text
 from repro.service import AnalysisService, ServiceClient, create_server
 
@@ -25,46 +29,50 @@ def main() -> None:
     server = create_server(service, port=0)
     port = server.server_address[1]
     threading.Thread(target=server.serve_forever, daemon=True).start()
-    client = ServiceClient(f"http://127.0.0.1:{port}")
-    print(f"analysis server listening on http://127.0.0.1:{port}")
+    url = f"http://127.0.0.1:{port}"
+    client = ServiceClient(url)          # raw client, used for /v1/stats
+    engine = RemoteEngine(url=url)       # api engine, used for the queries
+    print(f"analysis server listening on {url}")
 
     spec = voting_spec_text(SCALED_CONFIGURATIONS["small"])
     info = client.register_model(spec, name="voting-small")
     print(f"registered voting model {info['model']}: {info['states']} states, "
           f"built in {info['build_seconds']:.2f}s")
 
-    query = dict(
-        model=info["model"],
-        source="p1 == CC", target="p2 == CC",
-        t_points=[2.0, 5.0, 10.0, 20.0, 40.0], cdf=True,
+    model = Model.from_digest(info["model"])
+    query = (
+        model.passage("p1 == CC", "p2 == CC")
+        .density([2.0, 5.0, 10.0, 20.0, 40.0])
+        .cdf()
     )
 
     # ------------------------------------------------------------- 1. cold
     start = time.perf_counter()
-    reply = client.passage(**query)
+    result = query.run(engine)
     cold_ms = (time.perf_counter() - start) * 1e3
-    stats = reply["statistics"]
     print(f"\ncold query : {cold_ms:7.1f} ms "
-          f"({stats['s_points_computed']} s-points evaluated)")
+          f"({result.statistics['s_points_computed']} s-points evaluated)")
     print("  t      f(t)        F(t)")
-    for t, f, F in zip(reply["t_points"], reply["density"], reply["cdf"]):
+    for t, f, F in zip(result.t_points, result.density, result.cdf):
         print(f"  {t:5.1f}  {f:.6f}  {F:.6f}")
 
     # ------------------------------------------------------------- 2. warm
     start = time.perf_counter()
-    reply = client.passage(**query)
+    warm = query.run(engine)
     warm_ms = (time.perf_counter() - start) * 1e3
-    stats = reply["statistics"]
+    stats = warm.statistics
     print(f"\nwarm query : {warm_ms:7.1f} ms "
           f"({stats['s_points_computed']} evaluated, "
           f"{stats['s_points_from_memory']} from memory) — "
           f"{cold_ms / max(warm_ms, 1e-9):.0f}x faster")
 
     # ------------------------------------- 3. concurrent, fresh t-grid
-    fresh = dict(query, t_points=[3.0, 6.0, 12.0, 24.0, 48.0])
+    fresh = query.density([3.0, 6.0, 12.0, 24.0, 48.0])
     replies = []
+
     def worker():
-        replies.append(client.passage(**fresh))
+        replies.append(fresh.run(engine))
+
     before = client.stats()["scheduler"]
     threads = [threading.Thread(target=worker) for _ in range(8)]
     start = time.perf_counter()
@@ -79,7 +87,7 @@ def main() -> None:
     print(f"\n8 concurrent clients, new t-grid: {elapsed_ms:.1f} ms total, "
           f"{evaluated} s-points evaluated once, {coalesced} coalesced "
           f"across the other requests")
-    assert all(r["density"] == replies[0]["density"] for r in replies)
+    assert all(np.array_equal(r.density, replies[0].density) for r in replies)
 
     totals = client.stats()
     print(f"\nserver totals: {totals['queries']['total']} queries, "

@@ -23,6 +23,7 @@ Quick start::
 Subpackage map (see DESIGN.md for the full inventory):
 
 ===================  ======================================================
+``repro.api``            the public facade: Model -> Query -> Engine -> result
 ``repro.distributions``  sojourn-time distributions and transforms
 ``repro.laplace``        Euler / Laguerre numerical transform inversion
 ``repro.smp``            SMP kernel, iterative passage-time algorithm
@@ -46,10 +47,15 @@ from .core import (
 from .smp import PassageTimeOptions, SMPBuilder, SMPKernel
 from .petri import SMSPN, Transition, build_kernel, explore
 from .dnamaca import load_model
+from .api import Model, PassageQuery, SimulationQuery, TransientQuery
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Model",
+    "PassageQuery",
+    "TransientQuery",
+    "SimulationQuery",
     "PassageTimeSolver",
     "TransientSolver",
     "PassageTimeResult",

@@ -1,0 +1,74 @@
+"""The public analysis API: ``Model`` → ``Query`` → ``Engine`` → result.
+
+This package is the single supported entry surface over the whole pipeline
+(dnamaca spec → reachability → SMP kernel → s-point transform evaluation →
+Laplace inversion).  The CLI, the analysis service, the examples and the
+benchmarks are all thin layers over it::
+
+    from repro.api import Model
+
+    model = Model.from_file("voting.dnamaca", overrides={"CC": 6})
+    result = (model.passage("p1 == CC", "p2 == CC")
+                   .density([5, 10, 20])
+                   .cdf()
+                   .quantile(0.95)
+                   .run())                     # or engine="remote", url=...
+
+    print(result.as_table(), result.quantiles)
+
+Three ideas carry the design:
+
+* **Models are content-addressed and lazy.**  ``Model.from_spec`` never
+  explores the state space; the first local evaluation registers the spec
+  with a process-wide registry, so every later model/query on the same spec
+  (plus overrides and state cap) reuses one graph, kernel and evaluator.
+* **Queries are immutable plans.**  A query only records *what* to compute;
+  ``query.plan()`` derives the exact canonical s-grid the inversion needs
+  before any work happens — the contract that makes caching, coalescing and
+  distribution correct.
+* **Engines are pluggable.**  ``run(engine="inline" | "multiprocessing" |
+  "distributed" | "remote")`` selects *how* the s-grid is evaluated; all
+  engines return the same result objects with the same numbers.  New
+  execution modes register via :func:`register_engine`.
+"""
+from ..dnamaca.expressions import parse_overrides
+from .engines import (
+    DistributedEngine,
+    Engine,
+    InlineEngine,
+    MultiprocessingEngine,
+    RemoteEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from .errors import ApiError, EngineError, ModelError, PlanError, PredicateError
+from .model import Model, default_registry, resolve_state_sets
+from .plan import QueryPlan, build_job
+from .queries import PassageQuery, SimulationQuery, SimulationResult, TransientQuery
+
+__all__ = [
+    "ApiError",
+    "DistributedEngine",
+    "Engine",
+    "EngineError",
+    "InlineEngine",
+    "Model",
+    "ModelError",
+    "MultiprocessingEngine",
+    "PassageQuery",
+    "PlanError",
+    "PredicateError",
+    "QueryPlan",
+    "RemoteEngine",
+    "SimulationQuery",
+    "SimulationResult",
+    "TransientQuery",
+    "available_engines",
+    "build_job",
+    "default_registry",
+    "get_engine",
+    "parse_overrides",
+    "register_engine",
+    "resolve_state_sets",
+]

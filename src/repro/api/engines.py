@@ -1,0 +1,529 @@
+"""Pluggable execution engines: one query, four ways to run it.
+
+An :class:`Engine` turns a lazy query into a result object.  Engines are
+selected by name through a registry, so new execution modes (async pools,
+sharded clusters, ...) plug in at this single seam::
+
+    result = query.run()                              # inline, this process
+    result = query.run(engine="multiprocessing", processes=8)
+    result = query.run(engine="distributed", checkpoint="/var/ckpt")
+    result = query.run(engine="remote", url="http://analysis:8400")
+
+All engines return the same result types (:class:`PassageTimeResult` /
+:class:`TransientResult`) with the same numbers — the engine-parity tests
+hold them to 1e-10 of each other.
+"""
+from __future__ import annotations
+
+import abc
+import threading
+
+import numpy as np
+from scipy import optimize
+
+from ..core.results import PassageTimeResult, TransientResult
+from ..distributed.backends import MultiprocessingBackend, SerialBackend
+from ..distributed.checkpoint import CheckpointStore
+from ..distributed.pipeline import DistributedPipeline
+from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
+from ..utils.timing import Stopwatch
+from .errors import ApiError, EngineError
+from .model import resolve_state_sets
+from .plan import QueryPlan, build_job
+
+__all__ = [
+    "Engine",
+    "InlineEngine",
+    "MultiprocessingEngine",
+    "DistributedEngine",
+    "RemoteEngine",
+    "get_engine",
+    "register_engine",
+    "available_engines",
+]
+
+
+class Engine(abc.ABC):
+    """Executes measure queries; subclasses define *where* the work happens."""
+
+    #: registry name; also stamped into every result's statistics
+    name: str = "abstract"
+
+    def run(self, query):
+        """Dispatch on the query's measure kind."""
+        kind = getattr(query, "kind", None)
+        if kind == "passage":
+            return self.run_passage(query)
+        if kind == "transient":
+            return self.run_transient(query)
+        raise EngineError(
+            f"engine {self.name!r} cannot run {type(query).__name__} queries"
+        )
+
+    @abc.abstractmethod
+    def run_passage(self, query) -> PassageTimeResult:
+        """Evaluate a passage-time query."""
+
+    @abc.abstractmethod
+    def run_transient(self, query) -> TransientResult:
+        """Evaluate a transient-probability query."""
+
+
+def _refine_quantile(q, t_points, cdf_at) -> float:
+    """Root-find ``F(t) = q`` bracketed by the query's t-grid (paper §5.3.1)."""
+    t_lower = float(np.min(t_points))
+    t_upper = float(np.max(t_points)) * 10.0
+    lo = cdf_at(t_lower) - q
+    hi = cdf_at(t_upper) - q
+    if lo > 0 or hi < 0:
+        raise ApiError(
+            f"quantile {q} is not bracketed by [{t_lower:.6g}, {t_upper:.6g}] "
+            f"(F(lower)-q={lo:.4g}, F(upper)-q={hi:.4g})"
+        )
+    return float(optimize.brentq(lambda t: cdf_at(t) - q, t_lower, t_upper, xtol=1e-6))
+
+
+class _LocalEngine(Engine):
+    """Shared machinery of the engines that evaluate s-points in this process
+    tree: resolve the state sets, build the job, derive the plan, gather the
+    (conjugate-folded, canonically cached) transform values, invert."""
+
+    def _evaluate(self, job, s_points: list[complex]) -> dict[complex, complex]:
+        raise NotImplementedError  # pragma: no cover - subclass responsibility
+
+    def _context(self, query):
+        entry = query.model.entry
+        sources, targets = resolve_state_sets(entry, query.source, query.target)
+        job = build_job(
+            entry, query.kind, sources, targets,
+            solver=query.solver, epsilon=query.epsilon,
+        )
+        return entry, targets, job, query.make_inverter()
+
+    def _gather(self, job, required, cache, stats) -> dict[complex, complex]:
+        """Transform values for every required point, evaluating each at most once.
+
+        The exact grid points are evaluated (never their canonically rounded
+        cache keys — rounding perturbs components of very different scales on
+        the Laguerre contour); the cache and every other evaluation path key
+        by :func:`canonical_s`, which is what makes engine results identical.
+        """
+        folded = conjugate_reduced(np.asarray(required, dtype=complex))
+        missing = [complex(s) for s in folded if canonical_s(s) not in cache]
+        if missing:
+            stopwatch = Stopwatch()
+            with stopwatch:
+                computed = self._evaluate(job, missing)
+            for s, value in computed.items():
+                cache[canonical_s(s)] = complex(value)
+            stats["s_points_computed"] += len(missing)
+            stats["evaluation_seconds"] += stopwatch.elapsed
+        return expand_to_grid(required, cache)
+
+    def _new_stats(self, query, plan: QueryPlan) -> dict:
+        return {
+            "engine": self.name,
+            "backend": self.name,
+            "solver": query.solver,
+            "s_points_required": int(plan.required_s_points.size),
+            "s_points_computed": 0,
+            "conjugates_folded": plan.conjugates_folded,
+            "evaluation_seconds": 0.0,
+            "inversion_seconds": 0.0,
+        }
+
+    def _invert(self, inverter, t_points, values, stats) -> np.ndarray:
+        stopwatch = Stopwatch()
+        with stopwatch:
+            result = inverter.invert_values(t_points, values)
+        stats["inversion_seconds"] += stopwatch.elapsed
+        return result
+
+    # -------------------------------------------------------------- passage
+    def run_passage(self, query) -> PassageTimeResult:
+        t_points = query.grid()
+        _entry, _targets, job, inverter = self._context(query)
+        plan = QueryPlan.derive(inverter, t_points)
+        stats = self._new_stats(query, plan)
+        cache: dict[complex, complex] = {}
+
+        values = self._gather(job, plan.required_s_points, cache, stats)
+        density = (
+            self._invert(inverter, t_points, values, stats)
+            if query.include_density else None
+        )
+        cdf = None
+        if query.include_cdf:
+            cdf_values = {s: v / s for s, v in values.items() if s != 0}
+            cdf = self._invert(inverter, t_points, cdf_values, stats)
+
+        quantiles: dict[float, float] = {}
+        if query.quantiles:
+            def cdf_at(t: float) -> float:
+                grid = np.asarray([t], dtype=float)
+                probe = self._gather(
+                    job, inverter.required_s_points(grid), cache, stats
+                )
+                probe_cdf = {s: v / s for s, v in probe.items() if s != 0}
+                return float(self._invert(inverter, grid, probe_cdf, stats)[0])
+
+            for q in query.quantiles:
+                quantiles[q] = _refine_quantile(q, t_points, cdf_at)
+
+        return PassageTimeResult(
+            t_points=t_points,
+            density=density,
+            cdf=cdf,
+            transform_values={s: v for s, v in values.items()},
+            method=inverter.name,
+            quantiles=quantiles,
+            statistics=stats,
+        )
+
+    # ------------------------------------------------------------ transient
+    def run_transient(self, query) -> TransientResult:
+        t_points = query.grid()
+        entry, targets, job, inverter = self._context(query)
+        plan = QueryPlan.derive(inverter, t_points)
+        stats = self._new_stats(query, plan)
+        cache: dict[complex, complex] = {}
+
+        values = self._gather(job, plan.required_s_points, cache, stats)
+        probability = self._invert(inverter, t_points, values, stats)
+        steady = entry.steady_state(targets) if query.include_steady_state else None
+        return TransientResult(
+            t_points=t_points,
+            probability=probability,
+            steady_state=steady,
+            transform_values={s: v for s, v in values.items()},
+            method=inverter.name,
+            statistics=stats,
+        )
+
+
+class InlineEngine(_LocalEngine):
+    """Evaluate every s-point in the calling process via the batched engine."""
+
+    name = "inline"
+
+    def _evaluate(self, job, s_points):
+        return job.evaluate_many(s_points)
+
+
+class MultiprocessingEngine(_LocalEngine):
+    """Evaluate the s-grid on a pool of worker processes.
+
+    The job is shipped to each worker once (the paper's slaves receiving the
+    model); each task message carries a chunk of s-points for the batched
+    engine.  Quantile-refinement probes are tiny (33 points each) and are
+    evaluated inline rather than paying a pool round-trip.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, *, processes: int | None = None, chunk_size: int = 8):
+        self._backend = MultiprocessingBackend(processes=processes, chunk_size=chunk_size)
+        # Per-run dispatch state is thread-local so one engine instance can
+        # serve concurrent threads without mixing up pool-vs-inline routing.
+        self._run_state = threading.local()
+
+    def _evaluate(self, job, s_points):
+        if getattr(self._run_state, "main_grid_done", True):
+            return job.evaluate_many(s_points)
+        self._run_state.main_grid_done = True
+        return self._backend.evaluate(job, s_points)
+
+    def run_passage(self, query):
+        self._run_state.main_grid_done = False
+        return super().run_passage(query)
+
+    def run_transient(self, query):
+        self._run_state.main_grid_done = False
+        return super().run_transient(query)
+
+
+class DistributedEngine(Engine):
+    """Run through the master/worker :class:`DistributedPipeline`.
+
+    Adds what the paper's master adds: a work queue, conjugate folding,
+    on-disk checkpoint/resume of s-point results, and per-task accounting.
+    ``backend`` accepts any pipeline backend; ``workers > 1`` builds a
+    multiprocessing backend; the default is the timing-recording serial one.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        *,
+        backend=None,
+        workers: int | None = None,
+        chunk_size: int = 4,
+        checkpoint: str | CheckpointStore | None = None,
+        fold_conjugates: bool = True,
+    ):
+        if backend is None and workers and workers > 1:
+            backend = MultiprocessingBackend(processes=workers, chunk_size=chunk_size)
+        self.backend = backend
+        self.checkpoint = (
+            CheckpointStore(checkpoint)
+            if isinstance(checkpoint, (str, bytes)) or hasattr(checkpoint, "__fspath__")
+            else checkpoint
+        )
+        self.fold_conjugates = fold_conjugates
+
+    def _pipeline(self, query, job) -> DistributedPipeline:
+        return DistributedPipeline(
+            job,
+            inversion=query.inversion,
+            inverter_options=dict(query.inverter_options),
+            backend=self.backend or SerialBackend(record_timings=True),
+            checkpoint=self.checkpoint,
+            fold_conjugates=self.fold_conjugates,
+        )
+
+    def _context(self, query):
+        entry = query.model.entry
+        sources, targets = resolve_state_sets(entry, query.source, query.target)
+        job = build_job(
+            entry, query.kind, sources, targets,
+            solver=query.solver, epsilon=query.epsilon,
+        )
+        return entry, targets, job
+
+    def _statistics(self, pipeline) -> dict:
+        stats = pipeline.statistics_summary()
+        stats["engine"] = self.name
+        return stats
+
+    def run_passage(self, query) -> PassageTimeResult:
+        t_points = query.grid()
+        _entry, _targets, job = self._context(query)
+        pipeline = self._pipeline(query, job)
+
+        density = pipeline.density(t_points) if query.include_density else None
+        cdf = pipeline.cdf(t_points) if query.include_cdf else None
+
+        quantiles: dict[float, float] = {}
+        probe_points = 0
+        if query.quantiles:
+            # Quantile probes are single-t grids (33 points under Euler); they
+            # are evaluated in-process against the pipeline's value cache
+            # rather than dispatched, matching the cost profile of the CLI's
+            # historical root-find.  They bypass the pipeline's checkpoint
+            # and its s_points_computed counter by design; the extra work is
+            # reported separately as ``s_points_probed``.
+            inverter = pipeline.inverter
+            cache = pipeline.transform_values()
+
+            def cdf_at(t: float) -> float:
+                nonlocal probe_points
+                grid = np.asarray([t], dtype=float)
+                required = inverter.required_s_points(grid)
+                missing = [
+                    complex(s)
+                    for s in conjugate_reduced(required)
+                    if canonical_s(s) not in cache
+                ]
+                for s, v in job.evaluate_many(missing).items():
+                    cache[canonical_s(s)] = complex(v)
+                probe_points += len(missing)
+                probe = {
+                    s: v / s
+                    for s, v in expand_to_grid(required, cache).items()
+                    if s != 0
+                }
+                return float(inverter.invert_values(grid, probe)[0])
+
+            for q in query.quantiles:
+                quantiles[q] = _refine_quantile(q, t_points, cdf_at)
+
+        statistics = self._statistics(pipeline)
+        statistics["s_points_probed"] = probe_points
+        return PassageTimeResult(
+            t_points=t_points,
+            density=density,
+            cdf=cdf,
+            transform_values=pipeline.transform_values(),
+            method=pipeline.inverter.name,
+            quantiles=quantiles,
+            statistics=statistics,
+        )
+
+    def run_transient(self, query) -> TransientResult:
+        t_points = query.grid()
+        entry, targets, job = self._context(query)
+        pipeline = self._pipeline(query, job)
+        probability = pipeline.density(t_points)
+        steady = entry.steady_state(targets) if query.include_steady_state else None
+        return TransientResult(
+            t_points=t_points,
+            probability=probability,
+            steady_state=steady,
+            transform_values=pipeline.transform_values(),
+            method=pipeline.inverter.name,
+            statistics=self._statistics(pipeline),
+        )
+
+
+class RemoteEngine(Engine):
+    """Ship the query to a running analysis server over its HTTP JSON API.
+
+    The server amortises model building across all clients (content-addressed
+    registry), coalesces overlapping s-points of concurrent queries and keeps
+    a tiered result cache — so a warm remote query answers without a single
+    transform evaluation.  Requires the query's model to carry its spec text
+    (``Model.from_spec``/``from_file``) or reference an already-registered
+    digest (``Model.from_digest``).
+    """
+
+    name = "remote"
+
+    def __init__(self, *, url: str = "http://127.0.0.1:8400", timeout: float = 120.0, client=None):
+        if client is None:
+            from ..service.client import ServiceClient
+
+            client = ServiceClient(url, timeout=timeout)
+        self.client = client
+
+    def _call(self, method: str, **payload):
+        from ..service.client import ServiceClientError
+
+        try:
+            return getattr(self.client, method)(**payload)
+        except ServiceClientError as exc:
+            raise EngineError(str(exc)) from None
+
+    def _reference(self, query) -> dict:
+        if query.inverter_options:
+            raise EngineError(
+                "the remote engine does not support custom inverter options; "
+                "configure the server-side defaults instead"
+            )
+        ref = query.model.reference()
+        return {
+            "model": ref.get("model"),
+            "spec": ref.get("spec"),
+            "overrides": ref.get("overrides"),
+            "max_states": ref.get("max_states"),
+        }
+
+    def run_passage(self, query) -> PassageTimeResult:
+        t_points = query.grid()
+        quantiles = list(query.quantiles)
+        reply = self._call(
+            "passage",
+            **self._reference(query),
+            source=query.source,
+            target=query.target,
+            t_points=[float(t) for t in t_points],
+            cdf=query.include_cdf,
+            quantile=quantiles[0] if quantiles else None,
+            solver=query.solver,
+            inversion=query.inversion,
+            epsilon=query.epsilon,
+        )
+        out_quantiles: dict[float, float] = {}
+        if "quantile" in reply:
+            out_quantiles[float(reply["quantile"]["q"])] = float(reply["quantile"]["t"])
+        for q in quantiles[1:]:
+            # The first reply carries the registered digest; follow-up
+            # quantile requests reference it instead of re-sending the spec.
+            extra = self._call(
+                "passage",
+                model=reply.get("model"),
+                spec=None,
+                overrides=None,
+                max_states=None,
+                source=query.source,
+                target=query.target,
+                t_points=[float(t) for t in t_points],
+                cdf=False,
+                quantile=q,
+                solver=query.solver,
+                inversion=query.inversion,
+                epsilon=query.epsilon,
+            )
+            out_quantiles[float(extra["quantile"]["q"])] = float(extra["quantile"]["t"])
+
+        stats = dict(reply.get("statistics", {}))
+        stats["engine"] = self.name
+        stats["model"] = reply.get("model")
+        return PassageTimeResult(
+            t_points=np.asarray(reply["t_points"], dtype=float),
+            density=np.asarray(reply["density"], dtype=float) if query.include_density else None,
+            cdf=np.asarray(reply["cdf"], dtype=float) if "cdf" in reply else None,
+            method=query.inversion,
+            quantiles=out_quantiles,
+            statistics=stats,
+        )
+
+    def run_transient(self, query) -> TransientResult:
+        t_points = query.grid()
+        reply = self._call(
+            "transient",
+            **self._reference(query),
+            source=query.source,
+            target=query.target,
+            t_points=[float(t) for t in t_points],
+            steady_state=query.include_steady_state,
+            solver=query.solver,
+            inversion=query.inversion,
+            epsilon=query.epsilon,
+        )
+        stats = dict(reply.get("statistics", {}))
+        stats["engine"] = self.name
+        stats["model"] = reply.get("model")
+        return TransientResult(
+            t_points=np.asarray(reply["t_points"], dtype=float),
+            probability=np.asarray(reply["probability"], dtype=float),
+            steady_state=(
+                float(reply["steady_state"]) if "steady_state" in reply else None
+            ),
+            method=query.inversion,
+            statistics=stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine registry
+# ---------------------------------------------------------------------------
+
+_ENGINE_FACTORIES: dict[str, type[Engine]] = {}
+
+
+def register_engine(name: str, factory, *, replace: bool = False) -> None:
+    """Register an engine factory under ``name`` for ``query.run(engine=name)``."""
+    if not replace and name in _ENGINE_FACTORIES:
+        raise ValueError(f"engine {name!r} is already registered")
+    _ENGINE_FACTORIES[name] = factory
+
+
+def available_engines() -> tuple[str, ...]:
+    return tuple(sorted(_ENGINE_FACTORIES))
+
+
+def get_engine(engine, **options) -> Engine:
+    """Resolve an engine by name (constructing it) or pass an instance through."""
+    if isinstance(engine, Engine):
+        if options:
+            raise EngineError(
+                "engine options only apply when the engine is selected by name"
+            )
+        return engine
+    factory = _ENGINE_FACTORIES.get(engine)
+    if factory is None:
+        raise EngineError(
+            f"unknown engine {engine!r}; available engines: "
+            + ", ".join(available_engines())
+        )
+    try:
+        return factory(**options)
+    except TypeError as exc:
+        raise EngineError(f"cannot construct engine {engine!r}: {exc}") from None
+
+
+register_engine("inline", InlineEngine)
+register_engine("multiprocessing", MultiprocessingEngine)
+register_engine("distributed", DistributedEngine)
+register_engine("remote", RemoteEngine)

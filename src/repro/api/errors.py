@@ -1,0 +1,30 @@
+"""Exception taxonomy of the public analysis API.
+
+Every failure the facade can produce derives from :class:`ApiError`, so
+callers (the CLI, scripts, notebooks) need exactly one ``except`` clause.
+The transport-specific error types of lower layers (``ServiceClientError``,
+``ExpressionError``) are translated at the API boundary.
+"""
+from __future__ import annotations
+
+__all__ = ["ApiError", "ModelError", "PredicateError", "PlanError", "EngineError"]
+
+
+class ApiError(Exception):
+    """Base class for all errors raised by :mod:`repro.api`."""
+
+
+class ModelError(ApiError):
+    """The model cannot be built or referenced as requested."""
+
+
+class PredicateError(ApiError):
+    """A source/target marking predicate is malformed or matches no state."""
+
+
+class PlanError(ApiError):
+    """The query is under-specified (e.g. no t-points) or inconsistent."""
+
+
+class EngineError(ApiError):
+    """An execution engine cannot run the query (bad name, dead server, ...)."""

@@ -1,0 +1,331 @@
+"""The :class:`Model` facade — one entry point from a DNAmaca spec to queries.
+
+``Model.from_spec`` / ``Model.from_file`` wrap the content-addressed model
+registry: the reachability graph, SMP kernel and shared ``U(s)`` evaluator
+are built at most once per distinct (spec text, constant overrides, state
+cap), however many models, queries or engines reference them.  Construction
+is *lazy* — creating a model, planning a query, or running it on the remote
+engine never explores the state space locally; only local execution (or an
+explicit touch of :attr:`Model.entry`) pays the build.
+
+``Model.from_digest`` references a model already registered with an analysis
+server by its content digest; such a model can only run queries with
+``engine="remote"``.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..dnamaca import parse_model
+from ..dnamaca.expressions import ExpressionError, marking_predicate, parse_overrides
+from ..service.registry import ModelEntry, ModelRegistry, spec_digest
+from .errors import ModelError, PredicateError
+
+__all__ = ["Model", "resolve_state_sets", "default_registry"]
+
+#: process-wide registry backing ``Model.from_spec`` unless one is injected;
+#: repeated facade constructions of the same spec share one build.
+_DEFAULT_REGISTRY: ModelRegistry | None = None
+
+
+def default_registry() -> ModelRegistry:
+    """The process-wide model registry used by the facade."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = ModelRegistry()
+    return _DEFAULT_REGISTRY
+
+
+def resolve_state_sets(
+    entry: ModelEntry, source: str, target: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve source/target predicate expressions to non-empty state sets.
+
+    Shared by the local engines and the analysis service so both report the
+    same errors for the same malformed or unsatisfiable predicates.
+    """
+    for role, expression in (("source", source), ("target", target)):
+        if not expression or not isinstance(expression, str):
+            raise PredicateError(f"{role} must be a marking-predicate expression")
+    try:
+        sources = entry.states_matching(source)
+        targets = entry.states_matching(target)
+    except ExpressionError as exc:
+        raise PredicateError(str(exc)) from None
+    if sources.size == 0:
+        raise PredicateError(
+            f"no reachable marking satisfies the source predicate {source!r}"
+        )
+    if targets.size == 0:
+        raise PredicateError(
+            f"no reachable marking satisfies the target predicate {target!r}"
+        )
+    return sources, targets
+
+
+class Model:
+    """A content-addressed semi-Markov model, ready to be queried.
+
+    >>> model = Model.from_file("voting.dnamaca", overrides={"CC": 6})
+    >>> result = model.passage("p1 == CC", "p2 == CC").density([5, 10, 20]).run()
+    >>> remote = model.passage("p1 == CC", "p2 == CC").density([5, 10, 20])
+    ...     .run(engine="remote", url="http://analysis:8400")
+    """
+
+    def __init__(
+        self,
+        *,
+        spec_text: str | None = None,
+        name: str | None = None,
+        overrides: Mapping[str, float] | list[str] | None = None,
+        max_states: int | None = None,
+        digest: str | None = None,
+        registry: ModelRegistry | None = None,
+    ):
+        if spec_text is None and digest is None:
+            raise ModelError("a model needs a specification text or a digest")
+        if spec_text is not None and (not isinstance(spec_text, str) or not spec_text.strip()):
+            raise ModelError("spec_text must be a non-empty DNAmaca specification string")
+        try:
+            self._overrides = parse_overrides(overrides)
+        except ExpressionError as exc:
+            raise ModelError(str(exc)) from None
+        self._spec_text = spec_text
+        self._name = name
+        self._max_states = max_states
+        self._digest = digest
+        self._registry = registry
+        self._entry: ModelEntry | None = None
+        self._light_net = None
+        self._light_constants: dict[str, float] | None = None
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def from_spec(
+        cls,
+        text: str,
+        *,
+        name: str | None = None,
+        overrides: Mapping[str, float] | list[str] | None = None,
+        max_states: int | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> "Model":
+        """A model from DNAmaca specification text (built lazily, once)."""
+        return cls(
+            spec_text=text, name=name, overrides=overrides,
+            max_states=max_states, registry=registry,
+        )
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        *,
+        name: str | None = None,
+        overrides: Mapping[str, float] | list[str] | None = None,
+        max_states: int | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> "Model":
+        """A model from a specification file; the name defaults to the stem."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ModelError(f"cannot read model specification {str(path)!r}: {exc}") from None
+        return cls(
+            spec_text=text, name=name or path.stem, overrides=overrides,
+            max_states=max_states, registry=registry,
+        )
+
+    @classmethod
+    def from_digest(cls, digest: str) -> "Model":
+        """Reference a model a remote analysis server already holds.
+
+        The returned model carries no specification text, so it can only run
+        queries with ``engine="remote"``.
+        """
+        if not digest or not isinstance(digest, str):
+            raise ModelError("digest must be a non-empty string")
+        return cls(digest=digest)
+
+    # ------------------------------------------------------------ identity
+    @property
+    def digest(self) -> str:
+        """Content address: spec text + overrides + state cap.
+
+        The cap is resolved against the registry's default *before* hashing,
+        so the digest computed for a lazy model is identical to the one the
+        registry assigns at build time — it never changes after first use.
+        """
+        if self._digest is None:
+            max_states = self._max_states
+            if max_states is None:
+                registry = self._registry if self._registry is not None else default_registry()
+                max_states = registry.default_max_states
+            self._digest = spec_digest(self._spec_text, self._overrides, max_states)
+        return self._digest
+
+    @property
+    def name(self) -> str:
+        if self._name:
+            return self._name
+        if self._entry is not None:
+            return self._entry.name
+        return f"model-{self.digest[:8]}"
+
+    @property
+    def spec_text(self) -> str | None:
+        return self._spec_text
+
+    @property
+    def overrides(self) -> dict[str, float]:
+        return dict(self._overrides)
+
+    @property
+    def max_states(self) -> int | None:
+        return self._max_states
+
+    @property
+    def is_remote_reference(self) -> bool:
+        """True when the model is known only by digest (no local build possible)."""
+        return self._spec_text is None
+
+    def reference(self) -> dict:
+        """The JSON-ready model reference the remote engine sends to a server."""
+        if self.is_remote_reference:
+            return {"model": self.digest}
+        ref: dict = {"spec": self._spec_text}
+        if self._overrides:
+            ref["overrides"] = dict(self._overrides)
+        if self._max_states is not None:
+            ref["max_states"] = self._max_states
+        return ref
+
+    # --------------------------------------------------------------- build
+    @property
+    def entry(self) -> ModelEntry:
+        """The built model (graph + kernel + evaluator), constructed on first use."""
+        if self._entry is None:
+            if self.is_remote_reference:
+                raise ModelError(
+                    f"model {self.digest!r} is known only by digest; it cannot be "
+                    "built locally — run its queries with engine='remote'"
+                )
+            registry = self._registry if self._registry is not None else default_registry()
+            try:
+                self._entry, _ = registry.register(
+                    self._spec_text,
+                    name=self._name,
+                    overrides=self._overrides,
+                    max_states=self._max_states,
+                )
+            except Exception as exc:
+                raise ModelError(f"cannot build model: {exc}") from exc
+            self._digest = self._entry.digest
+        return self._entry
+
+    @property
+    def built(self) -> bool:
+        return self._entry is not None
+
+    # ------------------------------------------------------------- queries
+    def passage(self, source: str, target: str):
+        """A lazy first-passage-time query from ``source`` to ``target`` markings."""
+        from .queries import PassageQuery
+
+        return PassageQuery(model=self, source=source, target=target)
+
+    def transient(self, source: str, target: str):
+        """A lazy transient-probability query ``P(Z(t) in target | start source)``."""
+        from .queries import TransientQuery
+
+        return TransientQuery(model=self, source=source, target=target)
+
+    def simulate(
+        self,
+        target: str,
+        *,
+        replications: int = 2000,
+        seed: int | None = None,
+        t_points=None,
+    ):
+        """A lazy Monte-Carlo passage-time estimation to ``target`` markings."""
+        from .queries import SimulationQuery
+
+        return SimulationQuery(
+            model=self,
+            source="",
+            target=target,
+            replications=replications,
+            seed=seed,
+            t_points=None if t_points is None else tuple(float(t) for t in t_points),
+        )
+
+    # ----------------------------------------------- built-model inspection
+    @property
+    def net(self):
+        """The SM-SPN (built lazily *without* exploring the state space)."""
+        if self._entry is not None:
+            return self._entry.net
+        if self._light_net is None:
+            if self.is_remote_reference:
+                raise ModelError("a digest-only model has no local net")
+            from ..dnamaca import load_model
+
+            self._light_net = load_model(
+                self._spec_text,
+                name=self._name or "model",
+                overrides=self._overrides or None,
+            )
+        return self._light_net
+
+    @property
+    def constants(self) -> dict[str, float]:
+        """Declared constants with overrides applied (no state-space build)."""
+        if self._entry is not None:
+            return dict(self._entry.constants)
+        if self._light_constants is None:
+            if self.is_remote_reference:
+                raise ModelError("a digest-only model has no local constants")
+            spec = parse_model(self._spec_text, name=self._name or "model")
+            constants = dict(spec.constants)
+            constants.update(self._overrides)
+            self._light_constants = constants
+        return dict(self._light_constants)
+
+    @property
+    def graph(self):
+        return self.entry.graph
+
+    @property
+    def kernel(self):
+        return self.entry.kernel
+
+    @property
+    def n_states(self) -> int:
+        return self.entry.kernel.n_states
+
+    def states(self, expression: str) -> np.ndarray:
+        """State indices whose marking satisfies a predicate expression."""
+        try:
+            return self.entry.states_matching(expression)
+        except ExpressionError as exc:
+            raise PredicateError(str(exc)) from None
+
+    def predicate(self, expression: str):
+        """Compile a predicate over markings (usable without a state-space build)."""
+        try:
+            return marking_predicate(expression, self.constants)
+        except ExpressionError as exc:
+            raise PredicateError(str(exc)) from None
+
+    def describe(self) -> dict:
+        """JSON-ready summary of the built model."""
+        return self.entry.describe()
+
+    def __repr__(self) -> str:
+        state = "built" if self.built else ("digest-only" if self.is_remote_reference else "lazy")
+        return f"Model(name={self.name!r}, digest={self.digest!r}, {state})"

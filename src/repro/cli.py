@@ -19,6 +19,13 @@ across queries — see :mod:`repro.service`)::
         --target "p2 >= 18" --t-points 10 20 50 --cdf
     semimarkov query stats
 
+Every sub-command is a thin layer over the public analysis API
+(:mod:`repro.api`): the model file becomes a :class:`~repro.api.Model`, the
+requested measure becomes a lazy query, and the command's flags select the
+execution engine — in-process for ``passage``/``transient``, the
+checkpointing distributed pipeline for ``--workers``/``--checkpoint``, and
+the remote engine (a running ``semimarkov serve``) for ``query ...``.
+
 Source and target sets are marking predicates written in the same expression
 language as the specification's ``\\condition`` clauses (place names,
 constants, comparisons, ``&&`` / ``||``).
@@ -26,76 +33,120 @@ constants, comparisons, ``&&`` / ``||``).
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from .core.jobs import PassageTimeJob
-from .distributed import CheckpointStore, DistributedPipeline, MultiprocessingBackend, SerialBackend
-from .dnamaca import load_model, marking_predicate, parse_model
-from .petri import build_kernel, explore
-from .simulation import PetriSimulator, empirical_cdf
-from .smp import PassageTimeOptions, source_weights
+from .api import ApiError, DistributedEngine, Model
+from .dnamaca.expressions import ExpressionError, parse_overrides
 
 __all__ = ["main", "build_parser"]
 
 
-def _predicate_from_expression(source: str, constants: dict[str, float]):
-    """Compile a marking predicate from a condition-style expression."""
-    return marking_predicate(source, constants)
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
 
 
-def _parse_overrides(overrides: list[str] | None) -> dict[str, float]:
-    override_map: dict[str, float] = {}
-    for item in overrides or []:
-        if "=" not in item:
-            raise SystemExit(f"--set expects NAME=VALUE, got {item!r}")
-        name, value = item.split("=", 1)
-        override_map[name.strip()] = float(value)
-    return override_map
+def _overrides(args) -> dict[str, float]:
+    """Parse repeatable ``--set NAME=VALUE`` flags via the shared helper."""
+    try:
+        return parse_overrides(getattr(args, "set", None))
+    except ExpressionError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _load(path: str, overrides: list[str] | None):
-    text = Path(path).read_text()
-    spec = parse_model(text, name=Path(path).stem)
-    override_map = _parse_overrides(overrides)
-    net = load_model(text, name=Path(path).stem, overrides=override_map or None)
-    constants = dict(spec.constants)
-    constants.update(override_map)
-    return net, constants
+def _model(args) -> Model:
+    """The (lazy) model referenced by the positional MODEL argument."""
+    try:
+        return Model.from_file(
+            args.model, overrides=_overrides(args), max_states=args.max_states
+        )
+    except ApiError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _state_sets(graph, constants, source_expr: str, target_expr: str):
-    source_pred = _predicate_from_expression(source_expr, constants)
-    target_pred = _predicate_from_expression(target_expr, constants)
-    sources = graph.states_where(source_pred)
-    targets = graph.states_where(target_pred)
-    if not sources:
-        raise SystemExit(f"no reachable marking satisfies the source predicate {source_expr!r}")
-    if not targets:
-        raise SystemExit(f"no reachable marking satisfies the target predicate {target_expr!r}")
-    return sources, targets
+def _query_model(args) -> Model:
+    """Interpret a query's MODEL argument as a spec path or a digest."""
+    overrides = _overrides(args)
+    if Path(args.model).exists():
+        return Model.from_file(args.model, overrides=overrides)
+    if overrides:
+        raise SystemExit(
+            "--set needs the specification text; pass a spec file path, not a digest"
+        )
+    return Model.from_digest(args.model)
 
 
-def _backend(args):
-    if args.workers and args.workers > 1:
-        return MultiprocessingBackend(processes=args.workers, chunk_size=4)
-    return SerialBackend(record_timings=True)
+def _run(query, engine, **engine_options):
+    """Execute a query, converting API errors into clean exit messages."""
+    try:
+        return query.run(engine, **engine_options)
+    except ApiError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _emit(rows, header, args):
-    if args.json:
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _emit(rows, header, args) -> None:
+    """Print rows as an aligned table, JSON, or CSV (``None`` -> empty field).
+
+    The CSV and JSON forms are machine-readable and keep full float
+    precision; only the aligned table rounds for display.
+    """
+    if getattr(args, "csv", False):
+        writer = csv.writer(sys.stdout, lineterminator="\n")
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return
+    if getattr(args, "json", False):
         print(json.dumps(rows, indent=2))
         return
     widths = [max(len(str(h)), 12) for h in header]
     print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
     for row in rows:
-        print("  ".join(
-            (f"{v:.6g}" if isinstance(v, float) else str(v)).rjust(w)
-            for v, w in zip(row, widths)
-        ))
+        print("  ".join(_cell(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _passage_rows(result) -> tuple[list[list], list[str]]:
+    """Rows/header from a PassageTimeResult, dropping all-``None`` columns."""
+    table = result.as_table()
+    header = ["t", "density", "cdf"]
+    keep = [0] + [i for i in (1, 2) if any(row[i] is not None for row in table)]
+    return [[row[i] for i in keep] for row in table], [header[i] for i in keep]
+
+
+def _measure_query(model: Model, args, kind: str):
+    """Configure a passage/transient query from the shared measure flags."""
+    try:
+        if kind == "passage":
+            query = model.passage(args.source, args.target).density(args.t_points)
+            if args.cdf:
+                query = query.cdf()
+            if getattr(args, "quantile", None) is not None:
+                query = query.quantile(args.quantile)
+        else:
+            query = model.transient(args.source, args.target).probability(args.t_points)
+        return (
+            query.with_solver(args.solver)
+            .with_inversion(args.inversion)
+            .with_epsilon(args.epsilon)
+        )
+    except ApiError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _print_quantiles(result) -> None:
+    for q, t in sorted(result.quantiles.items()):
+        print(f"quantile: P(T <= {t:.6g}) = {q}")
 
 
 # ---------------------------------------------------------------------------
@@ -104,12 +155,15 @@ def _emit(rows, header, args):
 
 
 def _cmd_info(args) -> int:
-    net, constants = _load(args.model, args.set)
-    graph = explore(net, max_states=args.max_states)
-    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    model = _model(args)
+    try:
+        entry = model.entry
+    except ApiError as exc:
+        raise SystemExit(str(exc)) from None
+    graph, kernel, net = entry.graph, entry.kernel, entry.net
     usage = graph.transition_usage()
     print(f"model          : {net.name}")
-    print(f"constants      : {constants}")
+    print(f"constants      : {entry.constants}")
     print(f"places         : {', '.join(net.places)}")
     print(f"transitions    : {', '.join(t.name for t in net.transitions)}")
     print(f"reachable states: {graph.n_states}{' (truncated)' if graph.truncated else ''}")
@@ -123,88 +177,49 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_passage(args) -> int:
-    net, constants = _load(args.model, args.set)
-    graph = explore(net, max_states=args.max_states)
-    kernel = build_kernel(graph, allow_truncated=graph.truncated)
-    sources, targets = _state_sets(graph, constants, args.source, args.target)
+    model = _model(args)
+    query = _measure_query(model, args, "passage")
+    engine = DistributedEngine(workers=args.workers, checkpoint=args.checkpoint)
+    result = _run(query, engine)
 
-    job = PassageTimeJob(
-        kernel=kernel,
-        alpha=source_weights(kernel, sources),
-        targets=targets,
-        options=PassageTimeOptions(epsilon=args.epsilon),
-        solver=args.solver,
-    )
-    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
-    pipeline = DistributedPipeline(
-        job, inversion=args.inversion, backend=_backend(args), checkpoint=checkpoint
-    )
-
-    t_points = np.asarray(args.t_points, dtype=float)
-    density = pipeline.density(t_points)
-    rows = [[float(t), float(f)] for t, f in zip(t_points, density)]
-    header = ["t", "density"]
-    if args.cdf:
-        cdf = pipeline.cdf(t_points)
-        header.append("cdf")
-        for row, value in zip(rows, cdf):
-            row.append(float(value))
+    rows, header = _passage_rows(result)
     _emit(rows, header, args)
-
-    if args.quantile is not None:
-        from .core import PassageTimeSolver
-
-        solver = PassageTimeSolver(
-            kernel, sources=sources, targets=targets, method=args.solver,
-            inversion=args.inversion,
-        )
-        lo, hi = min(t_points), max(t_points) * 10
-        value = solver.quantile(args.quantile, lo, hi)
-        print(f"quantile: P(T <= {value:.6g}) = {args.quantile}")
-    stats = pipeline.statistics_summary()
-    print(f"# s-points computed: {stats['s_points_computed']} "
-          f"(cache: {stats['s_points_from_cache']}), "
-          f"evaluation {stats['evaluation_seconds']:.2f}s via {stats['backend']}",
+    _print_quantiles(result)
+    stats = result.statistics
+    print(f"# s-points computed: {stats.get('s_points_computed', 0)} "
+          f"(cache: {stats.get('s_points_from_cache', 0)}), "
+          f"evaluation {stats.get('evaluation_seconds', 0.0):.2f}s "
+          f"via {stats.get('backend', 'serial')}",
           file=sys.stderr)
     return 0
 
 
 def _cmd_transient(args) -> int:
-    net, constants = _load(args.model, args.set)
-    graph = explore(net, max_states=args.max_states)
-    kernel = build_kernel(graph, allow_truncated=graph.truncated)
-    sources, targets = _state_sets(graph, constants, args.source, args.target)
-
-    from .core import TransientSolver
-
-    solver = TransientSolver(
-        kernel, sources=sources, targets=targets,
-        method=args.solver, inversion=args.inversion,
-        options=PassageTimeOptions(epsilon=args.epsilon),
-    )
-    t_points = np.asarray(args.t_points, dtype=float)
-    result = solver.solve(t_points)
-    rows = [[float(t), float(p)] for t, p in zip(result.t_points, result.probability)]
-    _emit(rows, ["t", "probability"], args)
+    model = _model(args)
+    query = _measure_query(model, args, "transient")
+    result = _run(query, "inline")
+    _emit(result.as_table(), ["t", "probability"], args)
     print(f"steady-state value: {result.steady_state:.6g}")
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    net, constants = _load(args.model, args.set)
-    target = _predicate_from_expression(args.target, constants)
-    simulator = PetriSimulator(net)
-    samples = simulator.sample_passage_times(
-        target, n_samples=args.replications, rng=args.seed
-    )
-    quantiles = [0.05, 0.25, 0.5, 0.75, 0.95, 0.99]
-    rows = [[q, float(np.quantile(samples, q))] for q in quantiles]
-    _emit(rows, ["quantile", "t"], args)
-    print(f"mean: {samples.mean():.6g}   std: {samples.std(ddof=1):.6g}   "
-          f"replications: {len(samples)}")
-    if args.t_points:
-        cdf = empirical_cdf(samples, args.t_points)
-        _emit([[float(t), float(p)] for t, p in zip(args.t_points, cdf)],
+    model = _model(args)
+    try:
+        query = model.simulate(
+            args.target,
+            replications=args.replications,
+            seed=args.seed,
+            t_points=args.t_points or None,
+        )
+    except ApiError as exc:
+        raise SystemExit(str(exc)) from None
+    result = _run(query, "inline")
+    _emit(result.as_table(), ["quantile", "t"], args)
+    print(f"mean: {result.mean():.6g}   std: {result.std():.6g}   "
+          f"replications: {result.n_replications}")
+    if result.t_points is not None:
+        _emit([[float(t), float(p)] for t, p in zip(result.t_points, result.cdf)],
               ["t", "P(T<=t)"], args)
     return 0
 
@@ -222,7 +237,7 @@ def _cmd_serve(args) -> int:
         cache_points=args.cache_points,
         default_max_states=args.max_states,
     )
-    overrides = _parse_overrides(args.set)
+    overrides = _overrides(args)
     for path in args.preload or []:
         info = service.register_model(
             Path(path).read_text(), name=Path(path).stem,
@@ -243,52 +258,30 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _model_reference(model: str, overrides: list[str] | None) -> dict:
-    """Interpret a query's MODEL argument as a spec path or a digest."""
-    override_map = _parse_overrides(overrides)
-    if Path(model).exists():
-        ref: dict = {"spec": Path(model).read_text()}
-        if override_map:
-            ref["overrides"] = override_map
-        return ref
-    if override_map:
-        raise SystemExit(
-            "--set needs the specification text; pass a spec file path, not a digest"
-        )
-    return {"model": model}
-
-
-def _client(args):
-    from .service import ServiceClient
-
-    return ServiceClient(args.url)
-
-
-def _print_query_stats(reply: dict) -> None:
-    stats = reply.get("statistics", {})
+def _print_query_stats(statistics: dict) -> None:
     print(
-        f"# s-points: {stats.get('s_points_required', 0)} required, "
-        f"{stats.get('s_points_computed', 0)} computed, "
-        f"{stats.get('s_points_from_memory', 0)} memory, "
-        f"{stats.get('s_points_from_disk', 0)} disk, "
-        f"{stats.get('s_points_coalesced', 0)} coalesced",
+        f"# s-points: {statistics.get('s_points_required', 0)} required, "
+        f"{statistics.get('s_points_computed', 0)} computed, "
+        f"{statistics.get('s_points_from_memory', 0)} memory, "
+        f"{statistics.get('s_points_from_disk', 0)} disk, "
+        f"{statistics.get('s_points_coalesced', 0)} coalesced",
         file=sys.stderr,
     )
 
 
 def _cmd_query_register(args) -> int:
-    from .service import ServiceClientError
+    from .service import ServiceClient, ServiceClientError
 
-    override_map = _parse_overrides(args.set)
+    override_map = _overrides(args)
     try:
-        info = _client(args).register_model(
+        info = ServiceClient(args.url).register_model(
             Path(args.model).read_text(),
             name=args.name or Path(args.model).stem,
             overrides=override_map or None,
             max_states=args.max_states,
         )
     except ServiceClientError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     if args.json:
         print(json.dumps(info, indent=2))
     else:
@@ -300,66 +293,34 @@ def _cmd_query_register(args) -> int:
 
 
 def _cmd_query_passage(args) -> int:
-    from .service import ServiceClientError
-
-    try:
-        reply = _client(args).passage(
-            **_model_reference(args.model, args.set),
-            source=args.source,
-            target=args.target,
-            t_points=args.t_points,
-            cdf=args.cdf,
-            quantile=args.quantile,
-            solver=args.solver,
-            inversion=args.inversion,
-            epsilon=args.epsilon,
-        )
-    except ServiceClientError as exc:
-        raise SystemExit(str(exc))
-    rows = [[float(t), float(f)] for t, f in zip(reply["t_points"], reply["density"])]
-    header = ["t", "density"]
-    if "cdf" in reply:
-        header.append("cdf")
-        for row, value in zip(rows, reply["cdf"]):
-            row.append(float(value))
+    model = _query_model(args)
+    query = _measure_query(model, args, "passage")
+    result = _run(query, "remote", url=args.url)
+    rows, header = _passage_rows(result)
     _emit(rows, header, args)
-    if "quantile" in reply:
-        q = reply["quantile"]
-        print(f"quantile: P(T <= {q['t']:.6g}) = {q['q']}")
-    _print_query_stats(reply)
+    _print_quantiles(result)
+    _print_query_stats(result.statistics)
     return 0
 
 
 def _cmd_query_transient(args) -> int:
-    from .service import ServiceClientError
-
-    try:
-        reply = _client(args).transient(
-            **_model_reference(args.model, args.set),
-            source=args.source,
-            target=args.target,
-            t_points=args.t_points,
-            solver=args.solver,
-            inversion=args.inversion,
-            epsilon=args.epsilon,
-        )
-    except ServiceClientError as exc:
-        raise SystemExit(str(exc))
-    rows = [[float(t), float(p)] for t, p in zip(reply["t_points"], reply["probability"])]
-    _emit(rows, ["t", "probability"], args)
-    if "steady_state" in reply:
-        print(f"steady-state value: {reply['steady_state']:.6g}")
-    _print_query_stats(reply)
+    model = _query_model(args)
+    query = _measure_query(model, args, "transient")
+    result = _run(query, "remote", url=args.url)
+    _emit(result.as_table(), ["t", "probability"], args)
+    if result.steady_state is not None:
+        print(f"steady-state value: {result.steady_state:.6g}")
+    _print_query_stats(result.statistics)
     return 0
 
 
 def _cmd_query_stats(args) -> int:
-    from .service import ServiceClientError
+    from .service import ServiceClient, ServiceClientError
 
     try:
-        stats = _client(args).stats()
+        stats = ServiceClient(args.url).stats()
     except ServiceClientError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     print(json.dumps(stats, indent=2))
     return 0
 
@@ -383,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-states", type=int, default=None,
                        help="cap on the explored state-space size")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+        p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
 
     info = sub.add_parser("info", help="show model structure and state-space statistics")
     add_common(info)
@@ -470,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--inversion", choices=["euler", "laguerre"], default="euler")
         p.add_argument("--epsilon", type=float, default=1e-8)
         p.add_argument("--json", action="store_true")
+        p.add_argument("--csv", action="store_true")
 
     q_passage = qsub.add_parser("passage", help="passage-time query over HTTP")
     add_query_measure(q_passage)

@@ -22,7 +22,6 @@ from ..smp.passage import (
     SPointPolicy,
     passage_transform,
     passage_transform_batch,
-    passage_transform_vector,
 )
 from ..smp.transient import transient_transform, transient_transform_batch
 

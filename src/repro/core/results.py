@@ -26,6 +26,9 @@ class PassageTimeResult:
         inversion — kept so quantiles and extra t-points can reuse them.
     method:
         Inversion algorithm used ("euler" / "laguerre").
+    quantiles:
+        Refined quantiles ``{q: t}`` requested with the query (root-found
+        with extra inversions, not interpolated from the CDF samples).
     statistics:
         Free-form diagnostics (iteration counts, wall-clock, worker counts).
     """
@@ -35,6 +38,7 @@ class PassageTimeResult:
     cdf: np.ndarray | None = None
     transform_values: dict = field(default_factory=dict)
     method: str = "euler"
+    quantiles: dict = field(default_factory=dict)
     statistics: dict = field(default_factory=dict)
 
     def __post_init__(self):

@@ -8,7 +8,7 @@ import numpy as np
 from ..core.jobs import TransformJob
 from ..core.results import PassageTimeResult, TransientResult
 from ..laplace import get_inverter
-from ..laplace.inverter import canonical_s, conjugate_reduced
+from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
 from ..utils.timing import Stopwatch
 from .backends import SerialBackend
 from .checkpoint import CheckpointStore
@@ -141,19 +141,14 @@ class DistributedPipeline:
         stats.s_points_from_cache += cache_hits
 
         # Expand the folded conjugates back out and key the result by the
-        # exact s-points the inverter asked for.  ``_values`` stores only the
-        # upper-half-plane member of each folded pair, so a point absent from
-        # it is recovered as the conjugate of its mirror image.
-        out: dict[complex, complex] = {}
-        for s in required:
-            s = complex(s)
-            value = self._values.get(canonical_s(s))
-            if value is None:
-                value = complex(np.conj(self._values[canonical_s(np.conj(s))]))
-            out[s] = value
-        return out
+        # exact s-points the inverter asked for.
+        return expand_to_grid(required, self._values)
 
     # ------------------------------------------------------------------ API
+    def transform_values(self) -> dict[complex, complex]:
+        """The transform values gathered so far, keyed by canonical s-point."""
+        return dict(self._values)
+
     def density(self, t_points) -> np.ndarray:
         """Invert the measure's transform into a density/probability curve."""
         t_points = np.asarray(list(t_points), dtype=float)

@@ -29,7 +29,13 @@ for a complete model written in the language.
 from .lexer import Block, tokenize_blocks, strip_comments
 from .ast import ModelSpec, PlaceSpec, TransitionSpec
 from .parser import parse_model
-from .expressions import SafeExpression, marking_predicate, parse_lt_expression
+from .expressions import (
+    ExpressionError,
+    SafeExpression,
+    marking_predicate,
+    parse_lt_expression,
+    parse_overrides,
+)
 from .compiler import compile_model, load_model
 
 __all__ = [
@@ -43,6 +49,8 @@ __all__ = [
     "SafeExpression",
     "marking_predicate",
     "parse_lt_expression",
+    "parse_overrides",
+    "ExpressionError",
     "compile_model",
     "load_model",
 ]

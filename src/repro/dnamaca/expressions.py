@@ -35,7 +35,13 @@ from ..distributions import (
     Weibull,
 )
 
-__all__ = ["SafeExpression", "marking_predicate", "parse_lt_expression", "ExpressionError"]
+__all__ = [
+    "SafeExpression",
+    "marking_predicate",
+    "parse_lt_expression",
+    "parse_overrides",
+    "ExpressionError",
+]
 
 
 class ExpressionError(ValueError):
@@ -363,6 +369,55 @@ class _LTExpression:
 def parse_lt_expression(source: str) -> _LTExpression:
     """Parse a ``\\sojourntimeLT`` body into a reusable distribution factory."""
     return _LTExpression(source)
+
+
+def parse_overrides(overrides) -> dict[str, float]:
+    """Validate constant overrides into a ``{name: float}`` mapping.
+
+    Accepts the three shapes overrides arrive in — ``None``, a mapping (the
+    service's JSON payloads), or ``NAME=VALUE`` strings (the CLI's repeatable
+    ``--set`` flag; a single string is treated as one pair).  This is the one
+    place override parsing and validation lives; the CLI, the API facade and
+    the analysis service all route through it, so a typo produces the same
+    :class:`ExpressionError` everywhere, naming the offending entry.
+    """
+    if overrides is None:
+        return {}
+
+    def _checked(name, value, shown) -> tuple[str, float]:
+        if not isinstance(name, str) or not name.strip():
+            raise ExpressionError(
+                f"constant override {shown!r} needs a non-empty constant name"
+            )
+        name = name.strip()
+        if not name.isidentifier():
+            raise ExpressionError(
+                f"constant override {shown!r}: {name!r} is not a valid constant name"
+            )
+        try:
+            return name, float(value)
+        except (TypeError, ValueError):
+            raise ExpressionError(
+                f"constant override {shown!r}: value {value!r} is not a number"
+            ) from None
+
+    out: dict[str, float] = {}
+    if isinstance(overrides, Mapping):
+        for name, value in overrides.items():
+            name, value = _checked(name, value, f"{name}={value!r}")
+            out[name] = value
+        return out
+    if isinstance(overrides, str):
+        overrides = [overrides]
+    for item in overrides:
+        if not isinstance(item, str) or "=" not in item:
+            raise ExpressionError(
+                f"constant override must have the form NAME=VALUE, got {item!r}"
+            )
+        name, _, value = item.partition("=")
+        name, value = _checked(name, value.strip(), item)
+        out[name] = value
+    return out
 
 
 def marking_predicate(expression: str, constants: Mapping[str, float] | None = None):

@@ -23,6 +23,7 @@ from .inverter import (
     invert_cdf,
     conjugate_reduced,
     expand_conjugates,
+    expand_to_grid,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "invert_cdf",
     "conjugate_reduced",
     "expand_conjugates",
+    "expand_to_grid",
 ]

@@ -2,6 +2,7 @@
 from __future__ import annotations
 
 import abc
+import inspect
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -13,6 +14,7 @@ __all__ = [
     "invert_cdf",
     "conjugate_reduced",
     "expand_conjugates",
+    "expand_to_grid",
     "canonical_s",
 ]
 
@@ -81,16 +83,32 @@ class Inverter(abc.ABC):
 
 
 def get_inverter(method: str = "euler", **options) -> Inverter:
-    """Factory returning an inverter by name (``"euler"`` or ``"laguerre"``)."""
+    """Factory returning an inverter by name (``"euler"`` or ``"laguerre"``).
+
+    Keyword options are checked against the selected inverter's constructor
+    signature, so a typo (``eular_terms=...``) raises a :class:`ValueError`
+    naming the bad option and the valid set instead of being dropped or
+    surfacing as an opaque ``TypeError`` deep in the pipeline.
+    """
     from .euler import EulerInverter
     from .laguerre import LaguerreInverter
 
-    method = method.lower()
-    if method == "euler":
-        return EulerInverter(**options)
-    if method == "laguerre":
-        return LaguerreInverter(**options)
-    raise ValueError(f"unknown inversion method {method!r}; expected 'euler' or 'laguerre'")
+    factories = {"euler": EulerInverter, "laguerre": LaguerreInverter}
+    method = str(method).lower()
+    cls = factories.get(method)
+    if cls is None:
+        raise ValueError(
+            f"unknown inversion method {method!r}; expected 'euler' or 'laguerre'"
+        )
+    valid = [name for name in inspect.signature(cls.__init__).parameters if name != "self"]
+    unknown = sorted(set(options) - set(valid))
+    if unknown:
+        raise ValueError(
+            f"unknown option{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(o) for o in unknown)} for the {method!r} inverter; "
+            f"valid options: {', '.join(valid)}"
+        )
+    return cls(**options)
 
 
 def invert_density(
@@ -140,3 +158,25 @@ def expand_conjugates(values: Mapping[complex, complex]) -> dict[complex, comple
     for s, v in list(values.items()):
         expanded.setdefault(complex(np.conj(complex(s))), complex(np.conj(complex(v))))
     return expanded
+
+
+def expand_to_grid(
+    s_points, canonical_values: Mapping[complex, complex]
+) -> dict[complex, complex]:
+    """Key canonically cached transform values back onto an exact s-grid.
+
+    ``canonical_values`` maps :func:`canonical_s` keys (the upper-half-plane
+    member of each folded conjugate pair) to transform values; a grid point
+    absent from it is recovered as the conjugate of its mirror image.  The
+    result is keyed by the *exact* grid points, so downstream arithmetic
+    (e.g. the CDF's ``L(s)/s``) divides by the same floats on every
+    evaluation path — the property the engine-parity tests depend on.
+    """
+    out: dict[complex, complex] = {}
+    for s in s_points:
+        s = complex(s)
+        value = canonical_values.get(canonical_s(s))
+        if value is None:
+            value = complex(np.conj(canonical_values[canonical_s(np.conj(s))]))
+        out[s] = value
+    return out

@@ -6,7 +6,6 @@ of the whole pipeline end to end.
 """
 from __future__ import annotations
 
-import numpy as np
 
 from ..distributions import Deterministic, Distribution, Erlang, Exponential, Uniform
 from ..smp.builder import SMPBuilder

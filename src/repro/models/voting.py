@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..distributions import Deterministic, Erlang, Exponential, Mixture, Uniform
+from ..distributions import Erlang, Exponential, Mixture, Uniform
 from ..petri.net import SMSPN, MarkingView, Transition
 from ..petri.reachability import ReachabilityGraph, build_kernel, explore
 from ..smp.kernel import SMPKernel

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dnamaca import load_model, parse_model
-from ..dnamaca.expressions import ExpressionError, marking_predicate
+from ..dnamaca.expressions import ExpressionError, marking_predicate, parse_overrides
 from ..petri import build_kernel, explore
 from ..smp.kernel import SMPKernel, UEvaluator
 from ..smp.steady import steady_state_probability
@@ -150,7 +150,7 @@ class ModelRegistry:
         """
         if max_states is None:
             max_states = self.default_max_states
-        overrides = {k: float(v) for k, v in (overrides or {}).items()}
+        overrides = parse_overrides(overrides)
         digest = spec_digest(text, overrides, max_states)
         while True:
             with self._lock:

@@ -101,11 +101,11 @@ class CoalescingScheduler:
         """
         digest = job.digest()
         canonical: list[complex] = []
-        seen: set[complex] = set()
+        exact: dict[complex, complex] = {}
         for s in s_points:
             key = canonical_s(complex(s))
-            if key not in seen:
-                seen.add(key)
+            if key not in exact:
+                exact[key] = complex(s)
                 canonical.append(key)
 
         lookup = self.cache.lookup(digest, canonical)
@@ -145,7 +145,7 @@ class CoalescingScheduler:
                 if stats is not None:
                     stats.s_points_from_memory += len(already)
         if owned:
-            computed = self._evaluate_owned(job, digest, owned, eval_lock, stats)
+            computed = self._evaluate_owned(job, digest, owned, exact, eval_lock, stats)
             found.update(computed)
 
         for s, ticket in waits.items():
@@ -181,17 +181,25 @@ class CoalescingScheduler:
         job: TransformJob,
         digest: str,
         owned: list[complex],
+        exact: dict[complex, complex],
         eval_lock,
         stats: QueryStatistics | None,
     ) -> dict[complex, complex]:
+        # Evaluate at the *exact* s-points the caller supplied, not at their
+        # canonically rounded cache keys: rounding perturbs contour points
+        # whose components differ by many orders of magnitude (the Laguerre
+        # grid), and every other evaluation path (solvers, pipeline, api
+        # engines) evaluates exact points — evaluating the same inputs is
+        # what keeps remote results bit-identical to local ones.
+        todo = [exact.get(key, key) for key in owned]
         stopwatch = Stopwatch()
         try:
             with stopwatch:
                 if eval_lock is not None:
                     with eval_lock:
-                        computed = job.evaluate_many(owned)
+                        computed = job.evaluate_many(todo)
                 else:
-                    computed = job.evaluate_many(owned)
+                    computed = job.evaluate_many(todo)
         except BaseException as exc:
             with self._lock:
                 for s in owned:
@@ -200,7 +208,9 @@ class CoalescingScheduler:
                         ticket.error = exc
                         ticket.event.set()
             raise
-        # evaluate_many keys results by the exact (canonical) inputs.
+        # Re-key the values by their canonical cache keys (evaluate_many
+        # keyed them by the exact inputs).
+        computed = {key: computed[s] for key, s in zip(owned, todo)}
         self.cache.insert(digest, computed)
         with self._lock:
             for s in owned:

@@ -17,12 +17,12 @@ import time
 import numpy as np
 from scipy import optimize
 
-from ..core.jobs import PassageTimeJob, TransformJob, TransientJob
+from ..api.errors import PlanError, PredicateError
+from ..core.jobs import TransformJob
 from ..distributed.checkpoint import CheckpointStore
-from ..dnamaca.expressions import ExpressionError
+from ..dnamaca.expressions import ExpressionError, parse_overrides
 from ..laplace import get_inverter
-from ..laplace.inverter import conjugate_reduced, expand_conjugates
-from ..smp import PassageTimeOptions, source_weights
+from ..laplace.inverter import expand_to_grid
 from ..utils.timing import Stopwatch
 from .cache import TieredResultCache
 from .registry import ModelEntry, ModelRegistry
@@ -103,8 +103,7 @@ class AnalysisService:
         """Register (or look up) a spec; returns the JSON-ready description."""
         if not isinstance(spec, str) or not spec.strip():
             raise ValidationError("spec must be a non-empty DNAmaca specification string")
-        if overrides is not None and not isinstance(overrides, dict):
-            raise ValidationError("overrides must be a {constant: value} object")
+        overrides = self._checked_overrides(overrides)
         try:
             entry, created = self.registry.register(
                 spec, name=name, overrides=overrides, max_states=max_states
@@ -117,6 +116,18 @@ class AnalysisService:
         out["created"] = created
         return out
 
+    @staticmethod
+    def _checked_overrides(overrides: dict | None) -> dict | None:
+        """Validate a JSON overrides object via the shared dnamaca helper."""
+        if overrides is None:
+            return None
+        if not isinstance(overrides, dict):
+            raise ValidationError("overrides must be a {constant: value} object")
+        try:
+            return parse_overrides(overrides)
+        except ExpressionError as exc:
+            raise ValidationError(str(exc)) from None
+
     def _resolve_entry(
         self,
         model: str | None,
@@ -124,6 +135,7 @@ class AnalysisService:
         overrides: dict | None,
         max_states: int | None,
     ) -> tuple[ModelEntry, bool]:
+        overrides = self._checked_overrides(overrides)
         if spec is not None:
             if not isinstance(spec, str) or not spec.strip():
                 raise ValidationError("spec must be a non-empty string")
@@ -152,16 +164,12 @@ class AnalysisService:
             raise ValidationError("source must be a marking-predicate expression")
         if not target or not isinstance(target, str):
             raise ValidationError("target must be a marking-predicate expression")
+        from ..api.model import resolve_state_sets
+
         try:
-            sources = entry.states_matching(source)
-            targets = entry.states_matching(target)
-        except ExpressionError as exc:
+            return resolve_state_sets(entry, source, target)
+        except PredicateError as exc:
             raise QueryError(str(exc)) from None
-        if sources.size == 0:
-            raise QueryError(f"no reachable marking satisfies the source predicate {source!r}")
-        if targets.size == 0:
-            raise QueryError(f"no reachable marking satisfies the target predicate {target!r}")
-        return sources, targets
 
     # ------------------------------------------------------------ queries
     def passage(
@@ -184,9 +192,7 @@ class AnalysisService:
         t_points = _as_t_points(t_points)
         entry, registered = self._resolve_entry(model, spec, overrides, max_states)
         sources, targets = self._state_sets(entry, source, target)
-        job = self._make_job(
-            PassageTimeJob, entry, sources, targets, solver, epsilon
-        )
+        job = self._make_job("passage", entry, sources, targets, solver, epsilon)
         inverter = self._make_inverter(inversion)
         stats = QueryStatistics()
         stats.extra["model_registered"] = registered
@@ -237,7 +243,7 @@ class AnalysisService:
         t_points = _as_t_points(t_points)
         entry, registered = self._resolve_entry(model, spec, overrides, max_states)
         sources, targets = self._state_sets(entry, source, target)
-        job = self._make_job(TransientJob, entry, sources, targets, solver, epsilon)
+        job = self._make_job("transient", entry, sources, targets, solver, epsilon)
         inverter = self._make_inverter(inversion)
         stats = QueryStatistics()
         stats.extra["model_registered"] = registered
@@ -274,22 +280,15 @@ class AnalysisService:
         }
 
     # ------------------------------------------------------------ internals
-    def _make_job(self, cls, entry, sources, targets, solver, epsilon) -> TransformJob:
-        if solver not in ("iterative", "direct"):
-            raise ValidationError("solver must be 'iterative' or 'direct'")
+    def _make_job(self, kind, entry, sources, targets, solver, epsilon) -> TransformJob:
+        from ..api.plan import build_job
+
         try:
-            epsilon = float(epsilon)
-        except (TypeError, ValueError):
-            raise ValidationError("epsilon must be a number") from None
-        job = cls(
-            kernel=entry.kernel,
-            alpha=source_weights(entry.kernel, sources),
-            targets=targets,
-            options=PassageTimeOptions(epsilon=epsilon),
-            solver=solver,
-        )
-        job.attach_evaluator(entry.evaluator)
-        return job
+            return build_job(
+                entry, kind, sources, targets, solver=solver, epsilon=epsilon
+            )
+        except PlanError as exc:
+            raise ValidationError(str(exc)) from None
 
     def _make_inverter(self, inversion: str):
         try:
@@ -307,16 +306,22 @@ class AnalysisService:
     ) -> dict[complex, complex]:
         """Transform values covering the t-grid's inversion s-points.
 
-        Conjugate pairs are folded before hitting the scheduler/cache and
-        expanded back afterwards; the inverters canonicalise their lookups,
-        so keying by the evaluated (canonical) points is sufficient.
+        The canonical s-grid comes from the same :class:`QueryPlan` the api
+        engines derive, so the scheduler/cache see identical points for
+        identical queries whatever the entry surface.  The resolved values
+        are keyed back onto the *exact* grid points (recovering folded
+        conjugates as the conjugate of their mirror image): downstream
+        arithmetic such as the CDF's ``L(s)/s`` must divide by the same
+        floats every other engine divides by for results to match them
+        bit-for-bit.
         """
-        required = inverter.required_s_points(t_points)
-        folded = conjugate_reduced(required)
+        from ..api.plan import QueryPlan
+
+        plan = QueryPlan.derive(inverter, t_points)
         resolved = self.scheduler.evaluate(
-            job, folded, eval_lock=entry.eval_lock, stats=stats
+            job, plan.s_points, eval_lock=entry.eval_lock, stats=stats
         )
-        return expand_conjugates(resolved)
+        return expand_to_grid(plan.required_s_points, resolved)
 
     def _refine_quantile(
         self,

@@ -16,7 +16,7 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as splinalg
 
-from .kernel import SMPKernel, UEvaluator, as_evaluator, target_mask
+from .kernel import as_evaluator, target_mask
 
 __all__ = ["passage_transform_direct", "passage_transform_direct_batch"]
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .kernel import SMPKernel, UEvaluator, as_evaluator, target_mask
+from .kernel import as_evaluator, target_mask
 
 __all__ = [
     "PassageTimeOptions",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .kernel import SMPKernel, UEvaluator, as_evaluator
+from .kernel import as_evaluator
 from .linear import passage_transform_direct, passage_transform_direct_batch
 from .passage import (
     ConvergenceDiagnostics,

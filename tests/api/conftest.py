@@ -1,0 +1,56 @@
+"""Shared fixtures for the public-API tests."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.models import SCALED_CONFIGURATIONS, voting_spec_text
+
+ONOFF_SPEC = r"""
+\constant{K}{2}
+\model{
+  \place{on}{K}
+  \place{off}{0}
+  \transition{fail}{
+    \condition{on > 0}
+    \action{ next->on = on - 1; next->off = off + 1; }
+    \weight{1.0}
+    \priority{1}
+    \sojourntimeLT{ return erlangLT(2.0, 2, s); }
+  }
+  \transition{repair}{
+    \condition{off > 0}
+    \action{ next->on = on + 1; next->off = off - 1; }
+    \weight{2.0}
+    \priority{1}
+    \sojourntimeLT{ return uniformLT(0.5, 1.5, s); }
+  }
+}
+"""
+
+
+@pytest.fixture
+def onoff_spec() -> str:
+    return ONOFF_SPEC
+
+
+@pytest.fixture(scope="module")
+def voting_spec() -> str:
+    return voting_spec_text(SCALED_CONFIGURATIONS["tiny"])
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    """A live analysis server for remote-engine tests."""
+    from repro.service import AnalysisService, create_server
+
+    server = create_server(AnalysisService(), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

@@ -1,0 +1,112 @@
+"""Engine parity: one query object, four engines, identical results.
+
+The contract of the api facade is that the execution engine is a pure
+deployment choice — the numbers must not depend on it.  The same
+voting-model query object is run through the inline, multiprocessing,
+distributed and remote (live server) engines and the results are required
+to agree within 1e-10 (in practice they are bit-identical, because every
+path evaluates the same exact s-points and caches by canonical key).
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import DistributedEngine, Model
+from repro.core.results import PassageTimeResult, TransientResult
+
+T_POINTS = [5.0, 10.0, 20.0]
+PARITY = dict(rtol=0.0, atol=1e-10)
+
+
+@pytest.fixture(scope="module")
+def passage_query(voting_spec):
+    model = Model.from_spec(voting_spec, name="voting-tiny")
+    return (
+        model.passage("p1 == CC", "p2 == CC")
+        .density(T_POINTS)
+        .cdf()
+        .quantile(0.9)
+    )
+
+
+@pytest.fixture(scope="module")
+def inline_result(passage_query):
+    return passage_query.run(engine="inline")
+
+
+class TestPassageParity:
+    def test_inline_shape(self, inline_result):
+        assert isinstance(inline_result, PassageTimeResult)
+        assert inline_result.density.shape == (3,)
+        assert inline_result.cdf.shape == (3,)
+        assert 0.9 in inline_result.quantiles
+        assert inline_result.statistics["engine"] == "inline"
+
+    def test_multiprocessing_matches_inline(self, passage_query, inline_result):
+        result = passage_query.run(engine="multiprocessing", processes=2)
+        assert isinstance(result, PassageTimeResult)
+        np.testing.assert_allclose(result.density, inline_result.density, **PARITY)
+        np.testing.assert_allclose(result.cdf, inline_result.cdf, **PARITY)
+        assert result.quantiles[0.9] == pytest.approx(
+            inline_result.quantiles[0.9], abs=1e-10
+        )
+
+    def test_remote_matches_inline(self, passage_query, inline_result, server_url):
+        result = passage_query.run(engine="remote", url=server_url)
+        assert isinstance(result, PassageTimeResult)
+        np.testing.assert_allclose(result.density, inline_result.density, **PARITY)
+        np.testing.assert_allclose(result.cdf, inline_result.cdf, **PARITY)
+        assert result.quantiles[0.9] == pytest.approx(
+            inline_result.quantiles[0.9], abs=1e-10
+        )
+        # And again against the server's warm cache.
+        warm = passage_query.run(engine="remote", url=server_url)
+        np.testing.assert_allclose(warm.density, inline_result.density, **PARITY)
+        assert warm.statistics["s_points_computed"] == 0
+
+    def test_distributed_matches_inline(self, passage_query, inline_result, tmp_path):
+        engine = DistributedEngine(checkpoint=str(tmp_path / "ckpt"))
+        result = passage_query.run(engine)
+        np.testing.assert_allclose(result.density, inline_result.density, **PARITY)
+        np.testing.assert_allclose(result.cdf, inline_result.cdf, **PARITY)
+        assert result.quantiles[0.9] == pytest.approx(
+            inline_result.quantiles[0.9], abs=1e-10
+        )
+        # A resumed run answers the main grid from the checkpoint.
+        resumed = passage_query.run(DistributedEngine(checkpoint=str(tmp_path / "ckpt")))
+        np.testing.assert_allclose(resumed.density, inline_result.density, **PARITY)
+        assert resumed.statistics["s_points_computed"] == 0
+
+
+class TestTransientParity:
+    @pytest.fixture(scope="class")
+    def transient_query(self, voting_spec):
+        model = Model.from_spec(voting_spec)
+        return model.transient("p1 == CC", "p2 >= 1").probability([1.0, 5.0, 25.0])
+
+    def test_remote_matches_inline(self, transient_query, server_url):
+        inline = transient_query.run()
+        remote = transient_query.run(engine="remote", url=server_url)
+        assert isinstance(inline, TransientResult)
+        np.testing.assert_allclose(remote.probability, inline.probability, **PARITY)
+        assert remote.steady_state == pytest.approx(inline.steady_state, abs=1e-10)
+
+    def test_distributed_matches_inline(self, transient_query):
+        inline = transient_query.run()
+        dist = transient_query.run(engine="distributed")
+        np.testing.assert_allclose(dist.probability, inline.probability, **PARITY)
+        assert dist.steady_state == pytest.approx(inline.steady_state, abs=1e-10)
+
+
+class TestLaguerreParity:
+    def test_laguerre_inline_vs_remote(self, voting_spec, server_url):
+        query = (
+            Model.from_spec(voting_spec)
+            .passage("p1 == CC", "p2 == CC")
+            .density(T_POINTS)
+            .with_inversion("laguerre")
+        )
+        inline = query.run()
+        remote = query.run(engine="remote", url=server_url)
+        np.testing.assert_allclose(remote.density, inline.density, **PARITY)

@@ -1,0 +1,100 @@
+"""Tests of the :class:`repro.api.Model` facade."""
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Model, ModelError, PredicateError
+from repro.service.registry import ModelRegistry
+
+
+class TestConstruction:
+    def test_from_spec_is_lazy(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        assert not model.built
+        # Digest, constants and the net are available without a build.
+        assert model.digest
+        assert model.constants == {"K": 2.0}
+        assert set(model.net.places) == {"on", "off"}
+        assert not model.built
+        assert model.n_states == 3
+        assert model.built
+
+    def test_from_file(self, onoff_spec, tmp_path):
+        path = tmp_path / "onoff.dnamaca"
+        path.write_text(onoff_spec)
+        model = Model.from_file(path, registry=ModelRegistry())
+        assert model.name == "onoff"
+        assert model.n_states == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError, match="cannot read"):
+            Model.from_file(tmp_path / "nope.dnamaca")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ModelError):
+            Model.from_spec("   ")
+        with pytest.raises(ModelError):
+            Model(spec_text=None, digest=None)
+
+    def test_invalid_spec_fails_at_build_not_construction(self):
+        model = Model.from_spec(r"\model{ broken", registry=ModelRegistry())
+        with pytest.raises(ModelError, match="cannot build model"):
+            _ = model.entry
+
+
+class TestContentAddressing:
+    def test_same_spec_builds_once(self, onoff_spec):
+        registry = ModelRegistry()
+        a = Model.from_spec(onoff_spec, registry=registry)
+        b = Model.from_spec(onoff_spec, registry=registry)
+        assert a.entry is b.entry
+        assert registry.models_built == 1
+        assert a.digest == b.digest
+
+    def test_overrides_change_the_digest_and_the_build(self, onoff_spec):
+        registry = ModelRegistry()
+        base = Model.from_spec(onoff_spec, registry=registry)
+        bigger = Model.from_spec(onoff_spec, overrides={"K": 4}, registry=registry)
+        assert base.digest != bigger.digest
+        assert base.n_states == 3
+        assert bigger.n_states == 5
+
+    def test_cli_style_overrides(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, overrides=["K=4"], registry=ModelRegistry())
+        assert model.overrides == {"K": 4.0}
+        assert model.constants["K"] == 4.0
+
+    def test_bad_overrides_rejected_eagerly(self, onoff_spec):
+        with pytest.raises(ModelError, match="K:4"):
+            Model.from_spec(onoff_spec, overrides=["K:4"])
+
+
+class TestRemoteReference:
+    def test_from_digest_cannot_build_locally(self):
+        model = Model.from_digest("0123abcd")
+        assert model.is_remote_reference
+        assert model.reference() == {"model": "0123abcd"}
+        with pytest.raises(ModelError, match="remote"):
+            _ = model.entry
+
+    def test_spec_reference_carries_overrides_and_cap(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, overrides={"K": 4}, max_states=100)
+        ref = model.reference()
+        assert ref["spec"] == onoff_spec
+        assert ref["overrides"] == {"K": 4.0}
+        assert ref["max_states"] == 100
+
+
+class TestStatesAndPredicates:
+    def test_states_and_predicate(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        assert len(model.states("on == 2")) == 1
+        assert len(model.states("on >= 0")) == 3
+        with pytest.raises(PredicateError):
+            model.states("unknown_place > 0")
+
+    def test_describe(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        info = model.describe()
+        assert info["states"] == 3
+        assert info["constants"] == {"K": 2.0}

@@ -1,0 +1,144 @@
+"""Tests of the lazy query objects, query plans and the engine registry."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EngineError,
+    InlineEngine,
+    Model,
+    PlanError,
+    PredicateError,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.service.registry import ModelRegistry
+
+
+@pytest.fixture
+def model(onoff_spec):
+    return Model.from_spec(onoff_spec, registry=ModelRegistry())
+
+
+class TestFluentQueries:
+    def test_queries_are_immutable(self, model):
+        base = model.passage("on == 2", "off == 2")
+        with_grid = base.density([1.0, 2.0])
+        assert base.t_points is None
+        assert with_grid.t_points == (1.0, 2.0)
+        with_cdf = with_grid.cdf()
+        assert not with_grid.include_cdf and with_cdf.include_cdf
+        with_q = with_cdf.quantile(0.9)
+        assert with_cdf.quantiles == () and with_q.quantiles == (0.9,)
+
+    def test_run_without_t_points(self, model):
+        with pytest.raises(PlanError, match="t-points"):
+            model.passage("on == 2", "off == 2").run()
+
+    def test_bad_grid_rejected(self, model):
+        q = model.passage("on == 2", "off == 2")
+        with pytest.raises(PlanError):
+            q.density([])
+        with pytest.raises(PlanError):
+            q.density([-1.0])
+        with pytest.raises(PlanError):
+            q.density([float("inf")])
+
+    def test_bad_solver_and_inversion(self, model):
+        q = model.passage("on == 2", "off == 2").density([1.0])
+        with pytest.raises(PlanError, match="gauss"):
+            q.with_solver("gauss")
+        with pytest.raises(PlanError, match="talbot"):
+            q.with_inversion("talbot")
+        with pytest.raises(PlanError, match="eular_terms"):
+            q.with_inversion("euler", eular_terms=5)
+
+    def test_bad_quantile(self, model):
+        q = model.passage("on == 2", "off == 2")
+        with pytest.raises(PlanError):
+            q.quantile(0.0)
+        with pytest.raises(PlanError):
+            q.quantile(1.5)
+
+    def test_unsatisfied_predicate(self, model):
+        q = model.passage("on == 2", "off == 99").density([1.0])
+        with pytest.raises(PredicateError, match="target predicate"):
+            q.run()
+
+
+class TestQueryPlan:
+    def test_euler_grid_size(self, model):
+        plan = model.passage("on == 2", "off == 2").density([1.0, 2.0, 4.0]).plan()
+        # 33 evaluations per t-point with the default Euler parameters.
+        assert plan.required_s_points.size == 99
+        assert plan.n_evaluations == 99  # upper half plane: nothing to fold
+        assert plan.describe()["inversion"] == "euler"
+
+    def test_laguerre_grid_is_t_independent_and_folds(self, model):
+        query = model.passage("on == 2", "off == 2").with_inversion("laguerre", n_points=64)
+        one = query.density([1.0]).plan()
+        many = query.density([1.0, 5.0, 9.0]).plan()
+        assert one.n_evaluations == many.n_evaluations
+        assert many.conjugates_folded > 0
+
+    def test_plan_happens_without_building_the_model(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        model.passage("on == 2", "off == 2").density([1.0]).plan()
+        assert not model.built
+
+
+class TestEngineRegistry:
+    def test_known_engines(self):
+        assert {"inline", "multiprocessing", "distributed", "remote"} <= set(
+            available_engines()
+        )
+
+    def test_unknown_engine_lists_the_valid_set(self, model):
+        q = model.passage("on == 2", "off == 2").density([1.0])
+        with pytest.raises(EngineError, match="inline"):
+            q.run(engine="warpdrive")
+
+    def test_engine_instance_passthrough(self, model):
+        engine = InlineEngine()
+        assert get_engine(engine) is engine
+        with pytest.raises(EngineError):
+            get_engine(engine, processes=2)
+
+    def test_bad_engine_options(self, model):
+        with pytest.raises(EngineError, match="inline"):
+            get_engine("inline", bogus=True)
+
+    def test_custom_engine_registration(self, model):
+        class EchoEngine(InlineEngine):
+            name = "echo-test"
+
+        register_engine("echo-test", EchoEngine, replace=True)
+        result = model.passage("on == 2", "off == 2").density([1.0]).run("echo-test")
+        assert result.statistics["engine"] == "echo-test"
+
+
+class TestSimulationQuery:
+    def test_simulation_runs_without_state_space(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        result = (
+            model.simulate("off == 2", replications=500, seed=7)
+            .with_t_points([1.0, 2.0, 4.0])
+            .run()
+        )
+        assert result.n_replications == 500
+        assert 0.0 < result.mean()
+        assert result.cdf is not None and np.all(np.diff(result.cdf) >= 0)
+        assert not model.built  # simulation never explored the state space
+
+    def test_simulation_rejects_other_engines(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        with pytest.raises(EngineError, match="inline"):
+            model.simulate("off == 2").run(engine="remote")
+
+    def test_seeded_simulation_is_reproducible(self, onoff_spec):
+        model = Model.from_spec(onoff_spec, registry=ModelRegistry())
+        a = model.simulate("off == 2", replications=200, seed=11).run()
+        b = model.simulate("off == 2", replications=200, seed=11).run()
+        assert np.array_equal(a.samples, b.samples)

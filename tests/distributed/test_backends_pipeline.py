@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import PassageTimeSolver, TransientSolver
 from repro.core.jobs import PassageTimeJob, TransientJob
-from repro.distributions import Erlang, Uniform
+from repro.distributions import Erlang
 from repro.distributed import (
     CheckpointStore,
     DistributedPipeline,

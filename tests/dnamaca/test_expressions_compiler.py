@@ -5,9 +5,43 @@ import numpy as np
 import pytest
 
 from repro.distributions import Erlang, Exponential, Mixture, Uniform
-from repro.dnamaca import SafeExpression, load_model, parse_lt_expression
+from repro.dnamaca import SafeExpression, load_model, parse_lt_expression, parse_overrides
 from repro.dnamaca.expressions import ExpressionError
 from repro.petri import explore
+
+
+class TestParseOverrides:
+    """The one shared ``--set`` / overrides-object validator (CLI + service)."""
+
+    def test_none_and_empty(self):
+        assert parse_overrides(None) == {}
+        assert parse_overrides([]) == {}
+        assert parse_overrides({}) == {}
+
+    def test_cli_pairs(self):
+        assert parse_overrides(["K=4", "rate = 2.5"]) == {"K": 4.0, "rate": 2.5}
+
+    def test_single_string_is_one_pair(self):
+        assert parse_overrides("K=4") == {"K": 4.0}
+
+    def test_mapping_with_numeric_strings(self):
+        assert parse_overrides({"K": "4", "MM": 2}) == {"K": 4.0, "MM": 2.0}
+
+    def test_missing_equals_is_named(self):
+        with pytest.raises(ExpressionError, match="K:4"):
+            parse_overrides(["K:4"])
+
+    def test_bad_value_is_named(self):
+        with pytest.raises(ExpressionError, match="many"):
+            parse_overrides(["K=many"])
+        with pytest.raises(ExpressionError, match="NaN-ish"):
+            parse_overrides({"K": "NaN-ish"})
+
+    def test_bad_name_is_named(self):
+        with pytest.raises(ExpressionError, match="2K"):
+            parse_overrides(["2K=4"])
+        with pytest.raises(ExpressionError, match="non-empty"):
+            parse_overrides(["=4"])
 
 
 class TestSafeExpression:

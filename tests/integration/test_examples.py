@@ -10,7 +10,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
@@ -31,12 +30,21 @@ class TestExamples:
         names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert {
             "quickstart.py",
+            "api_quickstart.py",
             "voting_analysis.py",
             "failure_mode_reliability.py",
             "distributed_pipeline.py",
             "dnamaca_spec.py",
             "service_demo.py",
         } <= names
+
+    def test_api_quickstart_runs(self, capsys):
+        run_example("api_quickstart.py")
+        out = capsys.readouterr().out
+        assert "query plan before any evaluation" in out
+        assert "engine parity" in out
+        assert "remote warm repeat evaluated 0 s-points" in out
+        assert "steady state" in out
 
     def test_quickstart_runs(self, capsys):
         run_example("quickstart.py")

@@ -4,7 +4,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.distributions import Deterministic, Erlang, Exponential, Mixture, Uniform, Weibull
+from repro.distributions import Erlang, Exponential, Mixture, Uniform, Weibull
 from repro.laplace import EulerInverter, euler_s_points
 
 

@@ -32,6 +32,24 @@ class TestFactory:
         with pytest.raises(ValueError):
             get_inverter("talbot")
 
+    def test_unknown_option_names_the_typo_and_the_valid_set(self):
+        with pytest.raises(ValueError) as err:
+            get_inverter("euler", eular_terms=30)
+        message = str(err.value)
+        assert "eular_terms" in message
+        assert "n_terms" in message and "euler_order" in message and "a" in message
+
+    def test_unknown_option_laguerre(self):
+        with pytest.raises(ValueError) as err:
+            get_inverter("laguerre", n_pionts=64, radius=0.9)
+        assert "n_pionts" in str(err.value)
+        assert "n_points" in str(err.value)
+
+    def test_multiple_unknown_options_all_reported(self):
+        with pytest.raises(ValueError) as err:
+            get_inverter("euler", bogus=1, wrong=2)
+        assert "bogus" in str(err.value) and "wrong" in str(err.value)
+
     def test_module_level_helpers(self, t_grid):
         d = Exponential(1.0)
         assert np.allclose(invert_density(d.lst, t_grid), d.pdf(t_grid), atol=1e-6)

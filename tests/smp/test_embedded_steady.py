@@ -111,8 +111,6 @@ class TestSmpSteadyState:
 
     def test_exponential_smp_matches_ctmc_generator_solution(self, rng):
         """For an all-exponential SMP the steady state must match the CTMC one."""
-        from tests.smp.conftest import random_kernel
-
         b = SMPBuilder()
         n = 6
         rates = rng.uniform(0.5, 3.0, size=(n, n))

@@ -247,3 +247,135 @@ class TestTransientAndSimulate:
         out = capsys.readouterr().out
         assert "mean:" in out
         assert "P(T<=t)" in out
+
+
+@pytest.fixture
+def api_server_url():
+    import threading
+
+    from repro.service import AnalysisService, create_server
+
+    server = create_server(AnalysisService(), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestEmission:
+    """CSV/JSON emission of result tables, including ``None`` cells.
+
+    ``PassageTimeResult.as_table()`` fills un-requested columns with ``None``;
+    the emitter must render those as *empty* CSV fields (not the string
+    ``"None"``) and as JSON ``null``.
+    """
+
+    @staticmethod
+    def _args(**flags):
+        import argparse
+
+        defaults = {"json": False, "csv": False}
+        defaults.update(flags)
+        return argparse.Namespace(**defaults)
+
+    def test_csv_renders_none_as_empty_field(self, capsys):
+        from repro.cli import _emit, _passage_rows
+        from repro.core.results import PassageTimeResult
+
+        result = PassageTimeResult(t_points=[1.0, 2.0], cdf=[0.25, 0.5])
+        rows = result.as_table()  # density column is all None
+        _emit(rows, ["t", "density", "cdf"], self._args(csv=True))
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "t,density,cdf"
+        assert out[1] == "1.0,,0.25"
+        assert out[2] == "2.0,,0.5"
+        assert "None" not in "\n".join(out)
+        # the pruning helper drops the all-None column entirely
+        pruned, header = _passage_rows(result)
+        assert header == ["t", "cdf"]
+        assert all(len(row) == 2 for row in pruned)
+
+    def test_json_renders_none_as_null(self, capsys):
+        from repro.cli import _emit
+        from repro.core.results import PassageTimeResult
+
+        result = PassageTimeResult(t_points=[1.0], density=[0.5])
+        _emit(result.as_table(), ["t", "density", "cdf"], self._args(json=True))
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [[1.0, 0.5, None]]
+
+    def test_table_renders_none_as_blank(self, capsys):
+        from repro.cli import _emit
+        from repro.core.results import TransientResult
+
+        _emit([[1.0, None]], ["t", "probability"], self._args())
+        out = capsys.readouterr().out
+        assert "None" not in out
+        # TransientResult.as_table has no None cells but must emit fine too
+        result = TransientResult(t_points=[1.0, 2.0], probability=[0.1, 0.2])
+        _emit(result.as_table(), ["t", "probability"], self._args(csv=True))
+        out = capsys.readouterr().out.splitlines()
+        assert out[1] == "1.0,0.1"
+
+    def test_passage_csv_end_to_end(self, onoff_file, capsys):
+        code = main([
+            "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "2", "4",
+            "--cdf", "--csv",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "t,density,cdf"
+        assert len(out) >= 4
+        for line in out[1:4]:
+            cells = line.split(",")
+            assert len(cells) == 3 and all(c != "" and c != "None" for c in cells)
+
+    def test_transient_csv_end_to_end(self, onoff_file, capsys):
+        code = main([
+            "transient", onoff_file,
+            "--source", "on == 2", "--target", "on == 2",
+            "--t-points", "1", "5", "--csv",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "t,probability"
+        assert len(out[1].split(",")) == 2
+
+    def test_query_passage_csv(self, api_server_url, onoff_file, capsys):
+        code = main([
+            "query", "--url", api_server_url, "passage", onoff_file,
+            "--source", "on == 2", "--target", "off == 2",
+            "--t-points", "1", "2", "--csv",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "t,density"
+
+
+class TestApiRouting:
+    """Acceptance: the CLI routes through repro.api, not hand-built kernels."""
+
+    def test_cli_does_not_construct_kernels_directly(self):
+        import inspect
+
+        import repro.cli as cli
+
+        source = inspect.getsource(cli)
+        for symbol in ("build_kernel", "explore(", "UEvaluator", "PassageTimeJob"):
+            assert symbol not in source
+
+    def test_passage_and_query_passage_agree(self, api_server_url, onoff_file, capsys):
+        args = ["--source", "on == 2", "--target", "off == 2",
+                "--t-points", "1", "2", "4", "--cdf", "--json"]
+        assert main(["passage", onoff_file] + args) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(["query", "--url", api_server_url, "passage", onoff_file] + args) == 0
+        remote = json.loads(capsys.readouterr().out)
+        assert np.allclose(np.asarray(local, dtype=float),
+                           np.asarray(remote, dtype=float), atol=1e-10)
