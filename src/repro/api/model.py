@@ -298,6 +298,7 @@ class Model:
 
     @property
     def graph(self):
+        """The explored state space (the array-backed :class:`StateSpace`)."""
         return self.entry.graph
 
     @property
@@ -307,6 +308,14 @@ class Model:
     @property
     def n_states(self) -> int:
         return self.entry.kernel.n_states
+
+    def marking_matrix(self) -> np.ndarray:
+        """The ``(n_states, n_places)`` marking matrix backing the model.
+
+        This is the columnar store vectorized predicates evaluate against —
+        treat it as read-only.
+        """
+        return self.entry.graph.marking_array()
 
     def states(self, expression: str) -> np.ndarray:
         """State indices whose marking satisfies a predicate expression."""

@@ -162,11 +162,14 @@ def _cmd_info(args) -> int:
         raise SystemExit(str(exc)) from None
     graph, kernel, net = entry.graph, entry.kernel, entry.net
     usage = graph.transition_usage()
+    matrix = graph.marking_array()
     print(f"model          : {net.name}")
     print(f"constants      : {entry.constants}")
     print(f"places         : {', '.join(net.places)}")
     print(f"transitions    : {', '.join(t.name for t in net.transitions)}")
     print(f"reachable states: {graph.n_states}{' (truncated)' if graph.truncated else ''}")
+    print(f"state space    : {matrix.shape[0]} x {matrix.shape[1]} marking matrix "
+          f"({matrix.nbytes / 1e6:.1f} MB), {graph.n_edges} edges (SoA)")
     print(f"kernel         : {kernel.n_transitions} transitions, "
           f"{kernel.n_distributions} distinct sojourn distributions")
     print(f"deadlocks      : {len(graph.deadlocks)}")

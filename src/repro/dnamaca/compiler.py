@@ -43,32 +43,35 @@ def _compile_transition(
         _check_names(expr, known, f"\\action of {spec.name!r}")
     lt_expr = parse_lt_expression(spec.sojourn_lt)
 
-    def guard(view: MarkingView) -> bool:
-        env = _environment(view, constants)
-        return bool(guard_expr.evaluate(env)) if guard_expr is not None else True
+    # Guard / action / weight / priority go to the Transition as *expression
+    # strings* (the declarative form): the per-marking explorer evaluates them
+    # through the same SafeExpression machinery as before, and the vectorized
+    # explorer compiles them to batched NumPy evaluations over marking-matrix
+    # columns.
+    marking_places = lt_expr.names() & places
+    if marking_places:
+        # Marking-dependent firing distribution: built per distinct
+        # combination of the places it reads (declared via
+        # ``distribution_depends``).
+        def distribution(view: MarkingView):
+            return lt_expr.build(_environment(view, constants))
 
-    def action(view: MarkingView):
-        env = _environment(view, constants)
-        return {place: int(round(expr.evaluate(env))) for place, expr in action_exprs}
-
-    def weight(view: MarkingView) -> float:
-        return float(weight_expr.evaluate(_environment(view, constants)))
-
-    def priority(view: MarkingView) -> int:
-        return int(round(priority_expr.evaluate(_environment(view, constants))))
-
-    def distribution(view: MarkingView):
-        return lt_expr.build(_environment(view, constants))
+        depends: tuple[str, ...] | None = tuple(sorted(marking_places))
+    else:
+        distribution = lt_expr.build(dict(constants))
+        depends = None
 
     return Transition(
         name=spec.name,
         inputs={},  # enabling is fully captured by the guard
         outputs={},
-        guard=guard,
-        action=action if action_exprs else None,
-        priority=priority,
-        weight=weight,
+        guard=spec.condition if spec.condition else "1",
+        action={place: source for place, source in spec.action} or None,
+        priority=spec.priority,
+        weight=spec.weight,
         distribution=distribution,
+        constants=constants,
+        distribution_depends=depends,
     )
 
 

@@ -91,7 +91,9 @@ class SafeExpression:
         if not self.source:
             raise ExpressionError("empty expression")
         try:
-            self._tree = ast.parse(_c_to_python(self.source), mode="eval")
+            # strip(): a leading '!' translates to ' not ...', and a leading
+            # space would otherwise parse as an indentation error.
+            self._tree = ast.parse(_c_to_python(self.source).strip(), mode="eval")
         except SyntaxError as exc:
             raise ExpressionError(f"cannot parse expression {source!r}: {exc}") from None
         self._validate(self._tree.body)
@@ -140,6 +142,11 @@ class SafeExpression:
         )
 
     # ----------------------------------------------------------- evaluation
+    @property
+    def tree(self) -> ast.AST:
+        """The validated expression AST (used by the vectorized evaluator)."""
+        return self._tree.body
+
     def names(self) -> set[str]:
         """All variable names referenced by the expression."""
         return {
@@ -250,6 +257,22 @@ class _LTExpression:
             self._tree = ast.parse(body, mode="eval")
         except SyntaxError as exc:
             raise ExpressionError(f"cannot parse LT expression {source!r}: {exc}") from None
+
+    def names(self) -> set[str]:
+        """Non-function names the expression reads (places and constants).
+
+        The Laplace variable ``s`` and names in call position (the ``*LT``
+        factories, ``min``/``max``/...) are excluded, so intersecting the
+        result with the declared places tells whether the distribution is
+        marking-dependent — and on exactly which places.
+        """
+        func_names = {
+            n.func.id
+            for n in ast.walk(self._tree)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+        }
+        all_names = {n.id for n in ast.walk(self._tree) if isinstance(n, ast.Name)}
+        return all_names - func_names - {"s"}
 
     def build(self, env: Mapping[str, float]) -> Distribution:
         factories = _lt_factories(env)

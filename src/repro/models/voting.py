@@ -94,8 +94,7 @@ SCALED_CONFIGURATIONS: dict[str, VotingParameters] = {
 # are rare, self-recovery is in between.  This keeps the model in the regime
 # the paper describes — frequent voting, occasional failures, complete
 # failures rare enough that the simulator struggles to observe them (Fig. 6).
-def _vote_delay(m: MarkingView):
-    return Uniform(0.2, 1.0)
+_VOTE_DELAY = Uniform(0.2, 1.0)
 
 
 def _registration_delay(m: MarkingView):
@@ -123,8 +122,16 @@ _WEIGHTS = {
 
 
 def build_voting_net(params: VotingParameters) -> SMSPN:
-    """Construct the SM-SPN of the voting system for one configuration."""
+    """Construct the SM-SPN of the voting system for one configuration.
+
+    Guards, actions and the marking-dependent registration delay are given in
+    *declarative* form (expression strings over places and the ``CC``/``MM``/
+    ``NN`` constants, plus ``distribution_depends``), so the vectorized
+    explorer expands whole frontiers of this net as batched NumPy operations
+    — the semantics are identical to the previous lambda-based definitions.
+    """
     cc, mm, nn = params.voters, params.polling_units, params.central_units
+    consts = {"CC": float(cc), "MM": float(mm), "NN": float(nn)}
     net = SMSPN(name=f"voting[{params.label}]")
     net.add_place("p1", cc)   # voters still to vote
     net.add_place("p2", 0)    # voters that have voted
@@ -142,7 +149,7 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             outputs={"p4": 1},
             priority=1,
             weight=_WEIGHTS["vote"],
-            distribution=_vote_delay,
+            distribution=_VOTE_DELAY,
         )
     )
     # t2: the vote is registered with all operational central units (p5 is
@@ -153,10 +160,11 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t2",
             inputs={"p4": 1},
             outputs={"p2": 1, "p3": 1},
-            guard=lambda m: m["p5"] >= 1,
+            guard="p5 >= 1",
             priority=1,
             weight=_WEIGHTS["register"],
             distribution=_registration_delay,
+            distribution_depends=("p5",),
         )
     )
     # t3: an idle polling unit fails.
@@ -199,11 +207,12 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t5",
             inputs={},
             outputs={},
-            guard=lambda m: m["p7"] > mm - 1,
-            action=lambda m: {"p3": m["p3"] + mm, "p7": m["p7"] - mm},
+            guard="p7 > MM - 1",
+            action={"p3": "p3 + MM", "p7": "p7 - MM"},
             priority=2,
             weight=1.0,
             distribution=_BULK_REPAIR,
+            constants=consts,
         )
     )
     # t6: every central voting unit has failed -> high-priority bulk repair.
@@ -212,11 +221,12 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t6",
             inputs={},
             outputs={},
-            guard=lambda m: m["p6"] > nn - 1,
-            action=lambda m: {"p5": m["p5"] + nn, "p6": m["p6"] - nn},
+            guard="p6 > NN - 1",
+            action={"p5": "p5 + NN", "p6": "p6 - NN"},
             priority=2,
             weight=1.0,
             distribution=_BULK_REPAIR,
+            constants=consts,
         )
     )
     # t9: once every voter has been processed a new election round begins and
@@ -230,11 +240,12 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t9",
             inputs={},
             outputs={},
-            guard=lambda m: m["p2"] >= cc,
-            action=lambda m: {"p1": m["p1"] + cc, "p2": m["p2"] - cc},
+            guard="p2 >= CC",
+            action={"p1": "p1 + CC", "p2": "p2 - CC"},
             priority=2,
             weight=1.0,
             distribution=Uniform(2.0, 6.0),
+            constants=consts,
         )
     )
     # t7 / t8: partial failures self-recover one unit at a time.
@@ -243,10 +254,11 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t7",
             inputs={"p7": 1},
             outputs={"p3": 1},
-            guard=lambda m: m["p7"] < mm,
+            guard="p7 < MM",
             priority=1,
             weight=_WEIGHTS["self_recovery"],
             distribution=_SELF_RECOVERY,
+            constants=consts,
         )
     )
     net.add_transition(
@@ -254,10 +266,11 @@ def build_voting_net(params: VotingParameters) -> SMSPN:
             name="t8",
             inputs={"p6": 1},
             outputs={"p5": 1},
-            guard=lambda m: m["p6"] < nn,
+            guard="p6 < NN",
             priority=1,
             weight=_WEIGHTS["self_recovery"],
             distribution=_SELF_RECOVERY,
+            constants=consts,
         )
     )
     return net

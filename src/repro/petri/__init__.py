@@ -7,9 +7,16 @@ of them is chosen probabilistically by weight; the sojourn in the marking is
 the chosen transition's firing distribution.  This race-free semantics maps
 the reachability graph directly onto a semi-Markov chain, which is what
 :func:`repro.petri.reachability.build_kernel` produces.
+
+Two explorers produce that state space: :func:`explore_vectorized` (the
+array-backed default — frontier-batched NumPy evaluation into a
+:class:`StateSpace` of columnar markings and edges) and the legacy
+per-marking :func:`explore` (kept as the reference semantics for the
+equivalence suite).
 """
 from .net import MarkingView, SMSPN, Transition
 from .reachability import ReachabilityGraph, explore, build_kernel
+from .statespace import StateSpace, explore_vectorized
 from .analysis import passage_solver, transient_solver, marking_states
 from .vanishing import eliminate_vanishing, is_vanishing_distribution
 
@@ -18,7 +25,9 @@ __all__ = [
     "Transition",
     "MarkingView",
     "ReachabilityGraph",
+    "StateSpace",
     "explore",
+    "explore_vectorized",
     "build_kernel",
     "passage_solver",
     "transient_solver",

@@ -5,13 +5,17 @@ from typing import Callable
 
 from ..core.solvers import PassageTimeSolver, TransientSolver
 from .net import SMSPN, MarkingView
-from .reachability import ReachabilityGraph, build_kernel, explore
+from .reachability import ReachabilityGraph, build_kernel
+from .statespace import StateSpace, explore_vectorized
 
 __all__ = ["marking_states", "passage_solver", "transient_solver"]
 
 
 def marking_states(
-    graph: ReachabilityGraph, predicate: Callable[[MarkingView], bool], *, label: str = "predicate"
+    graph: ReachabilityGraph | StateSpace,
+    predicate: Callable[[MarkingView], bool],
+    *,
+    label: str = "predicate",
 ) -> list[int]:
     """States whose markings satisfy ``predicate``; raises if the set is empty."""
     states = graph.states_where(predicate)
@@ -20,8 +24,14 @@ def marking_states(
     return states
 
 
+def _as_graph(net_or_graph: SMSPN | ReachabilityGraph | StateSpace):
+    if isinstance(net_or_graph, (ReachabilityGraph, StateSpace)):
+        return net_or_graph
+    return explore_vectorized(net_or_graph)
+
+
 def passage_solver(
-    net_or_graph: SMSPN | ReachabilityGraph,
+    net_or_graph: SMSPN | ReachabilityGraph | StateSpace,
     source_predicate: Callable[[MarkingView], bool],
     target_predicate: Callable[[MarkingView], bool],
     **solver_options,
@@ -30,9 +40,10 @@ def passage_solver(
 
     ``source_predicate`` and ``target_predicate`` receive a
     :class:`MarkingView` (name-indexed token counts) and select the source
-    and target state sets; everything else is forwarded to the solver.
+    and target state sets; everything else is forwarded to the solver.  A
+    bare net is explored with the array-backed vectorized explorer.
     """
-    graph = net_or_graph if isinstance(net_or_graph, ReachabilityGraph) else explore(net_or_graph)
+    graph = _as_graph(net_or_graph)
     kernel = build_kernel(graph)
     sources = marking_states(graph, source_predicate, label="source")
     targets = marking_states(graph, target_predicate, label="target")
@@ -40,13 +51,13 @@ def passage_solver(
 
 
 def transient_solver(
-    net_or_graph: SMSPN | ReachabilityGraph,
+    net_or_graph: SMSPN | ReachabilityGraph | StateSpace,
     source_predicate: Callable[[MarkingView], bool],
     target_predicate: Callable[[MarkingView], bool],
     **solver_options,
 ) -> TransientSolver:
     """Build a :class:`TransientSolver` between two marking predicates."""
-    graph = net_or_graph if isinstance(net_or_graph, ReachabilityGraph) else explore(net_or_graph)
+    graph = _as_graph(net_or_graph)
     kernel = build_kernel(graph)
     sources = marking_states(graph, source_predicate, label="source")
     targets = marking_states(graph, target_predicate, label="target")

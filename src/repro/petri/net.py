@@ -72,6 +72,25 @@ def _as_callable(value, kind: str):
     raise ValueError(f"unknown attribute kind {kind!r}")  # pragma: no cover
 
 
+def _expression_callable(source: str, constants: Mapping[str, float], kind: str):
+    """Compile an expression-string attribute into a per-marking callable.
+
+    The same :class:`~repro.dnamaca.expressions.SafeExpression` drives both
+    this scalar path and the vectorized explorer, so declaring an attribute
+    as a string gives one semantics with two execution strategies.
+    """
+    from ..dnamaca.expressions import SafeExpression  # deferred: avoids an import cycle
+
+    expr = SafeExpression(source)
+    if kind == "guard":
+        return lambda m: bool(expr.evaluate({**constants, **m.as_dict()}))
+    if kind == "weight":
+        return lambda m: float(expr.evaluate({**constants, **m.as_dict()}))
+    if kind == "priority":
+        return lambda m: int(round(expr.evaluate({**constants, **m.as_dict()})))
+    raise ValueError(f"unknown attribute kind {kind!r}")  # pragma: no cover
+
+
 @dataclass
 class Transition:
     """One SM-SPN transition.
@@ -87,24 +106,40 @@ class Transition:
     guard:
         Optional extra marking predicate (DNAmaca ``\\condition``); a
         transition is *net-enabled* when its input arcs are satisfied and the
-        guard holds.
+        guard holds.  May be a callable *or* a condition expression string
+        (``"p7 > MM - 1"``) over places and :attr:`constants` — string
+        attributes are the *declarative* form the vectorized explorer can
+        compile to one batched NumPy evaluation per frontier.
     action:
         Optional marking transformer replacing the default arc semantics
-        (DNAmaca ``\\action``); it receives a :class:`MarkingView` and returns
-        the full next marking as a mapping from place name to token count for
-        the places it changes (unchanged places may be omitted).
+        (DNAmaca ``\\action``); either a callable receiving a
+        :class:`MarkingView` and returning the next marking as a mapping from
+        place name to token count for the places it changes (unchanged places
+        may be omitted), or the declarative form — a mapping from place name
+        to an expression string (``{"p3": "p3 + MM"}``), all right-hand sides
+        evaluated against the *pre-firing* marking.
     priority / weight / distribution:
-        Marking-dependent attributes (constants allowed).
+        Marking-dependent attributes (constants allowed; priority and weight
+        also accept expression strings).
+    constants:
+        Named values available inside expression-string attributes.
+    distribution_depends:
+        When ``distribution`` is a callable, the places its result actually
+        depends on.  The vectorized explorer then evaluates it once per
+        distinct combination of those token counts instead of once per state;
+        ``None`` means "unknown" (assume it may depend on the whole marking).
     """
 
     name: str
     inputs: dict[str, int] = field(default_factory=dict)
     outputs: dict[str, int] = field(default_factory=dict)
-    guard: Callable[[MarkingView], bool] | None = None
-    action: Callable[[MarkingView], Mapping[str, int]] | None = None
-    priority: Callable[[MarkingView], int] | int = 0
-    weight: Callable[[MarkingView], float] | float = 1.0
+    guard: Callable[[MarkingView], bool] | str | None = None
+    action: Callable[[MarkingView], Mapping[str, int]] | Mapping[str, str] | None = None
+    priority: Callable[[MarkingView], int] | int | str = 0
+    weight: Callable[[MarkingView], float] | float | str = 1.0
     distribution: Callable[[MarkingView], Distribution] | Distribution | None = None
+    constants: Mapping[str, float] | None = None
+    distribution_depends: Sequence[str] | None = None
 
     def __post_init__(self):
         require(bool(self.name), "transitions need a non-empty name")
@@ -114,8 +149,51 @@ class Transition:
             raise ValueError(
                 f"transition {self.name!r} needs input arcs and/or a guard to define enabling"
             )
-        self._priority_fn = _as_callable(self.priority, "priority")
-        self._weight_fn = _as_callable(self.weight, "weight")
+        bound = dict(self.constants or {})
+        self._bound_constants = bound
+        if self.distribution_depends is not None:
+            self.distribution_depends = tuple(str(p) for p in self.distribution_depends)
+
+        # Declarative (expression-string) attributes keep their source text so
+        # the vectorized explorer can compile them; the scalar callables below
+        # are the reference semantics used by explore(), firing_choices() and
+        # the simulator.
+        self.guard_source: str | None = None
+        self.action_source: dict[str, str] | None = None
+        self.weight_source: str | None = None
+        self.priority_source: str | None = None
+
+        if isinstance(self.guard, str):
+            self.guard_source = self.guard
+            self._guard_fn = _expression_callable(self.guard, bound, "guard")
+        else:
+            self._guard_fn = self.guard
+
+        if isinstance(self.action, Mapping):
+            from ..dnamaca.expressions import SafeExpression  # deferred import
+
+            sources = {str(place): str(expr) for place, expr in self.action.items()}
+            compiled = [(place, SafeExpression(expr)) for place, expr in sources.items()]
+            self.action_source = sources
+
+            def _action(m, _compiled=compiled, _bound=bound):
+                env = {**_bound, **m.as_dict()}
+                return {place: int(round(expr.evaluate(env))) for place, expr in _compiled}
+
+            self._action_fn = _action
+        else:
+            self._action_fn = self.action
+
+        if isinstance(self.priority, str):
+            self.priority_source = self.priority
+            self._priority_fn = _expression_callable(self.priority, bound, "priority")
+        else:
+            self._priority_fn = _as_callable(self.priority, "priority")
+        if isinstance(self.weight, str):
+            self.weight_source = self.weight
+            self._weight_fn = _expression_callable(self.weight, bound, "weight")
+        else:
+            self._weight_fn = _as_callable(self.weight, "weight")
         self._distribution_fn = _as_callable(self.distribution, "distribution")
 
     # ----------------------------------------------------------- semantics
@@ -124,7 +202,7 @@ class Transition:
         for place, count in self.inputs.items():
             if view[place] < count:
                 return False
-        if self.guard is not None and not self.guard(view):
+        if self._guard_fn is not None and not self._guard_fn(view):
             return False
         return True
 
@@ -148,8 +226,8 @@ class Transition:
     def fire(self, view: MarkingView, place_index: Mapping[str, int]) -> tuple[int, ...]:
         """The marking reached by firing this transition."""
         tokens = list(view.tokens)
-        if self.action is not None:
-            updates = self.action(view)
+        if self._action_fn is not None:
+            updates = self._action_fn(view)
             for place, value in updates.items():
                 if place not in place_index:
                     raise KeyError(f"action of {self.name!r} writes unknown place {place!r}")

@@ -49,6 +49,10 @@ class ReachabilityGraph:
     initial_state: int = 0
     deadlocks: list[int] = field(default_factory=list)
     truncated: bool = False
+    _intern: dict | None = field(default=None, init=False, repr=False, compare=False)
+    _marking_array: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -------------------------------------------------------------- stats
     @property
@@ -60,10 +64,13 @@ class ReachabilityGraph:
         return len(self.edges)
 
     def index_of(self, marking: Sequence[int]) -> int:
+        """State index of ``marking`` — O(1) via a lazily interned lookup table."""
         marking = tuple(int(t) for t in marking)
+        if self._intern is None:
+            self._intern = {m: i for i, m in enumerate(self.markings)}
         try:
-            return self.markings.index(marking)
-        except ValueError:
+            return self._intern[marking]
+        except KeyError:
             raise KeyError(f"marking {marking} is not reachable") from None
 
     def view(self, state: int) -> MarkingView:
@@ -74,8 +81,14 @@ class ReachabilityGraph:
         return [i for i, m in enumerate(self.markings) if predicate(self.net.view(m))]
 
     def marking_array(self) -> np.ndarray:
-        """All markings as an ``(n_states, n_places)`` integer array."""
-        return np.asarray(self.markings, dtype=np.int64)
+        """All markings as an ``(n_states, n_places)`` int64 array.
+
+        Cached after the first call (it backs every vectorized predicate
+        evaluation) — treat the returned array as read-only.
+        """
+        if self._marking_array is None:
+            self._marking_array = np.asarray(self.markings, dtype=np.int64)
+        return self._marking_array
 
     def transition_usage(self) -> dict[str, int]:
         """How many state-space edges each net transition contributes."""
@@ -143,13 +156,21 @@ def explore(
     )
 
 
-def build_kernel(graph: ReachabilityGraph, *, allow_truncated: bool = False) -> SMPKernel:
-    """Convert a reachability graph into an :class:`SMPKernel`.
+def build_kernel(graph, *, allow_truncated: bool = False) -> SMPKernel:
+    """Convert an explored state space into an :class:`SMPKernel`.
+
+    Accepts both the array-backed :class:`~repro.petri.statespace.StateSpace`
+    (zero-copy column handoff) and the legacy :class:`ReachabilityGraph`
+    (per-edge ``SMPBuilder`` path, kept for equivalence testing).
 
     Deadlocked markings are given a self-loop with a unit-mean exponential
     sojourn so that the kernel remains stochastic; genuine SM-SPN models of
     *concurrent systems* (like the voting model) have none.
     """
+    from .statespace import StateSpace
+
+    if isinstance(graph, StateSpace):
+        return graph.kernel(allow_truncated=allow_truncated)
     if graph.truncated and not allow_truncated:
         raise ValueError(
             "the reachability graph was truncated at max_states; pass "

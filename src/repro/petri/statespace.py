@@ -1,0 +1,885 @@
+"""Array-backed state-space core: vectorized exploration of an SM-SPN.
+
+The per-marking explorer (:func:`repro.petri.reachability.explore`) evaluates
+guards, weights and firings one Python call at a time — at the paper's
+headline scale (10^5–10^7 tangible states) that is the wall in front of every
+vectorized layer downstream.  This module replaces it with a breadth-first
+exploration that expands the whole frontier as batched NumPy operations:
+
+* markings live in one ``(n_states, n_places)`` int64 matrix (chunked,
+  doubling growth — memory stays proportional to states, not Python objects),
+* markings are interned through a ``bytes -> id`` dictionary (O(1) lookup),
+* edges are structure-of-arrays — ``src``/``dst`` int64, ``prob`` float64,
+  ``dist`` int32 into a table of *unique* distributions deduplicated at
+  exploration time, ``trans`` int32 into the net's transition names,
+* enabledness, priority selection, weight normalisation and firing are
+  evaluated per *transition over the frontier batch* — declaratively
+  specified attributes (expression strings, see
+  :class:`repro.petri.net.Transition`) compile to one NumPy evaluation via
+  :class:`repro.dnamaca.vectorize.VectorizedExpression`; opaque Python
+  callables fall back to per-row evaluation of just that attribute, so any
+  net explores correctly and nets with declarative attributes explore fast.
+
+The discovery order (and therefore state numbering), deadlock list,
+``max_states`` truncation semantics and edge multiset are *identical* to the
+legacy explorer — asserted model-by-model in the equivalence suite — because
+candidate edges are interned in ``(source state, transition index)`` stream
+order, exactly the order the per-marking BFS visits them.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution, Exponential
+from ..dnamaca.vectorize import VectorizedExpression
+from ..smp.kernel import SMPKernel
+from .net import SMSPN, MarkingView, Transition
+
+__all__ = ["StateSpace", "explore_vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# Compiled per-transition vector semantics
+# ---------------------------------------------------------------------------
+
+
+def _row_view(net: SMSPN, row: np.ndarray) -> MarkingView:
+    return net.view(tuple(int(x) for x in row))
+
+
+def _broadcast(value, k: int) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        arr = np.broadcast_to(arr, (k,))
+    return arr
+
+
+class _VectorTransition:
+    """One net transition compiled for frontier-batch evaluation."""
+
+    def __init__(self, transition: Transition, net: SMSPN, index: int):
+        self.transition = transition
+        self.net = net
+        self.name = transition.name
+        self.index = index
+        place_index = dict(net.place_index)
+        self._place_items = list(place_index.items())
+        self.constants = dict(getattr(transition, "_bound_constants", {}) or {})
+        n_places = len(net.places)
+
+        self.input_cols = np.asarray(
+            [place_index[p] for p in transition.inputs], dtype=np.int64
+        )
+        self.input_counts = np.asarray(
+            [transition.inputs[p] for p in transition.inputs], dtype=np.int64
+        )
+
+        # Dispatch per attribute: a vectorized expression or a constant when
+        # declared, otherwise each method's final branch evaluates the
+        # transition's scalar callable per row.
+        self.has_guard = transition._guard_fn is not None
+        if transition.guard_source is not None:
+            self._guard_vec = VectorizedExpression(transition.guard_source)
+        else:
+            self._guard_vec = None
+
+        self._priority_vec = self._priority_const = None
+        if transition.priority_source is not None:
+            self._priority_vec = VectorizedExpression(transition.priority_source)
+        elif not callable(transition.priority):
+            self._priority_const = float(int(transition.priority))
+
+        self._weight_vec = self._weight_const = None
+        if transition.weight_source is not None:
+            self._weight_vec = VectorizedExpression(transition.weight_source)
+        elif not callable(transition.weight):
+            self._weight_const = float(transition.weight)
+
+        self._fire_delta = self._fire_vec = None
+        if transition._action_fn is None:
+            delta = np.zeros(n_places, dtype=np.int64)
+            for place, count in transition.inputs.items():
+                delta[place_index[place]] -= int(count)
+            for place, count in transition.outputs.items():
+                delta[place_index[place]] += int(count)
+            self._fire_delta = delta
+        elif transition.action_source is not None:
+            for place in transition.action_source:
+                if place not in place_index:
+                    raise KeyError(
+                        f"action of {transition.name!r} writes unknown place {place!r}"
+                    )
+            self._fire_vec = [
+                (place_index[place], VectorizedExpression(expr))
+                for place, expr in transition.action_source.items()
+            ]
+
+        self._dist_const: Distribution | None = None
+        self._dist_cols: np.ndarray | None = None
+        if isinstance(transition.distribution, Distribution):
+            self._dist_const = transition.distribution
+        else:
+            depends = transition.distribution_depends
+            if depends is not None:
+                for place in depends:
+                    if place not in place_index:
+                        raise KeyError(
+                            f"distribution_depends of {transition.name!r} names "
+                            f"unknown place {place!r}"
+                        )
+                cols = sorted(place_index[p] for p in depends)
+            else:
+                cols = list(range(n_places))
+            self._dist_cols = np.asarray(cols, dtype=np.int64)
+
+    # ------------------------------------------------------------ helpers
+    def _column_env(self, M: np.ndarray) -> dict:
+        env: dict[str, object] = dict(self.constants)
+        for name, column in self._place_items:
+            env[name] = M[:, column]
+        return env
+
+    # ---------------------------------------------------------- semantics
+    def guard_mask(
+        self, M: np.ndarray, mask: np.ndarray, view_of: Callable[[int], MarkingView]
+    ) -> np.ndarray:
+        """``mask`` restricted to rows whose guard holds.
+
+        Python-callable guards are only invoked on rows already passing the
+        arc check (the legacy short-circuit order).  A vectorized guard that
+        hits an arithmetic fault (division by a zero token count, ...) falls
+        back to per-row scalar evaluation, which lazily skips untaken
+        branches and raises exactly where the legacy explorer raises.
+        """
+        if self._guard_vec is not None:
+            rows = np.flatnonzero(mask)
+            if rows.size == 0:
+                return mask
+            try:
+                # Evaluate over the arc-enabled rows only — the same domain
+                # the scalar path sees, so faults in irrelevant rows neither
+                # raise nor demote the wave to the per-row fallback.
+                sub = M if rows.size == len(M) else M[rows]
+                guard = _broadcast(
+                    self._guard_vec.evaluate_checked(self._column_env(sub)), rows.size
+                )
+                out = np.zeros(len(M), dtype=bool)
+                out[rows] = guard.astype(bool)
+                return out
+            except FloatingPointError:
+                pass
+        guard_fn = self.transition._guard_fn
+        out = mask.copy()
+        for r in np.flatnonzero(mask):
+            if not guard_fn(view_of(int(r))):
+                out[r] = False
+        return out
+
+    def priorities(
+        self, M: np.ndarray, mask: np.ndarray, view_of: Callable[[int], MarkingView]
+    ) -> np.ndarray:
+        k = len(M)
+        if self._priority_const is not None:
+            return np.full(k, self._priority_const)
+        if self._priority_vec is not None:
+            rows = np.flatnonzero(mask)
+            if rows.size == 0:
+                return np.zeros(k)
+            try:
+                sub = M if rows.size == k else M[rows]
+                values = _broadcast(
+                    self._priority_vec.evaluate_checked(self._column_env(sub)), rows.size
+                )
+                out = np.zeros(k)
+                out[rows] = np.rint(np.asarray(values, dtype=float))
+                return out
+            except FloatingPointError:
+                pass  # fall back to exact scalar semantics below
+        out = np.zeros(k)
+        for r in np.flatnonzero(mask):
+            out[r] = self.transition.priority_in(view_of(int(r)))
+        return out
+
+    def weights(
+        self, M: np.ndarray, mask: np.ndarray, view_of: Callable[[int], MarkingView]
+    ) -> np.ndarray:
+        k = len(M)
+        if self._weight_const is not None:
+            if self._weight_const < 0:
+                raise ValueError(f"transition {self.name!r} produced a negative weight")
+            return np.full(k, self._weight_const)
+        if self._weight_vec is not None:
+            rows = np.flatnonzero(mask)
+            if rows.size == 0:
+                return np.zeros(k)
+            try:
+                sub = M if rows.size == k else M[rows]
+                values = np.asarray(
+                    _broadcast(
+                        self._weight_vec.evaluate_checked(self._column_env(sub)),
+                        rows.size,
+                    ),
+                    dtype=float,
+                )
+                if np.any(values < 0):
+                    raise ValueError(
+                        f"transition {self.name!r} produced a negative weight"
+                    )
+                out = np.zeros(k)
+                out[rows] = values
+                return out
+            except FloatingPointError:
+                pass  # fall back to exact scalar semantics below
+        out = np.zeros(k)
+        for r in np.flatnonzero(mask):
+            out[r] = self.transition.weight_in(view_of(int(r)))
+        return out
+
+    def fire(
+        self, M_rows: np.ndarray, view_of_row: Callable[[np.ndarray], MarkingView]
+    ) -> np.ndarray:
+        if self._fire_delta is not None:
+            out = M_rows + self._fire_delta
+        elif self._fire_vec is not None:
+            try:
+                env = self._column_env(M_rows)
+                out = M_rows.copy()
+                for column, expr in self._fire_vec:
+                    values = np.asarray(expr.evaluate_checked(env), dtype=float)
+                    out[:, column] = np.rint(values).astype(np.int64)
+            except FloatingPointError:
+                return self._fire_rows_scalar(M_rows, view_of_row)
+        else:
+            return self._fire_rows_scalar(M_rows, view_of_row)
+        if (out < 0).any():
+            bad = int(np.flatnonzero((out < 0).any(axis=1))[0])
+            raise ValueError(
+                f"firing {self.name!r} produced a negative marking "
+                f"{tuple(int(x) for x in out[bad])}"
+            )
+        return out
+
+    def _fire_rows_scalar(
+        self, M_rows: np.ndarray, view_of_row: Callable[[np.ndarray], MarkingView]
+    ) -> np.ndarray:
+        place_index = dict(self.net.place_index)
+        out = np.empty_like(M_rows)
+        for i, row in enumerate(M_rows):
+            out[i] = self.transition.fire(view_of_row(row), place_index)
+        return out  # transition.fire already checked negativity
+
+    def dist_ids(
+        self,
+        M_rows: np.ndarray,
+        intern: Callable[[Distribution], int],
+        view_of_row: Callable[[np.ndarray], MarkingView],
+    ) -> np.ndarray:
+        if self._dist_const is not None:
+            return np.full(len(M_rows), intern(self._dist_const), dtype=np.int64)
+        sub = np.ascontiguousarray(M_rows[:, self._dist_cols])
+        void = sub.view(np.dtype((np.void, sub.dtype.itemsize * sub.shape[1]))).ravel()
+        _, first, inverse = np.unique(void, return_index=True, return_inverse=True)
+        ids = np.empty(first.size, dtype=np.int64)
+        for u, row in enumerate(first):
+            dist = self.transition.distribution_in(view_of_row(M_rows[row]))
+            ids[u] = intern(dist)
+        return ids[inverse]
+
+
+# ---------------------------------------------------------------------------
+# The explored state space (structure-of-arrays)
+# ---------------------------------------------------------------------------
+
+
+class _MarkingNames:
+    """Deferred marking-string state names.
+
+    A module-level class (not a closure) so kernels stay picklable — the
+    multiprocessing and distributed engines ship whole kernels to worker
+    processes under spawn start methods.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = matrix
+
+    def __call__(self) -> list[str]:
+        return [str(tuple(int(x) for x in row)) for row in self.matrix]
+
+
+@dataclass(eq=False)
+class StateSpace:
+    """The explored state space of an SM-SPN in columnar form.
+
+    The same information as :class:`~repro.petri.reachability.ReachabilityGraph`
+    — state ``i``'s marking is row ``i`` of :attr:`marking_matrix`, edge ``e``
+    is ``(edge_src[e], edge_dst[e])`` taken with probability ``edge_prob[e]``
+    after the sojourn ``distributions[edge_dist[e]]`` via net transition
+    ``transition_names[edge_trans[e]]`` — but held in flat arrays, so kernels,
+    predicates and partitioners consume it without materialising per-edge
+    Python objects.
+    """
+
+    net: SMSPN
+    marking_matrix: np.ndarray            # (n_states, n_places) int64
+    edge_src: np.ndarray                  # (n_edges,) int64
+    edge_dst: np.ndarray                  # (n_edges,) int64
+    edge_prob: np.ndarray                 # (n_edges,) float64
+    edge_dist: np.ndarray                 # (n_edges,) int32 -> distributions
+    edge_trans: np.ndarray                # (n_edges,) int32 -> transition_names
+    distributions: list[Distribution]
+    transition_names: list[str]
+    initial_state: int = 0
+    deadlock_states: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    truncated: bool = False
+    _index: dict | None = field(default=None, repr=False, compare=False)
+
+    # -------------------------------------------------------------- stats
+    @property
+    def n_states(self) -> int:
+        return int(self.marking_matrix.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_src.size)
+
+    @property
+    def markings(self) -> np.ndarray:
+        """Row-indexable markings (the matrix itself; rows act like tuples)."""
+        return self.marking_matrix
+
+    @property
+    def deadlocks(self) -> np.ndarray:
+        return self.deadlock_states
+
+    @property
+    def edges(self) -> list[tuple[int, int, float, Distribution, str]]:
+        """Per-edge tuples in the legacy layout (materialised on demand;
+        debugging/equivalence aid — hot paths use the columns directly)."""
+        return [
+            (
+                int(self.edge_src[e]),
+                int(self.edge_dst[e]),
+                float(self.edge_prob[e]),
+                self.distributions[int(self.edge_dist[e])],
+                self.transition_names[int(self.edge_trans[e])],
+            )
+            for e in range(self.n_edges)
+        ]
+
+    # ------------------------------------------------------------- lookups
+    def index_of(self, marking: Sequence[int]) -> int:
+        """O(1) interned lookup of a marking's state index."""
+        key = np.asarray(tuple(int(t) for t in marking), dtype=np.int64).tobytes()
+        if self._index is None:
+            self._index = {
+                row.tobytes(): i for i, row in enumerate(self.marking_matrix)
+            }
+        try:
+            return self._index[key]
+        except KeyError:
+            marking = tuple(int(t) for t in marking)
+            raise KeyError(f"marking {marking} is not reachable") from None
+
+    def view(self, state: int) -> MarkingView:
+        return self.net.view(self.marking_matrix[state])
+
+    def states_where(self, predicate: Callable[[MarkingView], bool]) -> list[int]:
+        """All state indices whose marking satisfies a per-marking callable.
+
+        Compatibility path for opaque Python predicates; prefer
+        :meth:`states_matching` (one vectorized pass) for expression strings.
+        """
+        view = self.net.view
+        return [
+            i for i, row in enumerate(self.marking_matrix)
+            if predicate(view(tuple(int(x) for x in row)))
+        ]
+
+    def states_matching(
+        self, expression: str, constants: Mapping[str, float] | None = None
+    ) -> np.ndarray:
+        """State indices satisfying a condition expression, in one NumPy pass."""
+        from ..dnamaca.vectorize import vector_marking_predicate
+
+        predicate = vector_marking_predicate(expression, constants)
+        mask = predicate(self.marking_matrix, self.net.place_index)
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def marking_array(self) -> np.ndarray:
+        """All markings as an ``(n_states, n_places)`` int64 array.
+
+        This *is* the backing store (no copy) — treat it as read-only.
+        """
+        return self.marking_matrix
+
+    def transition_usage(self) -> dict[str, int]:
+        """How many state-space edges each net transition contributes."""
+        counts = np.bincount(self.edge_trans, minlength=len(self.transition_names))
+        return {
+            name: int(count)
+            for name, count in zip(self.transition_names, counts)
+            if count
+        }
+
+    # ------------------------------------------------------------ handoff
+    def kernel(self, *, allow_truncated: bool = False) -> SMPKernel:
+        """Zero-copy handoff of the edge columns to an :class:`SMPKernel`.
+
+        Deadlocked markings get a unit-mean exponential self-loop (the same
+        convention as the legacy :func:`~repro.petri.reachability.build_kernel`);
+        parallel edges between the same pair of states are merged by grouped
+        reduction inside :meth:`SMPKernel.from_columns`.
+        """
+        if self.truncated and not allow_truncated:
+            raise ValueError(
+                "the reachability graph was truncated at max_states; pass "
+                "allow_truncated=True only if edges leaving the truncation frontier "
+                "are acceptable to drop"
+            )
+        src, dst = self.edge_src, self.edge_dst
+        probs, dist_index = self.edge_prob, self.edge_dist.astype(np.int64)
+        distributions = self.distributions
+        if self.deadlock_states.size:
+            distributions = list(distributions)
+            loop_dist = Exponential(1.0)
+            try:
+                loop_id = distributions.index(loop_dist)
+            except ValueError:
+                loop_id = len(distributions)
+                distributions.append(loop_dist)
+            dead = self.deadlock_states
+            src = np.concatenate([src, dead])
+            dst = np.concatenate([dst, dead])
+            probs = np.concatenate([probs, np.ones(dead.size)])
+            dist_index = np.concatenate(
+                [dist_index, np.full(dead.size, loop_id, dtype=np.int64)]
+            )
+        return SMPKernel.from_columns(
+            self.n_states, src, dst, probs, dist_index, distributions,
+            # Marking-string names, as the legacy build_kernel sets — but
+            # deferred: a million-state kernel only pays for them on access.
+            state_names=_MarkingNames(self.marking_matrix),
+            normalise=self.truncated,
+        )
+
+    def to_reachability_graph(self):
+        """Materialise the legacy per-object representation (small models)."""
+        from .reachability import ReachabilityGraph
+
+        return ReachabilityGraph(
+            net=self.net,
+            markings=[tuple(int(x) for x in row) for row in self.marking_matrix],
+            edges=self.edges,
+            initial_state=self.initial_state,
+            deadlocks=[int(d) for d in self.deadlock_states],
+            truncated=self.truncated,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized breadth-first exploration
+# ---------------------------------------------------------------------------
+
+
+class _EdgeChunks:
+    """Append-only columnar edge store, concatenated once at the end."""
+
+    def __init__(self):
+        self.src: list[np.ndarray] = []
+        self.dst: list[np.ndarray] = []
+        self.prob: list[np.ndarray] = []
+        self.dist: list[np.ndarray] = []
+        self.trans: list[np.ndarray] = []
+
+    def append(self, src, dst, prob, dist, trans) -> None:
+        self.src.append(src)
+        self.dst.append(dst)
+        self.prob.append(prob)
+        self.dist.append(dist)
+        self.trans.append(trans)
+
+    def concatenate(self):
+        if not self.src:
+            empty = np.empty(0, dtype=np.int64)
+            return (
+                empty,
+                empty.copy(),
+                np.empty(0, dtype=float),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int32),
+            )
+        return (
+            np.concatenate(self.src),
+            np.concatenate(self.dst),
+            np.concatenate(self.prob),
+            np.concatenate(self.dist),
+            np.concatenate(self.trans),
+        )
+
+
+class _MarkingInterner:
+    """Marking -> state-id interning with a vectorized fast path.
+
+    When every place's token count fits into a fixed bit budget summing to at
+    most 63 bits, a marking packs losslessly into one int64 key and whole
+    candidate batches intern through ``searchsorted`` against a sorted key
+    array — no per-marking Python.  Nets whose markings outgrow the budget
+    fall back to a ``bytes -> id`` dictionary (still O(1) per lookup).
+    """
+
+    def __init__(self, n_places: int):
+        self.n_places = n_places
+        self.shifts: np.ndarray | None = None
+        self.limits: np.ndarray | None = None
+        # Two-level sorted store: a large base plus a small recent delta,
+        # merged when the delta outgrows a fraction of the base.  Lookups pay
+        # two searchsorteds; merges amortise to O(n log n) total copying
+        # instead of the O(n * waves) of inserting into one sorted array.
+        self.base_keys = np.empty(0, dtype=np.int64)
+        self.base_ids = np.empty(0, dtype=np.int64)
+        self.delta_keys = np.empty(0, dtype=np.int64)
+        self.delta_ids = np.empty(0, dtype=np.int64)
+        self.byte_index: dict[bytes, int] | None = None
+
+    def _choose_packing(self, per_place_max: np.ndarray) -> bool:
+        """Pick per-place bit widths (with headroom); False if > 63 bits."""
+        needed = np.asarray(
+            [max(1, int(v).bit_length()) for v in per_place_max], dtype=np.int64
+        )
+        with_headroom = needed + 1
+        if int(with_headroom.sum()) <= 63:
+            bits = with_headroom
+        elif int(needed.sum()) <= 63:
+            bits = needed
+        else:
+            return False
+        self.shifts = np.concatenate(([0], np.cumsum(bits[:-1]))).astype(np.int64)
+        self.limits = (np.int64(1) << bits).astype(np.int64)
+        return True
+
+    def pack(self, rows: np.ndarray) -> np.ndarray:
+        # Accumulate column by column instead of materialising the shifted
+        # (rows, places) temporary — this runs on every candidate batch.
+        keys = rows[:, 0] << self.shifts[0]
+        for column in range(1, self.n_places):
+            keys = keys | (rows[:, column] << self.shifts[column])
+        return keys
+
+    def fits(self, per_place_max: np.ndarray) -> bool:
+        return self.limits is not None and bool((per_place_max < self.limits).all())
+
+    def rebuild(self, markings: np.ndarray, per_place_max: np.ndarray) -> None:
+        """(Re)pack all known markings after choosing a packing — or switch
+        to the byte-dict fallback when the markings no longer fit in 63 bits."""
+        if self.byte_index is not None:
+            return
+        if not self._choose_packing(per_place_max):
+            self.shifts = self.limits = None
+            self.byte_index = {
+                row.tobytes(): i for i, row in enumerate(markings)
+            }
+            return
+        keys = self.pack(markings)
+        order = np.argsort(keys)
+        self.base_keys = keys[order]
+        self.base_ids = order.astype(np.int64)
+        self.delta_keys = self.delta_keys[:0]
+        self.delta_ids = self.delta_ids[:0]
+
+    @staticmethod
+    def _search(keys: np.ndarray, ids: np.ndarray, wanted: np.ndarray, out: np.ndarray):
+        if keys.size == 0:
+            return
+        pos = np.minimum(np.searchsorted(keys, wanted), keys.size - 1)
+        found = keys[pos] == wanted
+        out[found] = ids[pos[found]]
+
+    def lookup(self, rows: np.ndarray) -> np.ndarray:
+        """Known state id per candidate row, -1 where unseen (vectorized)."""
+        if self.byte_index is not None:
+            get = self.byte_index.get
+            return np.asarray(
+                [get(row.tobytes(), -1) for row in rows], dtype=np.int64
+            )
+        keys = self.pack(rows)
+        ids = np.full(rows.shape[0], -1, dtype=np.int64)
+        self._search(self.base_keys, self.base_ids, keys, ids)
+        self._search(self.delta_keys, self.delta_ids, keys, ids)
+        return ids
+
+    def add(self, rows: np.ndarray, ids: np.ndarray) -> None:
+        """Register freshly assigned (marking row, id) pairs."""
+        if self.byte_index is not None:
+            for row, state in zip(rows, ids):
+                self.byte_index[row.tobytes()] = int(state)
+            return
+        keys = self.pack(rows)
+        order = np.argsort(keys)
+        keys, ids = keys[order], np.asarray(ids, dtype=np.int64)[order]
+        positions = np.searchsorted(self.delta_keys, keys)
+        self.delta_keys = np.insert(self.delta_keys, positions, keys)
+        self.delta_ids = np.insert(self.delta_ids, positions, ids)
+        if self.delta_keys.size > max(4096, self.base_keys.size // 8):
+            positions = np.searchsorted(self.base_keys, self.delta_keys)
+            self.base_keys = np.insert(self.base_keys, positions, self.delta_keys)
+            self.base_ids = np.insert(self.base_ids, positions, self.delta_ids)
+            self.delta_keys = self.delta_keys[:0]
+            self.delta_ids = self.delta_ids[:0]
+
+
+def explore_vectorized(
+    net: SMSPN,
+    *,
+    max_states: int | None = None,
+    on_progress: Callable[[int], None] | None = None,
+    progress_every: int = 50_000,
+    batch_size: int = 32_768,
+) -> StateSpace:
+    """Breadth-first exploration with frontier-batched NumPy evaluation.
+
+    Drop-in counterpart of :func:`repro.petri.reachability.explore` producing
+    a :class:`StateSpace`; state numbering, deadlocks, edge multiset and
+    ``max_states`` truncation semantics match the legacy explorer exactly.
+
+    Parameters
+    ----------
+    max_states:
+        Optional safety cap, with the legacy semantics: edges to markings
+        that would exceed the cap are dropped and the result is marked
+        ``truncated``.
+    batch_size:
+        Upper bound on frontier states expanded per batch; bounds the
+        transient ``(batch, n_transitions)`` work matrices.
+    """
+    n_places = len(net.places)
+    if max_states is not None and max_states < 1:
+        raise ValueError("max_states must allow at least the initial marking")
+    compiled = [_VectorTransition(t, net, i) for i, t in enumerate(net.transitions)]
+    n_trans = len(compiled)
+
+    # Wave-overhead fast paths: all input-arc constraints check as ONE
+    # broadcast comparison, and all-constant priorities / weights fill their
+    # work matrices with a single np.where instead of per-transition loops.
+    required = np.zeros((n_trans, n_places), dtype=np.int64)
+    for t in compiled:
+        required[t.index, t.input_cols] = t.input_counts
+    guarded = [t for t in compiled if t.has_guard]
+    const_priority = None
+    if all(t._priority_const is not None for t in compiled):
+        const_priority = np.asarray([t._priority_const for t in compiled])
+    const_weight = None
+    if all(t._weight_const is not None for t in compiled):
+        const_weight = np.asarray([t._weight_const for t in compiled])
+        if np.any(const_weight < 0):
+            bad = compiled[int(np.flatnonzero(const_weight < 0)[0])]
+            raise ValueError(f"transition {bad.name!r} produced a negative weight")
+
+    capacity = 1024
+    markings = np.empty((capacity, n_places), dtype=np.int64)
+    initial = np.asarray(net.initial_marking, dtype=np.int64)
+    markings[0] = initial
+    n_states = 1
+    seen_max = np.maximum(initial, 0)
+    interner = _MarkingInterner(n_places)
+    interner.rebuild(markings[:1], seen_max)
+
+    edges = _EdgeChunks()
+    dist_table: list[Distribution] = []
+    dist_ids: dict[Distribution, int] = {}
+
+    def intern_dist(dist: Distribution) -> int:
+        found = dist_ids.get(dist)
+        if found is None:
+            found = len(dist_table)
+            dist_ids[dist] = found
+            dist_table.append(dist)
+        return found
+
+    deadlocks: list[int] = []
+    truncated = False
+    void_dtype = np.dtype((np.void, np.dtype(np.int64).itemsize * n_places))
+    cursor = 0
+
+    while cursor < n_states:
+        hi = min(n_states, cursor + batch_size)
+        M = markings[cursor:hi].copy()  # stable even if the store reallocates
+        k = hi - cursor
+
+        view_cache: dict[int, MarkingView] = {}
+
+        def view_of(row: int) -> MarkingView:
+            view = view_cache.get(row)
+            if view is None:
+                view = _row_view(net, M[row])
+                view_cache[row] = view
+            return view
+
+        # One broadcast comparison checks every arc of every transition, as
+        # long as the (batch, transitions, places) temporary stays small;
+        # wide nets fall back to per-transition checks over their own arc
+        # columns so the per-wave footprint tracks actual arcs.
+        if k * n_trans * n_places <= 16_000_000:
+            enabled = (M[:, None, :] >= required[None, :, :]).all(axis=2)
+        else:
+            enabled = np.ones((k, n_trans), dtype=bool)
+            for t in compiled:
+                if t.input_cols.size:
+                    enabled[:, t.index] = (
+                        M[:, t.input_cols] >= t.input_counts
+                    ).all(axis=1)
+        for t in guarded:
+            column = enabled[:, t.index]
+            if column.any():
+                enabled[:, t.index] = t.guard_mask(M, column, view_of)
+        enabled_any = enabled.any(axis=1)
+        if not enabled_any.all():
+            deadlocks.extend((cursor + np.flatnonzero(~enabled_any)).tolist())
+        if not enabled_any.any():
+            cursor = hi
+            continue
+
+        # EP(m): among net-enabled transitions keep those of maximal priority.
+        if const_priority is not None:
+            priority = np.where(enabled, const_priority[None, :], -np.inf)
+        else:
+            priority = np.full((k, n_trans), -np.inf)
+            for t in compiled:
+                column = enabled[:, t.index]
+                if column.any():
+                    values = t.priorities(M, column, view_of)
+                    priority[column, t.index] = values[column]
+        top = priority.max(axis=1)
+        active = enabled & (priority == top[:, None])
+
+        if const_weight is not None:
+            weights = np.where(active, const_weight[None, :], 0.0)
+        else:
+            weights = np.zeros((k, n_trans))
+            for t in compiled:
+                column = active[:, t.index]
+                if column.any():
+                    values = t.weights(M, column, view_of)
+                    weights[column, t.index] = values[column]
+        totals = weights.sum(axis=1)
+        bad = enabled_any & (totals <= 0.0)
+        if bad.any():
+            row = int(np.flatnonzero(bad)[0])
+            names = [compiled[j].name for j in np.flatnonzero(active[row])]
+            raise ValueError(
+                f"no positive firing weight in marking {tuple(int(x) for x in M[row])} "
+                f"(enabled: {names})"
+            )
+
+        frag_src, frag_trans, frag_prob, frag_dist, frag_next = [], [], [], [], []
+        for t in compiled:
+            rows = np.flatnonzero(active[:, t.index] & (weights[:, t.index] > 0.0))
+            if rows.size == 0:
+                continue
+            M_rows = M[rows]
+            frag_next.append(t.fire(M_rows, lambda row: _row_view(net, row)))
+            frag_src.append(rows)
+            frag_trans.append(np.full(rows.size, t.index, dtype=np.int32))
+            frag_prob.append(weights[rows, t.index] / totals[rows])
+            frag_dist.append(
+                t.dist_ids(M_rows, intern_dist, lambda row: _row_view(net, row))
+            )
+        if not frag_src:
+            cursor = hi
+            continue
+
+        src_local = np.concatenate(frag_src)
+        trans = np.concatenate(frag_trans)
+        prob = np.concatenate(frag_prob)
+        dist = np.concatenate(frag_dist)
+        nxt = np.ascontiguousarray(np.vstack(frag_next))
+
+        # Re-order candidate edges into (source, transition) stream order so
+        # interning assigns ids exactly as the legacy per-marking BFS does.
+        order = np.lexsort((trans, src_local))
+        src_local, trans, prob, dist = (
+            src_local[order], trans[order], prob[order], dist[order],
+        )
+        nxt = np.ascontiguousarray(nxt[order])
+
+        # Intern destinations.  Candidate markings dedup within the batch
+        # (packed int64 keys when they fit, void rows otherwise), known ones
+        # resolve by vectorized lookup, and fresh ones receive ids in stream
+        # order — the legacy discovery order.
+        cand_max = nxt.max(axis=0)
+        if interner.byte_index is None and not interner.fits(cand_max):
+            interner.rebuild(markings[:n_states], np.maximum(seen_max, cand_max))
+        seen_max = np.maximum(seen_max, cand_max)
+        if interner.byte_index is None:
+            _, first, inverse = np.unique(
+                interner.pack(nxt), return_index=True, return_inverse=True
+            )
+        else:
+            void = nxt.view(void_dtype).ravel()
+            _, first, inverse = np.unique(void, return_index=True, return_inverse=True)
+        candidates = nxt[first]
+
+        uid_to_state = interner.lookup(candidates)
+        fresh = np.flatnonzero(uid_to_state < 0)
+        if fresh.size:
+            stream = fresh[np.argsort(first[fresh], kind="stable")]
+            budget = stream.size
+            if max_states is not None:
+                budget = max(0, max_states - n_states)
+                if budget < stream.size:
+                    truncated = True
+            chosen = stream[:budget]
+            if chosen.size:
+                ids = n_states + np.arange(chosen.size, dtype=np.int64)
+                uid_to_state[chosen] = ids
+                needed = n_states + chosen.size
+                if needed > capacity:
+                    while capacity < needed:
+                        capacity *= 2
+                    grown = np.empty((capacity, n_places), dtype=np.int64)
+                    grown[:n_states] = markings[:n_states]
+                    markings = grown
+                markings[n_states:needed] = candidates[chosen]
+                interner.add(candidates[chosen], ids)
+                if on_progress is not None:
+                    start = ((n_states + progress_every - 1) // progress_every) * progress_every
+                    for milestone in range(start, needed, progress_every):
+                        on_progress(milestone)
+                n_states = needed
+
+        dst = uid_to_state[inverse]
+        keep = dst >= 0
+        edges.append(
+            (cursor + src_local)[keep],
+            dst[keep],
+            prob[keep],
+            dist[keep].astype(np.int32),
+            trans[keep],
+        )
+        cursor = hi
+
+    edge_src, edge_dst, edge_prob, edge_dist, edge_trans = edges.concatenate()
+    marking_matrix = markings[:n_states]
+    if capacity != n_states:
+        # An explicit copy: a prefix slice would keep the whole power-of-two
+        # growth buffer alive (up to ~2x the needed marking memory) for the
+        # StateSpace's lifetime.
+        marking_matrix = marking_matrix.copy()
+    return StateSpace(
+        net=net,
+        marking_matrix=marking_matrix,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_prob=edge_prob,
+        edge_dist=edge_dist,
+        edge_trans=edge_trans,
+        distributions=dist_table,
+        transition_names=[t.name for t in net.transitions],
+        deadlock_states=np.asarray(deadlocks, dtype=np.int64),
+        truncated=truncated,
+        _index=interner.byte_index,
+    )

@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dnamaca import load_model, parse_model
-from ..dnamaca.expressions import ExpressionError, marking_predicate, parse_overrides
-from ..petri import build_kernel, explore
+from ..dnamaca.expressions import ExpressionError, parse_overrides
+from ..dnamaca.vectorize import vector_marking_predicate
+from ..petri import build_kernel, explore_vectorized
 from ..smp.kernel import SMPKernel, UEvaluator
 from ..smp.steady import steady_state_probability
 from ..utils.timing import Stopwatch
@@ -73,19 +74,23 @@ class ModelEntry:
     def states_matching(self, expression: str) -> np.ndarray:
         """State indices whose marking satisfies a condition-style expression.
 
-        Memoised per expression text: a serving workload re-resolves the same
-        handful of source/target predicates on every query.
+        Evaluated as one vectorized NumPy pass over the marking matrix
+        (columnar predicate compilation) rather than one Python call per
+        state, and memoised per expression text: a serving workload
+        re-resolves the same handful of source/target predicates on every
+        query.
         """
         with self._memo_lock:
             hit = self._state_sets.get(expression)
         if hit is not None:
             return hit
         try:
-            predicate = marking_predicate(expression, self.constants)
-            states = np.asarray(self.graph.states_where(predicate), dtype=np.int64)
+            predicate = vector_marking_predicate(expression, self.constants)
+            mask = predicate(self.graph.marking_array(), self.net.place_index)
+            states = np.flatnonzero(mask).astype(np.int64)
         except ExpressionError:
             raise
-        except Exception as exc:  # evaluation errors (unknown names, ...)
+        except Exception as exc:  # evaluation errors (bad types, ...)
             raise ExpressionError(f"cannot evaluate predicate {expression!r}: {exc}") from exc
         with self._memo_lock:
             self._state_sets.setdefault(expression, states)
@@ -209,7 +214,7 @@ class ModelRegistry:
         with stopwatch:
             spec = parse_model(text, name=name or "model")
             net = load_model(text, name=name or spec.name or "model", overrides=overrides or None)
-            graph = explore(net, max_states=max_states)
+            graph = explore_vectorized(net, max_states=max_states)
             kernel = build_kernel(graph, allow_truncated=graph.truncated)
             evaluator = kernel.evaluator()
         constants = dict(spec.constants)

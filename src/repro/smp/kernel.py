@@ -21,7 +21,7 @@ import numpy as np
 from scipy import sparse
 
 from ..distributions import Distribution
-from ..utils.validation import require
+from ..utils.validation import check_probability_vector, require
 
 __all__ = ["SMPKernel", "UEvaluator", "as_evaluator", "target_mask"]
 
@@ -91,15 +91,22 @@ class SMPKernel:
             if not isinstance(d, Distribution):
                 raise TypeError(f"expected Distribution, got {type(d).__name__}")
 
-        if state_names is None:
-            self.state_names = [str(i) for i in range(self.n_states)]
-        else:
+        # Names materialise lazily via the state_names property: a
+        # million-state kernel should not pay for a million name strings it
+        # may never print.  ``state_names`` may be a sequence or a zero-arg
+        # callable producing one (the factory form the array-backed state
+        # space uses to defer marking-string generation).
+        self._state_names: list[str] | None = None
+        self._state_names_factory = None
+        if callable(state_names):
+            self._state_names_factory = state_names
+        elif state_names is not None:
             state_names = list(state_names)
             require(
                 len(state_names) == self.n_states,
                 "state_names must have one entry per state",
             )
-            self.state_names = [str(s) for s in state_names]
+            self._state_names = [str(s) for s in state_names]
 
         # Pre-assemble the sparse structure shared by P, U(s) and U'(s).
         self._structure = sparse.csr_matrix(
@@ -151,6 +158,107 @@ class SMPKernel:
         return cls(n_states, np.asarray(src), np.asarray(dst), np.asarray(probs),
                    np.asarray(dist_idx), dists, state_names)
 
+    @classmethod
+    def from_columns(
+        cls,
+        n_states: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        probs: np.ndarray,
+        dist_index: np.ndarray,
+        distributions: Sequence[Distribution],
+        state_names: Sequence[str] | None = None,
+        *,
+        normalise: bool = False,
+    ) -> "SMPKernel":
+        """Build a kernel straight from edge columns (structure-of-arrays).
+
+        The zero-copy handoff from the array-backed state space: when no two
+        edges share a ``(src, dst)`` pair the columns are adopted as-is — no
+        per-edge Python objects, no :class:`SMPBuilder` dict merging.  Parallel
+        edges keep the builder's merge semantics via grouped reduction:
+        probabilities sum, sojourns combine into a probability-weighted
+        :class:`~repro.distributions.Mixture` in edge order.
+
+        ``normalise`` rescales each state's outgoing probabilities to sum to
+        one (the truncated-graph convention of ``SMPBuilder.build``).
+        """
+        from ..distributions import Mixture
+
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        probs = np.asarray(probs, dtype=float)
+        dist_index = np.asarray(dist_index, dtype=np.int64)
+        if np.any(probs < 0) or np.any(~np.isfinite(probs)):
+            raise ValueError("transition probabilities must be finite and non-negative")
+        positive = probs > 0.0
+        if not positive.all():
+            src, dst, probs, dist_index = (
+                src[positive], dst[positive], probs[positive], dist_index[positive],
+            )
+        if src.size == 0:
+            raise ValueError("no transitions have been added")
+
+        # One packed int64 key sorts (src, dst) pairs in a single-array pass;
+        # the common no-parallel-edge case detects as "no adjacent equal keys"
+        # without ever permuting the columns.
+        if n_states <= 3_000_000_000:
+            pair_keys = src * np.int64(n_states) + dst
+        else:  # pragma: no cover - keys would overflow int64
+            pair_keys = None
+        if pair_keys is not None:
+            sorted_keys = np.sort(pair_keys)
+            has_duplicates = bool((sorted_keys[1:] == sorted_keys[:-1]).any())
+            order = np.argsort(pair_keys, kind="stable") if has_duplicates else None
+        else:
+            order = np.lexsort((dst, src))
+            s_ordered, d_ordered = src[order], dst[order]
+            has_duplicates = bool(
+                ((s_ordered[1:] == s_ordered[:-1]) & (d_ordered[1:] == d_ordered[:-1])).any()
+            )
+        if has_duplicates:
+            s_sorted, d_sorted = src[order], dst[order]
+            duplicate = np.empty(src.size, dtype=bool)
+            duplicate[0] = False
+            duplicate[1:] = (s_sorted[1:] == s_sorted[:-1]) & (d_sorted[1:] == d_sorted[:-1])
+            p_sorted, di_sorted = probs[order], dist_index[order]
+            starts = np.flatnonzero(~duplicate)
+            sizes = np.diff(np.append(starts, src.size))
+            src = s_sorted[starts]
+            dst = d_sorted[starts]
+            probs = np.add.reduceat(p_sorted, starts)
+            distributions = list(distributions)
+            dist_of: dict[Distribution, int] = {}
+            # Singleton groups (the vast majority) copy their index wholesale;
+            # only genuinely parallel groups pay the Mixture construction.
+            dist_index = di_sorted[starts].copy()
+            for g in np.flatnonzero(sizes > 1):
+                branch = slice(starts[g], starts[g] + sizes[g])
+                weights = check_probability_vector(
+                    p_sorted[branch], "parallel transition weights", normalise=True
+                )
+                mixture = Mixture(
+                    [distributions[int(i)] for i in di_sorted[branch]], weights
+                )
+                found = dist_of.get(mixture)
+                if found is None:
+                    found = len(distributions)
+                    dist_of[mixture] = found
+                    distributions.append(mixture)
+                dist_index[g] = found
+
+        if normalise:
+            row_sums = np.bincount(src, weights=probs, minlength=n_states)
+            zero_rows = np.where(row_sums == 0.0)[0]
+            if zero_rows.size:
+                raise ValueError(
+                    f"cannot normalise: states {zero_rows[:10].tolist()} have no outgoing weight"
+                )
+            probs = probs / row_sums[src]
+
+        return cls(n_states, src, dst, probs, dist_index, list(distributions),
+                   state_names)
+
     # ------------------------------------------------------------ topology
     @property
     def n_transitions(self) -> int:
@@ -160,11 +268,36 @@ class SMPKernel:
     def n_distributions(self) -> int:
         return len(self.distributions)
 
+    @property
+    def state_names(self) -> list[str]:
+        """Per-state display names (default ``str(index)``, built on demand)."""
+        if self._state_names is None:
+            if self._state_names_factory is not None:
+                names = [str(s) for s in self._state_names_factory()]
+                require(
+                    len(names) == self.n_states,
+                    "state_names must have one entry per state",
+                )
+                self._state_names = names
+            else:
+                self._state_names = [str(i) for i in range(self.n_states)]
+        return self._state_names
+
     def embedded_matrix(self) -> sparse.csr_matrix:
         """One-step transition probability matrix ``P`` of the embedded DTMC."""
         mat = self._structure.copy()
         mat.data = self.probs[self._coo_to_csr]
         return mat
+
+    def adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(indptr, indices)`` of the transition structure.
+
+        The arrays are shared with the kernel's pre-assembled structure —
+        treat them as read-only.  Graph algorithms (partitioners, BFS
+        orderings) should traverse these instead of rebuilding Python
+        adjacency lists.
+        """
+        return self._structure.indptr, self._structure.indices
 
     def state_index(self, name: str) -> int:
         """Index of the state called ``name`` (O(n) lookup, for small models/tests)."""

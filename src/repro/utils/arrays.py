@@ -1,0 +1,24 @@
+"""Small NumPy array helpers shared across layers."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ragged_take"]
+
+
+def ragged_take(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all ``i``.
+
+    The vectorized gather for ragged slices (CSR rows, offset tables):
+    equivalent to ``np.concatenate([values[s:s+c] for s, c in zip(starts,
+    counts)])`` without the Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return values[:0]
+    positions = np.repeat(starts, counts) + (
+        np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    return values[positions]

@@ -150,3 +150,38 @@ class TestKernelMapping:
         ps = passage_solver(net, lambda m: m["s0"] == 1, lambda m: m["s1"] == 1)
         density = ps.density([1.0])
         assert density[0] >= 0.0
+
+
+class TestInternedLookups:
+    """Satellite regressions: O(1) index_of and cached marking_array."""
+
+    def test_index_of_does_not_scan_the_marking_list(self):
+        """index_of must answer from the interned table, never list.index."""
+
+        class NoScanList(list):
+            def index(self, *args, **kwargs):  # pragma: no cover - trap
+                raise AssertionError("index_of fell back to an O(n) list scan")
+
+        net = simple_cycle_net(4)
+        graph = explore(net)
+        graph.markings = NoScanList(graph.markings)
+        for i, marking in enumerate(graph.markings):
+            assert graph.index_of(marking) == i
+        with pytest.raises(KeyError, match="not reachable"):
+            graph.index_of((99, 0, 0, 0))
+
+    def test_index_of_lookup_table_is_built_once(self):
+        net = simple_cycle_net(3)
+        graph = explore(net)
+        graph.index_of(graph.markings[0])
+        table = graph._intern
+        graph.index_of(graph.markings[-1])
+        assert graph._intern is table
+
+    def test_marking_array_is_cached(self):
+        net = simple_cycle_net(3)
+        graph = explore(net)
+        first = graph.marking_array()
+        assert graph.marking_array() is first
+        assert first.dtype == np.int64
+        assert first.shape == (graph.n_states, 3)

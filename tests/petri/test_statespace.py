@@ -1,0 +1,357 @@
+"""Equivalence suite: the vectorized explorer vs. the legacy explorer.
+
+For every bundled model the array-backed :func:`explore_vectorized` must
+produce *exactly* the state space of the per-marking :func:`explore` — same
+state count, same canonical state order, same edge multiset, same deadlocks,
+same truncation behaviour — and the kernels built from both must agree on
+``U(s)`` to 1e-12 at sampled s-points.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential, Immediate, Uniform
+from repro.dnamaca import load_model
+from repro.models import SCALED_CONFIGURATIONS, build_voting_net, voting_spec_text
+from repro.models.queues import web_server_net
+from repro.petri import (
+    SMSPN,
+    StateSpace,
+    Transition,
+    build_kernel,
+    eliminate_vanishing,
+    explore,
+    explore_vectorized,
+)
+
+S_POINTS = (0.5 + 0.0j, 1.0 + 1.0j, 3.0 - 2.0j)
+
+
+def deadlock_net() -> SMSPN:
+    """A net that runs into a dead marking (drained token)."""
+    net = SMSPN("drain")
+    net.add_place("a", 2)
+    net.add_place("b", 0)
+    net.add_transition(
+        Transition(name="go", inputs={"a": 1}, outputs={"b": 1}, distribution=Exponential(1.0))
+    )
+    return net
+
+
+def routed_net() -> SMSPN:
+    """Timed arrival + immediate routing (exercises vanishing elimination)."""
+    net = SMSPN("routed")
+    net.add_place("idle", 1)
+    net.add_place("router", 0)
+    net.add_place("left", 0)
+    net.add_place("right", 0)
+    net.add_transition(
+        Transition(name="arrive", inputs={"idle": 1}, outputs={"router": 1},
+                   distribution=Erlang(2.0, 2))
+    )
+    net.add_transition(
+        Transition(name="route_left", inputs={"router": 1}, outputs={"left": 1},
+                   weight=3.0, distribution=Immediate())
+    )
+    net.add_transition(
+        Transition(name="route_right", inputs={"router": 1}, outputs={"right": 1},
+                   weight=1.0, distribution=Immediate())
+    )
+    net.add_transition(
+        Transition(name="serve_left", inputs={"left": 1}, outputs={"idle": 1},
+                   distribution=Uniform(0.5, 1.5))
+    )
+    net.add_transition(
+        Transition(name="serve_right", inputs={"right": 1}, outputs={"idle": 1},
+                   distribution=Exponential(1.0))
+    )
+    return net
+
+
+def bundled_models():
+    """(label, net factory) for every bundled model family."""
+    yield "voting-tiny", lambda: build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+    yield "voting-small", lambda: build_voting_net(SCALED_CONFIGURATIONS["small"])
+    yield (
+        "voting-dnamaca-tiny",
+        lambda: load_model(voting_spec_text(SCALED_CONFIGURATIONS["tiny"]), name="voting-spec"),
+    )
+    yield "web-server", web_server_net          # opaque-lambda fallback path
+    yield "deadlock", deadlock_net
+    yield "routed-immediate", routed_net
+
+
+def edge_multiset(graph):
+    return sorted(
+        (src, dst, name, round(prob, 13), dist)
+        for src, dst, prob, dist, name in graph.edges
+    )
+
+
+def assert_same_space(legacy, space: StateSpace):
+    assert space.n_states == legacy.n_states
+    assert space.n_edges == legacy.n_edges
+    assert np.array_equal(space.marking_array(), legacy.marking_array())
+    assert [int(d) for d in space.deadlocks] == list(legacy.deadlocks)
+    assert space.truncated == legacy.truncated
+    assert space.initial_state == legacy.initial_state
+    assert edge_multiset(space) == edge_multiset(legacy)
+
+
+def assert_same_kernel(legacy_kernel, vector_kernel, tol=1e-12):
+    assert vector_kernel.n_states == legacy_kernel.n_states
+    assert vector_kernel.n_transitions == legacy_kernel.n_transitions
+    assert vector_kernel.state_names == legacy_kernel.state_names
+    for s in S_POINTS:
+        difference = legacy_kernel.u_matrix(s) - vector_kernel.u_matrix(s)
+        assert abs(difference).max() <= tol
+
+
+@pytest.mark.parametrize("label,factory", list(bundled_models()), ids=lambda v: v if isinstance(v, str) else "")
+def test_vectorized_explorer_matches_legacy(label, factory):
+    net = factory()
+    legacy = explore(net)
+    space = explore_vectorized(net)
+    assert isinstance(space, StateSpace)
+    assert_same_space(legacy, space)
+    assert_same_kernel(build_kernel(legacy), build_kernel(space))
+
+
+@pytest.mark.parametrize("cap", [1, 10, 40])
+def test_truncation_parity(cap):
+    net = build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+    legacy = explore(net, max_states=cap)
+    space = explore_vectorized(net, max_states=cap)
+    assert legacy.truncated and space.truncated
+    assert_same_space(legacy, space)
+    # Kernel construction parity: frontier states whose every edge was dropped
+    # make normalisation impossible — both paths must agree on success or on
+    # the failure.
+    try:
+        legacy_kernel = build_kernel(legacy, allow_truncated=True)
+    except ValueError:
+        with pytest.raises(ValueError):
+            build_kernel(space, allow_truncated=True)
+    else:
+        assert_same_kernel(legacy_kernel, build_kernel(space, allow_truncated=True))
+
+
+def test_truncated_kernel_refused_without_opt_in():
+    net = build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+    space = explore_vectorized(net, max_states=10)
+    with pytest.raises(ValueError, match="truncated"):
+        build_kernel(space)
+
+
+def test_deadlock_parity_and_self_loops():
+    net = deadlock_net()
+    legacy = explore(net)
+    space = explore_vectorized(net)
+    assert_same_space(legacy, space)
+    assert len(space.deadlocks) == 1
+    assert_same_kernel(build_kernel(legacy), build_kernel(space))
+
+
+def test_vanishing_elimination_matches_legacy():
+    net = routed_net()
+    legacy = eliminate_vanishing(explore(net))
+    space = eliminate_vanishing(explore_vectorized(net))
+    assert isinstance(space, StateSpace)
+    assert_same_space(legacy, space)
+    assert_same_kernel(build_kernel(legacy), build_kernel(space))
+    # The router marking is gone and probabilities still fold to 3:1.
+    idle = space.index_of((1, 0, 0, 0))
+    left = space.index_of((0, 0, 1, 0))
+    P = build_kernel(space).embedded_matrix().toarray()
+    assert P[idle, left] == pytest.approx(0.75)
+
+
+def test_vanishing_cycle_detected_in_array_domain():
+    net = SMSPN("zeno")
+    net.add_place("a", 1)
+    net.add_place("b", 0)
+    net.add_place("c", 0)
+    net.add_transition(
+        Transition(name="start", inputs={"a": 1}, outputs={"b": 1},
+                   distribution=Exponential(1.0))
+    )
+    net.add_transition(
+        Transition(name="i1", inputs={"b": 1}, outputs={"c": 1}, distribution=Immediate())
+    )
+    net.add_transition(
+        Transition(name="i2", inputs={"c": 1}, outputs={"b": 1}, distribution=Immediate())
+    )
+    with pytest.raises(ValueError, match="cycle of vanishing markings"):
+        eliminate_vanishing(explore_vectorized(net))
+
+
+def test_unpackable_markings_use_dict_interning_with_same_result():
+    """Nets whose markings exceed the 63-bit packing budget stay correct."""
+    net = SMSPN("wide")
+    n = 8
+    for i in range(n):
+        net.add_place(f"q{i}", 300)   # 300 needs 9 bits; 8 * 9 = 72 > 63
+    for i in range(n):
+        net.add_transition(
+            Transition(
+                name=f"t{i}",
+                inputs={f"q{i}": 1},
+                outputs={f"q{(i + 1) % n}": 1},
+                distribution=Exponential(1.0),
+            )
+        )
+    legacy = explore(net, max_states=400)
+    space = explore_vectorized(net, max_states=400)
+    assert space._index is not None          # byte-dict fallback engaged
+    assert_same_space(legacy, space)
+    assert space.index_of(space.marking_matrix[123]) == 123
+
+
+def _fault_net(**transition_kwargs) -> SMSPN:
+    net = SMSPN("faulting")
+    net.add_place("a", 0)
+    net.add_place("b", 1)
+    net.add_transition(
+        Transition(name="t", distribution=Exponential(1.0), **transition_kwargs)
+    )
+    return net
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(inputs={"b": 1}, outputs={"a": 1}, weight="1 / a"),
+        dict(inputs={"b": 1}, action={"a": "1 / a"}),
+        dict(inputs={"b": 1}, outputs={"a": 1}, guard="1 / a > 1"),
+        dict(inputs={"b": 1}, outputs={"a": 1}, priority="1 / a"),
+    ],
+    ids=["weight", "action", "guard", "priority"],
+)
+def test_arithmetic_faults_in_declarative_attributes_match_legacy(kwargs):
+    """Expressions dividing by a zero token count raise exactly like the
+    scalar path — never a silently divergent state space (the vector path
+    detects the fault and re-evaluates those rows per-state)."""
+    with pytest.raises(ZeroDivisionError):
+        explore(_fault_net(**kwargs))
+    with pytest.raises(ZeroDivisionError):
+        explore_vectorized(_fault_net(**kwargs))
+
+
+def test_declarative_attributes_evaluate_only_where_enabled(monkeypatch):
+    """A fault in an arc-disabled row must neither raise nor demote the wave
+    to the per-row scalar fallback (the scalar path never sees that row)."""
+
+    def build():
+        net = SMSPN("masked")
+        net.add_place("p1", 1)
+        net.add_place("p2", 0)
+        net.add_transition(
+            Transition(name="go", inputs={"p1": 1}, outputs={"p2": 1},
+                       weight="6 / p1", distribution=Exponential(1.0))
+        )
+        net.add_transition(
+            Transition(name="back", inputs={"p2": 1}, outputs={"p1": 1},
+                       distribution=Exponential(2.0))
+        )
+        return net
+
+    legacy = explore(build())
+    # If the vectorized path fell back to scalar evaluation anywhere, this
+    # trap would fire.
+    monkeypatch.setattr(
+        Transition, "weight_in",
+        lambda self, view: (_ for _ in ()).throw(AssertionError("scalar fallback used")),
+    )
+    space = explore_vectorized(build())
+    assert_same_space(legacy, space)
+
+
+def test_state_space_equality_does_not_crash():
+    net = build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+    space = explore_vectorized(net)
+    assert space == space
+    assert space != explore_vectorized(net)   # identity semantics, no ValueError
+
+
+def test_lazy_branch_division_matches_legacy():
+    """A division guarded by the if-branch is legal in the scalar path; the
+    vectorized fallback must reproduce that (lazy) semantics, not fault."""
+    net = _fault_net(
+        inputs={"b": 1}, outputs={"a": 1}, weight="(1 / a if a > 0 else 2)"
+    )
+    legacy = explore(net)
+    space = explore_vectorized(net)
+    assert_same_space(legacy, space)
+
+
+def test_interner_repacks_when_token_counts_grow():
+    """Marking counts that outgrow the initial bit budget trigger a repack."""
+    net = SMSPN("doubling")
+    net.add_place("a", 1)
+    net.add_place("b", 0)
+    net.add_transition(
+        Transition(
+            name="double",
+            guard="a < 1000",
+            action={"a": "a * 2", "b": "b + 1"},
+            distribution=Exponential(1.0),
+        )
+    )
+    legacy = explore(net)
+    space = explore_vectorized(net)
+    assert_same_space(legacy, space)
+    assert int(space.marking_matrix[:, 0].max()) == 1024
+
+
+class TestStateSpaceInterface:
+    def test_o1_index_of_and_unknown_marking(self):
+        space = explore_vectorized(build_voting_net(SCALED_CONFIGURATIONS["tiny"]))
+        for state in (0, space.n_states // 2, space.n_states - 1):
+            assert space.index_of(space.marking_matrix[state]) == state
+        with pytest.raises(KeyError, match="not reachable"):
+            space.index_of((99,) * space.marking_matrix.shape[1])
+
+    def test_marking_array_is_the_backing_store(self):
+        space = explore_vectorized(build_voting_net(SCALED_CONFIGURATIONS["tiny"]))
+        assert space.marking_array() is space.marking_matrix
+        # ... and does not pin the oversized exploration growth buffer.
+        assert space.marking_matrix.base is None
+
+    def test_states_where_matches_states_matching(self):
+        params = SCALED_CONFIGURATIONS["tiny"]
+        space = explore_vectorized(build_voting_net(params))
+        cc = params.voters
+        by_loop = space.states_where(lambda m: m["p2"] == cc)
+        by_vector = space.states_matching("p2 == CC", {"CC": cc})
+        assert by_loop == by_vector.tolist()
+
+    def test_transition_usage_matches_legacy(self):
+        net = build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+        assert explore_vectorized(net).transition_usage() == explore(net).transition_usage()
+
+    def test_edge_columns_are_soa(self):
+        space = explore_vectorized(build_voting_net(SCALED_CONFIGURATIONS["tiny"]))
+        assert space.edge_src.dtype == np.int64
+        assert space.edge_dst.dtype == np.int64
+        assert space.edge_prob.dtype == np.float64
+        assert space.edge_dist.dtype == np.int32
+        assert space.edge_trans.dtype == np.int32
+        # unique-distribution table deduplicated at exploration time
+        assert len(space.distributions) == len(set(space.distributions))
+
+    def test_kernel_is_picklable_with_marking_names(self):
+        """Spawn-start multiprocessing ships kernels to workers — the lazy
+        marking-name factory must survive pickling."""
+        import pickle
+
+        kernel = build_kernel(explore_vectorized(build_voting_net(SCALED_CONFIGURATIONS["tiny"])))
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.state_names == kernel.state_names
+        assert clone.state_names[0].startswith("(")
+
+    def test_round_trip_to_reachability_graph(self):
+        net = build_voting_net(SCALED_CONFIGURATIONS["tiny"])
+        space = explore_vectorized(net)
+        graph = space.to_reachability_graph()
+        assert_same_space(graph, space)
