@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""End-to-end passage-time density benchmark: the blocked/factored solver layer.
+
+Two measurements, written to ``BENCH_passage.json``:
+
+1. **Mid-size engine comparison** — the distribution-factored engine vs the
+   ``u_data_batch`` (per-edge-data) engine, end-to-end on the same measure,
+   grid and truncation rule.  The comparison model is a mid-size *service
+   pool* kernel in the factored engine's target regime: every state can hand
+   off to many successors (high fan-out) drawn from a handful of distinct
+   sojourn distributions, so the per-edge data the batch engine streams per
+   s-point per iteration dwarfs the factored engine's pair expansion.  (On
+   low fan-out kernels such as the voting net the policy keeps the batch
+   engine — that regime is covered by the voting run below.)  Records the
+   per-(point × iteration) times, their ratio and the maximum deviation.
+
+2. **Large voting end-to-end** — the paper's headline workload: the full
+   passage-time density (all voters processed) on a >= 1M-state voting
+   kernel over a >= 128-point Euler s-grid, streamed through the blocked
+   solver under a fixed memory budget.  Records states, s-points, solve
+   seconds, per-block timings, peak RSS and the density curve.
+
+Modes
+-----
+``--smoke``
+    CI guard: reduced scales with *generous* floors (fractions of what the
+    hardware does) so the step fails only on a real regression, never on a
+    slow runner.
+default (full)
+    The acceptance-scale run: the >= 5x mid-size comparison floor plus the
+    >= 1M-state voting run under the 6 GiB RSS ceiling.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_passage.py [--smoke] [--out FILE]
+    PYTHONPATH=src python scripts/bench_passage.py --skip-voting
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+import numpy as np
+
+from repro.distributions import Deterministic, Erlang, Exponential, Uniform, Weibull
+from repro.laplace.euler import EulerInverter
+from repro.models import SCALED_CONFIGURATIONS
+from repro.models.voting import VotingParameters, build_voting_net
+from repro.petri import build_kernel, explore_vectorized
+from repro.smp import SMPBuilder, SPointPolicy, passage_transform_batch
+from repro.api.plan import QueryPlan
+
+FULL_SCALE = VotingParameters(175, 45, 5)
+SMOKE_SCALE = SCALED_CONFIGURATIONS["medium"]
+
+#: pure-iterative policies so the engine comparison measures the iteration
+#: engines themselves (no LU routing, identical truncation on both sides)
+ITERATIVE = dict(predicted_iteration_limit=10**9, fallback_to_direct=False)
+
+
+def peak_rss_bytes() -> int:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return int(usage) * (1 if sys.platform == "darwin" else 1024)
+
+
+def comparison_kernel(n_states: int, degree: int, seed: int = 7):
+    """A mid-size service-pool kernel: high fan-out, few distinct sojourns."""
+    rng = np.random.default_rng(seed)
+    dists = [
+        Exponential(1.2), Erlang(2.0, 3), Uniform(0.2, 1.4),
+        Deterministic(0.5), Weibull(1.3, 1.0), Exponential(4.0),
+    ]
+    builder = SMPBuilder()
+    for i in range(n_states):
+        builder.add_state(f"s{i}")
+    for i in range(n_states):
+        successors = np.unique(
+            np.concatenate([[(i + 1) % n_states], rng.integers(0, n_states, degree)])
+        )
+        successors = successors[successors != i]
+        weights = rng.random(successors.size) + 0.05
+        weights /= weights.sum()
+        for j, w in zip(successors, weights):
+            builder.add_transition(i, int(j), float(w), dists[int(rng.integers(0, len(dists)))])
+    return builder.build()
+
+
+def euler_grid(t_points) -> np.ndarray:
+    plan = QueryPlan.derive(EulerInverter(), np.asarray(t_points, dtype=float))
+    return plan.s_points
+
+
+def run_engine(kernel, alpha, targets, s_points, engine: str):
+    policy = SPointPolicy(engine=engine, **ITERATIVE)
+    report: dict = {}
+    started = time.perf_counter()
+    values, diags = passage_transform_batch(
+        kernel, alpha, targets, s_points, policy=policy, report=report
+    )
+    seconds = time.perf_counter() - started
+    point_iters = int(sum(d.matvec_count for d in diags))
+    return {
+        "values": values,
+        "seconds": seconds,
+        "point_iterations": point_iters,
+        "seconds_per_point_iteration": seconds / max(point_iters, 1),
+        "blocks": report["blocks"],
+        "engine": report["engine"],
+    }
+
+
+def engine_comparison(n_states: int, degree: int, t_points) -> dict:
+    kernel = comparison_kernel(n_states, degree)
+    evaluator = kernel.evaluator()
+    ratio = evaluator.factored().density_ratio()
+    alpha = np.zeros(kernel.n_states)
+    alpha[0] = 1.0
+    targets = [kernel.n_states - 1]
+    s_points = euler_grid(t_points)
+    print(
+        f"# engine comparison: service-pool kernel n={kernel.n_states} "
+        f"nnz={kernel.n_transitions} dists={kernel.n_distributions} "
+        f"fanout-ratio={ratio:.1f}, {s_points.size} s-points",
+        flush=True,
+    )
+    batch = run_engine(kernel, alpha, targets, s_points, "batch")
+    factored = run_engine(kernel, alpha, targets, s_points, "factored")
+    deviation = float(np.abs(batch["values"] - factored["values"]).max())
+    per_iteration_speedup = (
+        batch["seconds_per_point_iteration"] / factored["seconds_per_point_iteration"]
+    )
+    end_to_end_speedup = batch["seconds"] / factored["seconds"]
+    print(
+        f"  u_data_batch engine : {batch['seconds']:.2f}s "
+        f"({batch['seconds_per_point_iteration']*1e3:.3f} ms/pt-iter, "
+        f"{batch['point_iterations']} pt-iters)",
+        flush=True,
+    )
+    print(
+        f"  factored engine     : {factored['seconds']:.2f}s "
+        f"({factored['seconds_per_point_iteration']*1e3:.3f} ms/pt-iter, "
+        f"{factored['point_iterations']} pt-iters)",
+        flush=True,
+    )
+    print(
+        f"  per-iteration speedup {per_iteration_speedup:.1f}x, end-to-end "
+        f"{end_to_end_speedup:.1f}x, max deviation {deviation:.2e}",
+        flush=True,
+    )
+    return {
+        "model": {
+            "kind": "service-pool",
+            "states": kernel.n_states,
+            "transitions": kernel.n_transitions,
+            "distinct_distributions": kernel.n_distributions,
+            "fanout_ratio": round(ratio, 2),
+        },
+        "s_points": int(s_points.size),
+        "batch_seconds": round(batch["seconds"], 3),
+        "factored_seconds": round(factored["seconds"], 3),
+        "batch_ms_per_point_iteration": round(batch["seconds_per_point_iteration"] * 1e3, 4),
+        "factored_ms_per_point_iteration": round(
+            factored["seconds_per_point_iteration"] * 1e3, 4
+        ),
+        "per_iteration_speedup": round(per_iteration_speedup, 2),
+        "end_to_end_speedup": round(end_to_end_speedup, 2),
+        "max_deviation": deviation,
+    }
+
+
+def voting_passage(params: VotingParameters, t_points, budget_bytes: int) -> dict:
+    print(f"# voting passage density: {params.label}", flush=True)
+    started = time.perf_counter()
+    net = build_voting_net(params)
+    graph = explore_vectorized(net)
+    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    build_seconds = time.perf_counter() - started
+    evaluator = kernel.evaluator()
+    marking = graph.marking_array()
+    targets = np.flatnonzero(marking[:, net.place_index["p2"]] == params.voters)
+    alpha = np.zeros(kernel.n_states)
+    alpha[0] = 1.0
+
+    inverter = EulerInverter()
+    t_points = np.asarray(t_points, dtype=float)
+    plan = QueryPlan.derive(inverter, t_points)
+    s_points = plan.s_points
+    policy = SPointPolicy(max_block_bytes=budget_bytes)
+    engine = policy.resolve_engine(evaluator)
+    print(
+        f"  {kernel.n_states} states / {kernel.n_transitions} edges built in "
+        f"{build_seconds:.1f}s; solving {s_points.size} s-points via the "
+        f"{engine} engine in blocks of {policy.block_points(evaluator, engine)}",
+        flush=True,
+    )
+
+    report: dict = {}
+    solve_start = time.perf_counter()
+    values, diags = passage_transform_batch(
+        evaluator, alpha, targets, s_points, policy=policy, report=report
+    )
+    solve_seconds = time.perf_counter() - solve_start
+    point_iters = int(sum(d.matvec_count for d in diags))
+    converged = all(d.converged for d in diags)
+
+    from repro.laplace.inverter import canonical_s, expand_to_grid
+
+    value_map = {canonical_s(complex(s)): complex(v) for s, v in zip(s_points, values)}
+    density = inverter.invert_values(
+        t_points, expand_to_grid(plan.required_s_points, value_map)
+    )
+    rss = peak_rss_bytes()
+    print(
+        f"  solve {solve_seconds:.1f}s ({point_iters} pt-iters, "
+        f"{solve_seconds/max(point_iters,1)*1e3:.1f} ms/pt-iter, "
+        f"{len(report['blocks'])} blocks), peak RSS {rss/(1<<30):.2f} GiB, "
+        f"converged={converged}",
+        flush=True,
+    )
+    return {
+        "configuration": {
+            "CC": params.voters, "MM": params.polling_units, "NN": params.central_units,
+        },
+        "states": int(kernel.n_states),
+        "edges": int(kernel.n_transitions),
+        "targets": int(targets.size),
+        "build_seconds": round(build_seconds, 2),
+        "engine": report["engine"],
+        "s_points": int(s_points.size),
+        "blocks": report["blocks"],
+        "point_iterations": point_iters,
+        "solve_seconds": round(solve_seconds, 2),
+        "ms_per_point_iteration": round(solve_seconds / max(point_iters, 1) * 1e3, 3),
+        "converged": converged,
+        "t_points": [float(t) for t in t_points],
+        "density": [float(f) for f in density],
+        "peak_rss_bytes": rss,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI guard run")
+    parser.add_argument("--out", default="BENCH_passage.json")
+    parser.add_argument(
+        "--skip-voting", action="store_true",
+        help="only run the engine comparison (skips the large voting solve)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        floors = {
+            "min_per_iteration_speedup": 2.0,
+            "max_deviation": 1e-10,
+            "max_voting_seconds": 300.0,
+            "max_rss_bytes": 4 << 30,
+            "min_voting_states": 1_000,
+            "min_voting_s_points": 128,
+        }
+        comparison = engine_comparison(1000, 90, t_points=(2.0, 5.0, 9.0))
+        voting = None
+        if not args.skip_voting:
+            voting = voting_passage(
+                SMOKE_SCALE, t_points=(20.0, 40.0, 60.0, 80.0), budget_bytes=1 << 30
+            )
+    else:
+        floors = {
+            "min_per_iteration_speedup": 5.0,
+            "max_deviation": 1e-10,
+            "max_voting_seconds": 3600.0,
+            "max_rss_bytes": 6 << 30,
+            "min_voting_states": 1_000_000,
+            "min_voting_s_points": 128,
+        }
+        comparison = engine_comparison(3000, 140, t_points=(2.0, 4.0, 6.0, 8.0, 10.0))
+        voting = None
+        if not args.skip_voting:
+            # The all-voted passage time of CC=175 concentrates around t=363
+            # (simulated mean); the grid brackets the bulk of the density.
+            voting = voting_passage(
+                FULL_SCALE, t_points=(300.0, 330.0, 360.0, 390.0), budget_bytes=2 << 30
+            )
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "engine_comparison": comparison,
+        "voting": voting,
+        "floors": floors,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+    failures = []
+    if comparison["per_iteration_speedup"] < floors["min_per_iteration_speedup"]:
+        failures.append(
+            f"per-iteration speedup {comparison['per_iteration_speedup']}x < "
+            f"{floors['min_per_iteration_speedup']}x"
+        )
+    if comparison["max_deviation"] > floors["max_deviation"]:
+        failures.append(
+            f"factored deviates {comparison['max_deviation']:.2e} > "
+            f"{floors['max_deviation']:.0e} from the u_data_batch path"
+        )
+    if voting is not None:
+        if voting["states"] < floors["min_voting_states"]:
+            failures.append(
+                f"voting kernel has {voting['states']} states < {floors['min_voting_states']}"
+            )
+        if voting["s_points"] < floors["min_voting_s_points"]:
+            failures.append(
+                f"voting grid has {voting['s_points']} s-points < {floors['min_voting_s_points']}"
+            )
+        total = voting["build_seconds"] + voting["solve_seconds"]
+        if total > floors["max_voting_seconds"]:
+            failures.append(
+                f"voting build+solve took {total:.0f}s > {floors['max_voting_seconds']:.0f}s"
+            )
+        if voting["peak_rss_bytes"] > floors["max_rss_bytes"]:
+            failures.append(
+                f"peak RSS {voting['peak_rss_bytes']/(1<<30):.2f} GiB > "
+                f"{floors['max_rss_bytes']/(1<<30):.0f} GiB"
+            )
+        if not voting["converged"]:
+            failures.append("voting solve left unconverged s-points")
+    report["failures"] = failures
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"# wrote {args.out}", flush=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FLOOR VIOLATED: {failure}", file=sys.stderr)
+        return 1
+    print("# all floors satisfied", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

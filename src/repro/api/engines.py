@@ -118,6 +118,10 @@ class _LocalEngine(Engine):
                 cache[canonical_s(s)] = complex(value)
             stats["s_points_computed"] += len(missing)
             stats["evaluation_seconds"] += stopwatch.elapsed
+            report = getattr(job, "last_report", None)
+            if report and report.get("engine"):
+                stats["evaluator_engine"] = report["engine"]
+                stats.setdefault("solve_blocks", []).extend(report.get("blocks") or [])
         return expand_to_grid(required, cache)
 
     def _new_stats(self, query, plan: QueryPlan) -> dict:
@@ -291,9 +295,17 @@ class DistributedEngine(Engine):
         )
         return entry, targets, job
 
-    def _statistics(self, pipeline) -> dict:
+    def _statistics(self, pipeline, job=None) -> dict:
         stats = pipeline.statistics_summary()
         stats["engine"] = self.name
+        report = getattr(job, "last_report", None)
+        if report and report.get("engine"):
+            # In-process backends leave the most recent evaluation's report
+            # on the job (pool workers keep theirs remote).  The pipeline
+            # dispatches many chunked evaluate_batch calls, so only the
+            # engine label — stable across calls — is trustworthy here;
+            # per-block timings would cover just the final chunk.
+            stats["evaluator_engine"] = report["engine"]
         return stats
 
     def run_passage(self, query) -> PassageTimeResult:
@@ -338,7 +350,7 @@ class DistributedEngine(Engine):
             for q in query.quantiles:
                 quantiles[q] = _refine_quantile(q, t_points, cdf_at)
 
-        statistics = self._statistics(pipeline)
+        statistics = self._statistics(pipeline, job)
         statistics["s_points_probed"] = probe_points
         return PassageTimeResult(
             t_points=t_points,
@@ -362,7 +374,7 @@ class DistributedEngine(Engine):
             steady_state=steady,
             transform_values=pipeline.transform_values(),
             method=pipeline.inverter.name,
-            statistics=self._statistics(pipeline),
+            statistics=self._statistics(pipeline, job),
         )
 
 

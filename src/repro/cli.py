@@ -194,6 +194,7 @@ def _cmd_passage(args) -> int:
           f"evaluation {stats.get('evaluation_seconds', 0.0):.2f}s "
           f"via {stats.get('backend', 'serial')}",
           file=sys.stderr)
+    _print_engine_stats(stats)
     return 0
 
 
@@ -270,6 +271,34 @@ def _print_query_stats(statistics: dict) -> None:
         f"{statistics.get('s_points_coalesced', 0)} coalesced",
         file=sys.stderr,
     )
+    _print_engine_stats(statistics)
+
+
+def _print_engine_stats(statistics: dict) -> None:
+    """One stderr line naming the evaluator engine and per-block timings."""
+    engine = statistics.get("evaluator_engine")
+    if not engine:
+        return
+    blocks = statistics.get("solve_blocks") or []
+    if blocks:
+        seconds = sum(b.get("seconds", 0.0) for b in blocks)
+        timings = ", ".join(
+            f"{b.get('points', '?')}pt/{b.get('seconds', 0.0):.3f}s" for b in blocks
+        )
+        print(
+            f"# evaluator: {engine} engine, {len(blocks)} block(s) "
+            f"in {seconds:.3f}s [{timings}]",
+            file=sys.stderr,
+        )
+        unconverged = sum(b.get("unconverged", 0) for b in blocks)
+        if unconverged:
+            print(
+                f"# WARNING: {unconverged} s-point(s) returned truncated "
+                "(iteration cap hit, no direct fallback on this kernel size)",
+                file=sys.stderr,
+            )
+    else:
+        print(f"# evaluator: {engine} engine", file=sys.stderr)
 
 
 def _cmd_query_register(args) -> int:

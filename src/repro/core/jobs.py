@@ -80,6 +80,10 @@ class TransformJob(abc.ABC):
         if self.targets.size == 0:
             raise ValueError("at least one target state is required")
         self._evaluator: UEvaluator | None = None
+        #: filled by every evaluate_batch call: which evaluation engine served
+        #: it plus per-block solve timings ({"engine": ..., "blocks": [...]});
+        #: surfaced through service/query statistics
+        self.last_report: dict | None = None
 
     # ------------------------------------------------------------ plumbing
     @property
@@ -176,14 +180,28 @@ class PassageTimeJob(TransformJob):
         s_work = s_values[nonzero]
         alpha = np.asarray(self.alpha, dtype=complex)
         if self.solver == "direct":
+            import time as _time
+
+            started = _time.perf_counter()
             vecs = passage_transform_direct_batch(self.evaluator, self.targets, s_work)
             values[nonzero] = vecs @ alpha
             costs[nonzero] = _DIRECT_SOLVE_COST
+            self.last_report = {
+                "engine": "direct-lu",
+                "blocks": [{
+                    "points": int(s_work.size),
+                    "seconds": round(_time.perf_counter() - started, 6),
+                    "iterations": 0,
+                    "direct_solves": int(s_work.size),
+                }],
+            }
             return values, costs
+        report: dict = {}
         vals, diags = passage_transform_batch(
             self.evaluator, alpha, self.targets, s_work, self.options,
-            policy=self.policy,
+            policy=self.policy, report=report,
         )
+        self.last_report = report
         values[nonzero] = vals
         costs[nonzero] = [
             d.matvec_count + d.direct_solves * _DIRECT_SOLVE_COST for d in diags
@@ -209,6 +227,7 @@ class TransientJob(TransformJob):
 
     def evaluate_batch(self, s_values) -> tuple[np.ndarray, np.ndarray]:
         s_values = np.asarray(s_values, dtype=complex).ravel()
+        report: dict = {}
         values, diags = transient_transform_batch(
             self.evaluator,
             self.alpha,
@@ -217,7 +236,9 @@ class TransientJob(TransformJob):
             self.options,
             solver=self.solver,
             policy=self.policy,
+            report=report,
         )
+        self.last_report = report
         costs = np.asarray(
             [d.matvec_count + d.direct_solves * _DIRECT_SOLVE_COST for d in diags],
             dtype=float,

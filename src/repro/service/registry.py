@@ -60,6 +60,9 @@ class ModelEntry:
     kernel: SMPKernel
     evaluator: UEvaluator
     build_seconds: float
+    #: which evaluation engine the default SPointPolicy picks for this kernel
+    #: ("batch" or "factored"); decided once at registration
+    evaluator_engine: str = "batch"
     #: serialises transform evaluations on the shared evaluator (its grid
     #: caches are not thread-safe); held by the scheduler, not by callers
     eval_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
@@ -124,6 +127,7 @@ class ModelEntry:
             "distinct_distributions": int(self.kernel.n_distributions),
             "constants": {k: float(v) for k, v in self.constants.items()},
             "build_seconds": self.build_seconds,
+            "evaluator_engine": self.evaluator_engine,
         }
 
 
@@ -210,6 +214,8 @@ class ModelRegistry:
         overrides: dict[str, float],
         max_states: int | None,
     ) -> ModelEntry:
+        from ..smp.passage import SPointPolicy
+
         stopwatch = Stopwatch()
         with stopwatch:
             spec = parse_model(text, name=name or "model")
@@ -217,6 +223,12 @@ class ModelRegistry:
             graph = explore_vectorized(net, max_states=max_states)
             kernel = build_kernel(graph, allow_truncated=graph.truncated)
             evaluator = kernel.evaluator()
+            # Decide the evaluation engine once per model; kernels routed to
+            # the factored engine prewarm its target-independent structures
+            # here so no query pays the pair decomposition.
+            engine = SPointPolicy().resolve_engine(evaluator)
+            if engine == "factored":
+                evaluator.factored().prewarm()
         constants = dict(spec.constants)
         constants.update(overrides)
         return ModelEntry(
@@ -230,4 +242,5 @@ class ModelRegistry:
             kernel=kernel,
             evaluator=evaluator,
             build_seconds=stopwatch.elapsed,
+            evaluator_engine=engine,
         )

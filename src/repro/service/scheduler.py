@@ -82,6 +82,10 @@ class CoalescingScheduler:
         self.points_coalesced = 0
         self.batches_dispatched = 0
         self.evaluation_seconds_total = 0.0
+        #: batches served per evaluation engine ("batch", "factored", ...)
+        self.engine_batches: dict[str, int] = {}
+        #: solve blocks executed per engine (one batch spans >= 1 blocks)
+        self.engine_blocks: dict[str, int] = {}
 
     # ------------------------------------------------------------------ API
     def evaluate(
@@ -173,6 +177,8 @@ class CoalescingScheduler:
                 "batches_dispatched": self.batches_dispatched,
                 "points_in_flight": len(self._in_flight),
                 "evaluation_seconds_total": self.evaluation_seconds_total,
+                "engine_batches": dict(self.engine_batches),
+                "engine_blocks": dict(self.engine_blocks),
             }
 
     # ------------------------------------------------------------ internals
@@ -193,13 +199,20 @@ class CoalescingScheduler:
         # what keeps remote results bit-identical to local ones.
         todo = [exact.get(key, key) for key in owned]
         stopwatch = Stopwatch()
+        report = None
         try:
             with stopwatch:
+                # Capture the evaluation report right after the call (while
+                # still holding the evaluation lock where one exists): another
+                # request sharing the job's measure may evaluate concurrently
+                # and overwrite job.last_report.
                 if eval_lock is not None:
                     with eval_lock:
                         computed = job.evaluate_many(todo)
+                        report = getattr(job, "last_report", None)
                 else:
                     computed = job.evaluate_many(todo)
+                    report = getattr(job, "last_report", None)
         except BaseException as exc:
             with self._lock:
                 for s in owned:
@@ -221,8 +234,20 @@ class CoalescingScheduler:
             self.points_evaluated += len(owned)
             self.batches_dispatched += 1
             self.evaluation_seconds_total += stopwatch.elapsed
+            if report and report.get("engine"):
+                engine = report["engine"]
+                self.engine_batches[engine] = self.engine_batches.get(engine, 0) + 1
+                blocks = report.get("blocks") or []
+                self.engine_blocks[engine] = self.engine_blocks.get(engine, 0) + len(blocks)
         if stats is not None:
             stats.s_points_computed += len(owned)
             stats.batches += 1
             stats.evaluation_seconds += stopwatch.elapsed
+            if report and report.get("engine"):
+                stats.extra["evaluator_engine"] = report["engine"]
+                # Extend, never replace: a query whose points resolve in
+                # several coalesced batches reports every batch's blocks.
+                stats.extra.setdefault("solve_blocks", []).extend(
+                    report.get("blocks") or []
+                )
         return computed

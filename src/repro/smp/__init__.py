@@ -17,6 +17,7 @@ This package is the numerical heart of the reproduction:
   reference line of Fig. 7).
 """
 from .kernel import SMPKernel, UEvaluator
+from .factored import FactoredUEvaluator
 from .builder import SMPBuilder
 from .embedded import dtmc_steady_state, source_weights
 from .steady import smp_steady_state, steady_state_probability
@@ -35,6 +36,7 @@ from .transient import transient_transform, transient_transform_batch, sojourn_l
 __all__ = [
     "SMPKernel",
     "UEvaluator",
+    "FactoredUEvaluator",
     "SMPBuilder",
     "dtmc_steady_state",
     "source_weights",

@@ -345,11 +345,15 @@ class _BatchLRU:
     grid once per target state); a long-lived analysis service additionally
     interleaves *measures* on one shared evaluator — density, CDF and
     quantile-refinement requests that alternate between a few distinct
-    grids — so a short LRU keeps those from evicting each other.
+    grids — so a short LRU keeps those from evicting each other.  Grids
+    larger than ``max_entry_bytes`` are never retained: pinning several
+    multi-GiB ``(n_s, nnz)`` arrays is exactly the failure mode the blocked
+    evaluation path exists to avoid.
     """
 
-    def __init__(self, capacity: int = 4):
+    def __init__(self, capacity: int = 4, max_entry_bytes: int = 256 << 20):
         self.capacity = capacity
+        self.max_entry_bytes = max_entry_bytes
         self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
 
     def get(self, key: bytes) -> np.ndarray | None:
@@ -359,6 +363,8 @@ class _BatchLRU:
         return data
 
     def put(self, key: bytes, data: np.ndarray) -> None:
+        if data.nbytes > self.max_entry_bytes:
+            return
         self._entries[key] = data
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -437,33 +443,79 @@ class UEvaluator:
         out.imag = np.bincount(rows, weights=data.imag, minlength=n)
         return out
 
+    #: cap on the temporary working set of one internal ``u_data_batch``
+    #: fill chunk; the gather below is performed in s-slices of at most this
+    #: many bytes so building a large grid never doubles its own footprint
+    batch_fill_bytes: int = 256 << 20
+
+    def fill_chunk_points(self) -> int:
+        """How many s-points of per-edge data fit one :attr:`batch_fill_bytes`
+        working chunk (shared by the batch fill and the direct solver)."""
+        return max(1, int(self.batch_fill_bytes // max(self._indices.size * 16, 1)))
+
+    def factored(self) -> "FactoredUEvaluator":
+        """The distribution-factored multi-s engine sharing this kernel.
+
+        Built lazily and cached: the pair decompositions cost one pass over
+        the edges and are reused by every factored solve on this evaluator.
+        """
+        if getattr(self, "_factored", None) is None:
+            from .factored import FactoredUEvaluator
+
+            self._factored = FactoredUEvaluator(self)
+        return self._factored
+
     # ------------------------------------------------------------- batch API
-    def u_data_batch(self, s_values) -> np.ndarray:
+    def u_data_batch(self, s_values, out: np.ndarray | None = None) -> np.ndarray:
         """CSR data of ``U(s)`` for a whole grid of s-points at once.
 
         Returns an ``(n_s, nnz)`` array whose row ``t`` is the data vector of
         ``U(s_values[t])`` in the shared CSR entry order.  Each distinct
         distribution's transform is evaluated exactly once over the full grid,
         so the per-s-point Python overhead of the scalar path is amortised
-        across the batch.  Recently used grids are cached (see
-        :class:`_BatchLRU`): the transient computation re-requests the same
-        grid once per target state, and measures sharing one evaluator
-        alternate between a few grids.
+        across the batch.  The result is assembled in s-chunks bounded by
+        :attr:`batch_fill_bytes` (optionally straight into ``out``), so the
+        build never allocates beyond the result itself; results small enough
+        to be worth retaining are cached (see :class:`_BatchLRU`) — the
+        transient computation re-requests the same grid once per target
+        state, and measures sharing one evaluator alternate between a few
+        grids.
+
+        The *result* still scales as ``O(n_s · nnz)``: callers handling
+        large kernels should block their s-grid (see
+        :class:`~repro.smp.passage.SPointPolicy.block_points`) or use the
+        factored engine, which never materialises per-edge data.
         """
         s_values = np.asarray(s_values, dtype=complex).ravel()
+        nnz = self._indices.size
+        if out is not None and out.shape != (s_values.size, nnz):
+            raise ValueError("out must have shape (n_s, nnz)")
         key = s_values.tobytes()
         cached = self._batch_cache.get(key)
         if cached is not None:
+            if out is not None:
+                out[:] = cached
+                return out
             return cached
+        # A caller-owned buffer must never enter the LRU: the caller will
+        # overwrite it, silently corrupting every alias in the cache.
+        cacheable = out is None
+        if out is None:
+            out = np.empty((s_values.size, nnz), dtype=complex)
         lst_matrix = np.empty(
             (s_values.size, len(self.kernel.distributions)), dtype=complex
         )
         for k, dist in enumerate(self.kernel.distributions):
             lst_matrix[:, k] = dist.lst_batch(s_values)
-        data = lst_matrix[:, self._csr_dist_index]
-        data *= self._csr_probs
-        self._batch_cache.put(key, data)
-        return data
+        chunk = self.fill_chunk_points()
+        for lo in range(0, s_values.size, chunk):
+            hi = min(lo + chunk, s_values.size)
+            block = out[lo:hi]
+            np.take(lst_matrix[lo:hi], self._csr_dist_index, axis=1, out=block)
+            block *= self._csr_probs
+        if cacheable:
+            self._batch_cache.put(key, out)
+        return out
 
     def u_prime_data_batch(self, s_values, target_mask: np.ndarray) -> np.ndarray:
         """As :meth:`u_data_batch` but with the target states' rows zeroed."""

@@ -55,15 +55,33 @@ def passage_transform_direct_batch(
 
     # ``u_data`` lets callers that already hold the batch's U(s) data (the
     # adaptive engine routing a subset of its grid here) skip re-evaluating
-    # the distributions' transforms.
+    # the distributions' transforms.  Without it the data is materialised in
+    # bounded chunks so a large routed set never allocates O(n_s · nnz).
+    nnz = evaluator._indices.size
     if u_data is None:
-        data_batch = evaluator.u_data_batch(s_values)
+        # Fill chunks into one reused caller-owned buffer: chunk grids are
+        # throwaway and must not cycle through (and pollute) the evaluator's
+        # grid LRU, whose slots exist for reusable measure grids.
+        chunk = min(evaluator.fill_chunk_points(), s_values.size)
+        chunk_buffer = np.empty((chunk, nnz), dtype=complex)
+        data_batch = None
     else:
         data_batch = np.asarray(u_data, dtype=complex)
-        if data_batch.shape != (s_values.size, evaluator._indices.size):
+        if data_batch.shape != (s_values.size, nnz):
             raise ValueError("u_data must have shape (n_s, nnz)")
+    chunk_data = None
+    chunk_lo = -1
     for t in range(s_values.size):
-        data = data_batch[t]
+        if data_batch is not None:
+            data = data_batch[t]
+        else:
+            if chunk_data is None or t >= chunk_lo + chunk:
+                chunk_lo = t
+                hi = min(chunk_lo + chunk, s_values.size)
+                chunk_data = evaluator.u_data_batch(
+                    s_values[chunk_lo:hi], out=chunk_buffer[: hi - chunk_lo]
+                )
+            data = chunk_data[t - chunk_lo]
         b = np.zeros(n, dtype=complex)
         b.real = np.bincount(rows_u[tgt_entries], weights=data.real[tgt_entries], minlength=n)
         b.imag = np.bincount(rows_u[tgt_entries], weights=data.imag[tgt_entries], minlength=n)

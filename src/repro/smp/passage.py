@@ -20,12 +20,36 @@ Two shapes of the computation are provided:
 * :func:`passage_transform_vector` — the full vector ``(L_1j(s), ..., L_Nj(s))``
   for *every* source state (column-vector accumulation; what the transient
   computation of Eq. (7) needs, one run per target state).
+
+Batched evaluation
+------------------
+The batched entry points advance *all* s-points of an inversion grid through
+one truncated sum, with a per-point active-set mask dropping converged points.
+The grid is processed in **blocks** sized by :meth:`SPointPolicy.block_points`
+so the per-block working set respects a configurable memory budget — a
+165-point Euler grid streams through a million-state kernel instead of
+materialising an ``O(n_s · nnz)`` data matrix.  Within a block, one of two
+engines applies ``U'(s)`` to every live point per iteration:
+
+* ``batch`` — per-s-point complex CSR data (either one block-diagonal sparse
+  product for the whole block, or one sparse matvec per point once the
+  block's state no longer fits cache),
+* ``factored`` — the distribution-factored product of
+  :mod:`repro.smp.factored`, whose per-iteration sparse work is independent
+  of the number of points in flight.
+
+Both engines run the *same* truncation rule through one shared driver, so
+they agree with the scalar functions to float associativity; the
+:class:`SPointPolicy` picks the engine, routes hard (small ``|s|``) points to
+the sparse-LU direct solve and bounds block sizes.
 """
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse
 
 from .kernel import as_evaluator, target_mask
 
@@ -85,6 +109,9 @@ class ConvergenceDiagnostics:
     #: number of sparse-LU solves spent on this value (fallback points keep
     #: their matvec_count too — they paid for both)
     direct_solves: int = field(default=0)
+    #: which evaluation engine advanced the iterative sum ("batch" or
+    #: "factored"; direct-routed points keep the block's engine label)
+    engine: str = field(default="batch")
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.converged
@@ -92,7 +119,7 @@ class ConvergenceDiagnostics:
 
 @dataclass(frozen=True)
 class SPointPolicy:
-    """Per-s-point routing between the iterative sum and the sparse LU solve.
+    """Evaluation policy: engine choice, memory budget and per-point routing.
 
     The iterative algorithm's per-step contraction is bounded by the maximum
     row sum ``rho(s)`` of ``|U'(s)|``, which tends to one as ``s -> 0`` — the
@@ -112,15 +139,58 @@ class SPointPolicy:
     fallback_to_direct:
         Re-solve directly any point that the iterative sum fails to converge
         within ``max_iterations`` (rather than returning a truncated value).
+    engine:
+        ``"auto"`` picks per kernel (see :meth:`resolve_engine`); ``"batch"``
+        or ``"factored"`` force one engine.
+    max_block_bytes:
+        Memory budget for one s-block's working set; the s-grid is processed
+        in blocks of :meth:`block_points` points.
+    factored_density_ratio:
+        ``auto`` picks the factored engine when the kernel's fan-out measure
+        ``nnz / (pairs + 2n)`` is at least this (see
+        :meth:`FactoredUEvaluator.density_ratio
+        <repro.smp.factored.FactoredUEvaluator.density_ratio>`).
+    factored_max_distributions:
+        ``auto`` never factors kernels with more distinct distributions than
+        this (the per-distribution slices stop paying for themselves).
+    direct_max_states:
+        Kernels larger than this never route points to the sparse-LU solver
+        (fill-in makes million-state factorisations slower than very long
+        iterative sums); unconverged points then come back truncated with
+        ``converged=False`` instead of falling back.
+    blockdiag_max_bytes:
+        The batch engine applies one block-diagonal product for the whole
+        block while the block's state fits in roughly this many bytes;
+        beyond it the per-point state no longer caches and one sparse matvec
+        per point (a much smaller random-access window) is faster.
     """
 
     predicted_iteration_limit: int = 2000
     fallback_to_direct: bool = True
+    engine: str = "auto"
+    max_block_bytes: int = 1 << 30
+    factored_density_ratio: float = 3.0
+    factored_max_distributions: int = 64
+    direct_max_states: int = 200_000
+    blockdiag_max_bytes: int = 64 << 20
 
     def __post_init__(self):
         if self.predicted_iteration_limit < 1:
             raise ValueError("predicted_iteration_limit must be >= 1")
+        if self.engine not in ("auto", "batch", "factored"):
+            raise ValueError("engine must be 'auto', 'batch' or 'factored'")
+        if self.max_block_bytes < 1 << 20:
+            raise ValueError("max_block_bytes must be at least 1 MiB")
+        if self.factored_density_ratio <= 0:
+            raise ValueError("factored_density_ratio must be > 0")
+        if self.factored_max_distributions < 1:
+            raise ValueError("factored_max_distributions must be >= 1")
+        if self.direct_max_states < 1:
+            raise ValueError("direct_max_states must be >= 1")
+        if self.blockdiag_max_bytes < 0:
+            raise ValueError("blockdiag_max_bytes must be >= 0")
 
+    # ------------------------------------------------------------- routing
     def predicted_iterations(self, epsilon: float, contraction: np.ndarray) -> np.ndarray:
         """Estimated iterations to reach ``epsilon`` given per-s contractions."""
         contraction = np.minimum(np.asarray(contraction, dtype=float), 1.0 - 1e-15)
@@ -131,6 +201,41 @@ class SPointPolicy:
     def route_direct(self, epsilon: float, contraction: np.ndarray) -> np.ndarray:
         """Boolean mask of s-points that should use the direct solver."""
         return self.predicted_iterations(epsilon, contraction) > self.predicted_iteration_limit
+
+    def allow_direct(self, evaluator) -> bool:
+        """Whether the sparse-LU solver is on the table for this kernel."""
+        return evaluator.kernel.n_states <= self.direct_max_states
+
+    # -------------------------------------------------------------- engines
+    def resolve_engine(self, evaluator) -> str:
+        """The evaluation engine a batched solve on this kernel will use."""
+        if self.engine != "auto":
+            return self.engine
+        kernel = evaluator.kernel
+        if kernel.n_distributions > self.factored_max_distributions:
+            return "batch"
+        if evaluator.factored().density_ratio() >= self.factored_density_ratio:
+            return "factored"
+        return "batch"
+
+    def block_points(self, evaluator, engine: str, *, vector: bool = False) -> int:
+        """s-points per block so the block working set fits the budget.
+
+        ``batch`` blocks materialise ``O(block · nnz)`` complex data (the
+        ``U``/``U'`` data, their magnitudes and the iteration operator);
+        ``factored`` blocks hold ``O(block · (pairs + n))`` dense state and
+        never touch per-edge data.  ``vector`` adds the per-point
+        accumulator of the column form.
+        """
+        kernel = evaluator.kernel
+        if engine == "factored":
+            pairs = evaluator.factored().row_pair_count
+            per_point = 16 * (3 * pairs + (4 if vector else 3) * kernel.n_states)
+        else:
+            per_point = 64 * kernel.n_transitions + (
+                48 * kernel.n_states if vector else 0
+            )
+        return max(1, int(self.max_block_bytes // max(per_point, 1)))
 
 
 def passage_transform(
@@ -256,14 +361,7 @@ def passage_transform_vector(
 
 
 # ---------------------------------------------------------------------------
-# Batched evaluation: all s-points of an inversion grid iterate together.
-#
-# The r-transition recurrence is identical for every s-point — only the CSR
-# data vector of U'(s) differs — so the whole grid advances through one
-# vectorised gather/segment-sum per iteration and converged s-points drop out
-# of the active set.  This amortises the per-iteration Python overhead of the
-# scalar loop across the grid and is what the transform-evaluation jobs and
-# execution backends dispatch to.
+# Batched evaluation: blocked s-grid, engine-agnostic iteration drivers.
 # ---------------------------------------------------------------------------
 
 
@@ -276,6 +374,294 @@ def _check_alpha(alpha, n: int) -> np.ndarray:
     return alpha
 
 
+class _BatchRowOperator:
+    """Row-form stepper on per-s-point complex CSR data.
+
+    While the block's live state (``live_points × n`` complex) fits in
+    roughly ``blockdiag_max_bytes`` the whole block advances through one
+    block-diagonal sparse product (amortising the per-matvec Python cost);
+    beyond that each point advances through its own sparse matvec, whose
+    random-access window is a single ``n``-vector.
+    """
+
+    engine = "batch"
+
+    def __init__(self, evaluator, s_block, mask, alpha, u_data, up_data, policy):
+        self.evaluator = evaluator
+        self.n = evaluator.kernel.n_states
+        self._targets = np.flatnonzero(mask)
+        self._alpha = alpha
+        self._u_data = u_data
+        self._up = up_data
+        self.width = int(np.asarray(s_block).size)
+        self._live = np.ones(self.width, dtype=bool)
+        self._blockdiag_max = policy.blockdiag_max_bytes
+        self._operator = None
+        self._per_point = None
+
+    def _ensure_operator(self) -> None:
+        if self._operator is not None or self._per_point is not None:
+            return
+        if self.width * self.n * 16 <= self._blockdiag_max:
+            self._operator = self.evaluator.block_diag_matrix(self._up, transpose=True)
+        else:
+            indptr, indices = self.evaluator._indptr, self.evaluator._indices
+            shape = (self.n, self.n)
+            # csr(data_t).T is a CSC view sharing the data row: one matvec
+            # computes v @ U'(s_t) without building a transposed structure.
+            self._per_point = [
+                sparse.csr_matrix((self._up[t], indices, indptr), shape=shape).T
+                for t in range(self.width)
+            ]
+
+    def start(self) -> None:
+        self.V = self.evaluator.alpha_vec_matrix_batch(self._alpha, self._u_data)
+
+    def step(self) -> None:
+        self._ensure_operator()
+        if self._operator is not None:
+            self.V = (self._operator @ self.V.ravel()).reshape(self.width, self.n)
+        else:
+            # Converged points are exactly zero: skip their matvecs.
+            for t in np.flatnonzero(self._live):
+                self.V[t] = self._per_point[t] @ self.V[t]
+
+    def target_totals(self) -> np.ndarray:
+        return self.V[:, self._targets].sum(axis=1)
+
+    def abs_sums(self) -> np.ndarray:
+        return np.abs(self.V).sum(axis=1)
+
+    def zero_points(self, positions: np.ndarray) -> None:
+        self.V[positions] = 0.0
+        self._live[positions] = False
+
+    def shrink(self, live: np.ndarray) -> None:
+        self._up = self._up[live]
+        self.V = self.V[live]
+        self.width = int(live.sum())
+        self._live = np.ones(self.width, dtype=bool)
+        self._operator = None
+        self._per_point = None
+
+
+class _BatchColOperator:
+    """Column-form stepper on per-s-point complex CSR data."""
+
+    engine = "batch"
+
+    def __init__(self, evaluator, s_block, mask, u_data, up_data, policy):
+        self.evaluator = evaluator
+        self.n = evaluator.kernel.n_states
+        self.e = mask.astype(complex)
+        self._u_full = u_data
+        self._up = up_data
+        self.width = int(np.asarray(s_block).size)
+        self._live = np.ones(self.width, dtype=bool)
+        self._blockdiag_max = policy.blockdiag_max_bytes
+        self._operator = None
+        self._per_point = None
+
+    def _ensure_operator(self) -> None:
+        if self._operator is not None or self._per_point is not None:
+            return
+        if self.width * self.n * 16 <= self._blockdiag_max:
+            self._operator = self.evaluator.block_diag_matrix(self._up, transpose=False)
+        else:
+            indptr, indices = self.evaluator._indptr, self.evaluator._indices
+            shape = (self.n, self.n)
+            self._per_point = [
+                sparse.csr_matrix((self._up[t], indices, indptr), shape=shape)
+                for t in range(self.width)
+            ]
+
+    def start(self) -> None:
+        self._term = np.tile(self.e, (self.width, 1))
+        self._acc = self._term.copy()
+
+    def step(self) -> None:
+        self._ensure_operator()
+        if self._operator is not None:
+            self._term = (self._operator @ self._term.ravel()).reshape(self.width, self.n)
+            self._acc += self._term
+        else:
+            # Converged points' terms are exactly zero: skip their matvecs
+            # (and their no-op accumulator updates).
+            for t in np.flatnonzero(self._live):
+                self._term[t] = self._per_point[t] @ self._term[t]
+                self._acc[t] += self._term[t]
+
+    def max_abs(self) -> np.ndarray:
+        return np.abs(self._term).max(axis=1)
+
+    def take_acc(self, positions: np.ndarray) -> np.ndarray:
+        return self._acc[positions].copy()
+
+    def zero_points(self, positions: np.ndarray) -> None:
+        self._term[positions] = 0.0
+        self._live[positions] = False
+
+    def shrink(self, live: np.ndarray) -> None:
+        self._up = self._up[live]
+        self._term = self._term[live]
+        self._acc = self._acc[live]
+        self.width = int(live.sum())
+        self._live = np.ones(self.width, dtype=bool)
+        self._operator = None
+        self._per_point = None
+
+    def apply_u(self, rows: np.ndarray, block_positions: np.ndarray) -> np.ndarray:
+        if rows.size == 0:
+            return rows
+        return self.evaluator.matrix_vec_batch(self._u_full[block_positions], rows)
+
+
+def _drive_row(op, options: PassageTimeOptions):
+    """Advance a row-form block to convergence; shared by both engines.
+
+    Returns ``(values, iterations, deltas, converged)`` indexed by the
+    block's original point positions.  Converged points are snapshotted and
+    their state zeroed (numerically inert thereafter); the operator shrinks
+    onto the surviving points whenever the live set halves, so total work
+    stays within 2x of the per-point optimum.
+    """
+    width = op.width
+    values = np.empty(width, dtype=complex)
+    iterations = np.full(width, options.max_iterations, dtype=np.int64)
+    deltas = np.zeros(width)
+    converged = np.zeros(width, dtype=bool)
+    pos_map = np.arange(width)
+
+    op.start()
+    totals = op.target_totals()
+    below = np.zeros(op.width, dtype=np.int64)
+    delta = op.abs_sums()
+    live = np.ones(op.width, dtype=bool)
+    for iteration in range(1, options.max_iterations + 1):
+        op.step()
+        totals = totals + op.target_totals()
+        delta = op.abs_sums()
+        below = np.where(delta < options.epsilon, below + 1, 0)
+        done = live & (below >= options.consecutive)
+        if done.any():
+            for pos in np.flatnonzero(done):
+                orig = pos_map[pos]
+                values[orig] = totals[pos]
+                iterations[orig] = iteration
+                deltas[orig] = float(delta[pos])
+                converged[orig] = True
+            live &= ~done
+            n_live = int(live.sum())
+            if n_live == 0:
+                break
+            op.zero_points(np.flatnonzero(done))
+            if n_live <= op.width // 2:
+                keep = np.flatnonzero(live)
+                op.shrink(live)
+                totals = totals[keep]
+                below = below[keep]
+                delta = delta[keep]
+                pos_map = pos_map[keep]
+                live = np.ones(op.width, dtype=bool)
+    if live.any():
+        for pos in np.flatnonzero(live):
+            orig = pos_map[pos]
+            values[orig] = totals[pos]
+            deltas[orig] = float(delta[pos])
+    return values, iterations, deltas, converged
+
+
+def _drive_col(op, options: PassageTimeOptions, *, finalize_unconverged: bool = True):
+    """Advance a column-form block to convergence; shared by both engines.
+
+    Returns ``(rows, iterations, deltas, converged)`` where ``rows`` is the
+    ``(width, n)`` complex result ``U(s) acc`` per point.  Converged
+    accumulators are parked and hit with the final (non-absorbing) ``U(s)``
+    product in one batched sweep at the end.  With
+    ``finalize_unconverged=False`` points that hit the iteration cap skip
+    that final product and their rows are left unset — for callers that will
+    overwrite them with a direct fallback solve anyway.
+    """
+    width = op.width
+    n = op.n
+    iterations = np.full(width, options.max_iterations, dtype=np.int64)
+    deltas = np.zeros(width)
+    converged = np.zeros(width, dtype=bool)
+    pos_map = np.arange(width)
+    parked_pos: list[int] = []
+    parked_rows: list[np.ndarray] = []
+
+    op.start()
+    below = np.zeros(op.width, dtype=np.int64)
+    delta = np.full(op.width, np.inf)
+    live = np.ones(op.width, dtype=bool)
+    for iteration in range(1, options.max_iterations + 1):
+        op.step()
+        delta = op.max_abs()
+        below = np.where(delta < options.epsilon, below + 1, 0)
+        done = live & (below >= options.consecutive)
+        if done.any():
+            done_pos = np.flatnonzero(done)
+            taken = op.take_acc(done_pos)
+            for row, pos in zip(taken, done_pos):
+                orig = pos_map[pos]
+                iterations[orig] = iteration
+                deltas[orig] = float(delta[pos])
+                converged[orig] = True
+                parked_pos.append(int(orig))
+                parked_rows.append(row)
+            live &= ~done
+            n_live = int(live.sum())
+            if n_live == 0:
+                break
+            op.zero_points(done_pos)
+            if n_live <= op.width // 2:
+                keep = np.flatnonzero(live)
+                op.shrink(live)
+                below = below[keep]
+                delta = delta[keep]
+                pos_map = pos_map[keep]
+                live = np.ones(op.width, dtype=bool)
+    if live.any():
+        live_pos = np.flatnonzero(live)
+        if finalize_unconverged:
+            taken = op.take_acc(live_pos)
+            for row, pos in zip(taken, live_pos):
+                orig = pos_map[pos]
+                deltas[orig] = float(delta[pos])
+                parked_pos.append(int(orig))
+                parked_rows.append(row)
+        else:
+            for pos in live_pos:
+                deltas[pos_map[pos]] = float(delta[pos])
+    rows = np.empty((width, n), dtype=complex)
+    if parked_pos:
+        order = np.asarray(parked_pos, dtype=np.int64)
+        rows[order] = op.apply_u(np.asarray(parked_rows), order)
+    return rows, iterations, deltas, converged
+
+
+def _block_bounds(n_s: int, block: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + block, n_s)) for lo in range(0, n_s, block)]
+
+
+def _note_block(report, *, points, seconds, diags) -> None:
+    if report is None:
+        return
+    report.setdefault("blocks", []).append(
+        {
+            "points": int(points),
+            "seconds": round(seconds, 6),
+            "iterations": int(sum(d.iterations for d in diags)),
+            "direct_solves": int(sum(d.direct_solves for d in diags)),
+            # Points returned truncated (no convergence, no direct fallback —
+            # e.g. kernels above direct_max_states): downstream stats must be
+            # able to see that the values are approximations.
+            "unconverged": int(sum(not d.converged for d in diags)),
+        }
+    )
+
+
 def passage_transform_batch(
     kernel_or_evaluator,
     alpha: np.ndarray,
@@ -284,6 +670,7 @@ def passage_transform_batch(
     options: PassageTimeOptions | None = None,
     *,
     policy: SPointPolicy | None = None,
+    report: dict | None = None,
 ) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
     """Evaluate ``L_{i->j}(s)`` at every point of an s-grid in one sweep.
 
@@ -291,15 +678,16 @@ def passage_transform_batch(
     (same truncation rule, so iteratively-solved points match the scalar path
     bit-for-bit up to float associativity), but the whole grid shares each
     transform evaluation of the underlying distributions and each iteration's
-    sparse product.  Points that the :class:`SPointPolicy` predicts to need
-    too many iterations — the small-``|s|`` rare-event regime — are solved
-    with the sparse-LU direct method instead and come back exact.
+    sparse products, processed in memory-bounded blocks.  Points that the
+    :class:`SPointPolicy` predicts to need too many iterations — the
+    small-``|s|`` rare-event regime — are solved with the sparse-LU direct
+    method instead and come back exact.
 
     Returns the values as an ``(n_s,)`` array plus one
-    :class:`ConvergenceDiagnostics` per s-point (in input order).
+    :class:`ConvergenceDiagnostics` per s-point (in input order).  When a
+    ``report`` dict is supplied it is filled with the engine used and
+    per-block solve timings.
     """
-    from .linear import passage_transform_direct_batch
-
     options = options or PassageTimeOptions()
     policy = policy or SPointPolicy()
     evaluator = as_evaluator(kernel_or_evaluator)
@@ -312,21 +700,57 @@ def passage_transform_batch(
     values = np.empty(n_s, dtype=complex)
     diags: list[ConvergenceDiagnostics | None] = [None] * n_s
     if n_s == 0:
+        if report is not None:
+            report.setdefault("engine", policy.engine)
+            report.setdefault("blocks", [])
         return values, []
 
-    u_data = evaluator.u_data_batch(s_values)
-    up_data = evaluator.u_prime_data_batch(s_values, mask)
+    engine = policy.resolve_engine(evaluator)
+    if report is not None:
+        report["engine"] = engine
+        report.setdefault("blocks", [])
+    block = policy.block_points(evaluator, engine)
+    for lo, hi in _block_bounds(n_s, block):
+        started = time.perf_counter()
+        block_values, block_diags = _passage_block(
+            evaluator, engine, alpha, mask, targets, s_values[lo:hi], options, policy
+        )
+        values[lo:hi] = block_values
+        diags[lo:hi] = block_diags
+        _note_block(
+            report, points=hi - lo, seconds=time.perf_counter() - started,
+            diags=block_diags,
+        )
+    return values, diags  # type: ignore[return-value]
 
-    contraction = evaluator.row_abs_sums(up_data).max(axis=1)
-    direct_mask = policy.route_direct(options.epsilon, contraction)
+
+def _passage_block(evaluator, engine, alpha, mask, targets, s_block, options, policy):
+    """One memory-bounded block of the row-form batched computation."""
+    from .linear import passage_transform_direct_batch
+
+    n_s = s_block.size
+    values = np.empty(n_s, dtype=complex)
+    diags: list[ConvergenceDiagnostics | None] = [None] * n_s
+
+    u_data = up_data = None
+    if engine == "factored":
+        contraction = evaluator.factored().contraction(s_block, mask)
+    else:
+        u_data = evaluator.u_data_batch(s_block)
+        up_data = evaluator.u_prime_data_batch(s_block, mask)
+        contraction = evaluator.row_abs_sums(up_data).max(axis=1)
+
+    if policy.allow_direct(evaluator):
+        direct_mask = policy.route_direct(options.epsilon, contraction)
+    else:
+        direct_mask = np.zeros(n_s, dtype=bool)
     direct_idx = np.flatnonzero(direct_mask)
     iter_idx = np.flatnonzero(~direct_mask)
 
-    def _solve_direct(
-        indices: np.ndarray, solver_label: str, iterations: int, matvecs: int
-    ) -> None:
+    def _solve_direct(indices, solver_label, iterations, matvecs):
+        u_rows = u_data[indices] if u_data is not None else None
         vecs = passage_transform_direct_batch(
-            evaluator, targets, s_values[indices], u_data=u_data[indices]
+            evaluator, targets, s_block[indices], u_data=u_rows
         )
         values[indices] = vecs @ alpha
         for idx in indices:
@@ -337,78 +761,48 @@ def passage_transform_batch(
                 matvec_count=matvecs,
                 solver=solver_label,
                 direct_solves=1,
+                engine=engine,
             )
 
     if direct_idx.size:
         _solve_direct(direct_idx, "direct", 0, 0)
 
     if iter_idx.size:
-        # All active s-points advance together through one block-diagonal
-        # sparse matvec per iteration.  Converged points are snapshotted and
-        # their state zeroed (numerically inert thereafter); the operator is
-        # rebuilt on the surviving blocks whenever the live set halves, so
-        # total work stays within 2x of the per-point optimum.
-        active = iter_idx.copy()
-        up_active = up_data[active]
-        e = mask.astype(complex)
-        v0 = evaluator.alpha_vec_matrix_batch(alpha, u_data[active])
-        operator = evaluator.block_diag_matrix(up_active, transpose=True)
-        V = v0.ravel()
-        totals = v0 @ e
-        below = np.zeros(active.size, dtype=np.int64)
-        delta = np.abs(v0).sum(axis=1)
-        live = np.ones(active.size, dtype=bool)
-        for iteration in range(1, options.max_iterations + 1):
-            V = operator @ V
-            v2 = V.reshape(active.size, n)
-            totals += v2 @ e
-            delta = np.abs(v2).sum(axis=1)
-            below = np.where(delta < options.epsilon, below + 1, 0)
-            done = live & (below >= options.consecutive)
-            if done.any():
-                for pos in np.flatnonzero(done):
-                    idx = int(active[pos])
-                    values[idx] = totals[pos]
-                    diags[idx] = ConvergenceDiagnostics(
-                        iterations=iteration,
-                        converged=True,
-                        final_delta=float(delta[pos]),
-                        matvec_count=iteration + 1,
-                    )
-                live &= ~done
-                n_live = int(live.sum())
-                if n_live == 0:
-                    break
-                v2[done] = 0.0
-                if n_live <= active.size // 2:
-                    active = active[live]
-                    up_active = up_active[live]
-                    operator = evaluator.block_diag_matrix(up_active, transpose=True)
-                    V = v2[live].ravel()
-                    totals = totals[live]
-                    below = below[live]
-                    delta = delta[live]
-                    live = np.ones(active.size, dtype=bool)
-        if live.any():
-            leftovers = active[live]
-            if policy.fallback_to_direct:
-                _solve_direct(
-                    leftovers,
-                    "direct-fallback",
-                    options.max_iterations,
-                    options.max_iterations + 1,
-                )
-            else:
-                for pos in np.flatnonzero(live):
-                    idx = int(active[pos])
-                    values[idx] = totals[pos]
-                    diags[idx] = ConvergenceDiagnostics(
-                        iterations=options.max_iterations,
-                        converged=False,
-                        final_delta=float(delta[pos]),
-                        matvec_count=options.max_iterations + 1,
-                    )
-    return values, diags  # type: ignore[return-value]
+        s_iter = s_block[iter_idx]
+        if engine == "factored":
+            from .factored import FactoredRowOperator
+
+            op = FactoredRowOperator(evaluator.factored(), s_iter, mask, alpha)
+        else:
+            op = _BatchRowOperator(
+                evaluator, s_iter, mask, alpha,
+                u_data[iter_idx], up_data[iter_idx], policy,
+            )
+        iter_values, iterations, deltas, conv = _drive_row(op, options)
+        do_fallback = (
+            not conv.all()
+            and policy.fallback_to_direct
+            and policy.allow_direct(evaluator)
+        )
+        retried = ~conv if do_fallback else np.zeros(iter_idx.size, dtype=bool)
+        for pos in range(iter_idx.size):
+            if retried[pos]:
+                continue
+            idx = int(iter_idx[pos])
+            values[idx] = iter_values[pos]
+            diags[idx] = ConvergenceDiagnostics(
+                iterations=int(iterations[pos]),
+                converged=bool(conv[pos]),
+                final_delta=float(deltas[pos]),
+                matvec_count=int(iterations[pos]) + 1,
+                engine=engine,
+            )
+        if retried.any():
+            _solve_direct(
+                iter_idx[retried], "direct-fallback",
+                options.max_iterations, options.max_iterations + 1,
+            )
+    return values, diags
 
 
 def passage_transform_vector_batch(
@@ -418,123 +812,130 @@ def passage_transform_vector_batch(
     options: PassageTimeOptions | None = None,
     *,
     policy: SPointPolicy | None = None,
+    report: dict | None = None,
 ) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
     """Batched :func:`passage_transform_vector`: ``(n_s, n_states)`` at once.
 
     Column-accumulation form used by the transient computation; the same
-    active-set convergence masking and iterative/direct policy as
-    :func:`passage_transform_batch` apply.
+    blocked scheduling, active-set convergence masking and iterative/direct
+    policy as :func:`passage_transform_batch` apply.  Note the result scales
+    as ``O(n_s · n_states)`` — callers on large kernels should keep their
+    s-grids blocked (the transient computation does).
     """
-    from .linear import passage_transform_direct_batch
-
     options = options or PassageTimeOptions()
     policy = policy or SPointPolicy()
     evaluator = as_evaluator(kernel_or_evaluator)
     n = evaluator.kernel.n_states
     mask = target_mask(n, targets)
-    e = mask.astype(complex)
 
     s_values = np.asarray(s_values, dtype=complex).ravel()
     n_s = s_values.size
     result = np.empty((n_s, n), dtype=complex)
     diags: list[ConvergenceDiagnostics | None] = [None] * n_s
     if n_s == 0:
+        if report is not None:
+            report.setdefault("engine", policy.engine)
+            report.setdefault("blocks", [])
         return result, []
 
-    u_data = evaluator.u_data_batch(s_values)
-    up_data = evaluator.u_prime_data_batch(s_values, mask)
+    engine = policy.resolve_engine(evaluator)
+    if report is not None:
+        report["engine"] = engine
+        report.setdefault("blocks", [])
+    block = policy.block_points(evaluator, engine, vector=True)
+    for lo, hi in _block_bounds(n_s, block):
+        started = time.perf_counter()
+        block_rows, block_diags = _vector_block(
+            evaluator, engine, mask, targets, s_values[lo:hi], options, policy
+        )
+        result[lo:hi] = block_rows
+        diags[lo:hi] = block_diags
+        _note_block(
+            report, points=hi - lo, seconds=time.perf_counter() - started,
+            diags=block_diags,
+        )
+    return result, diags  # type: ignore[return-value]
 
-    contraction = evaluator.row_abs_sums(up_data).max(axis=1)
-    direct_mask = policy.route_direct(options.epsilon, contraction)
+
+def _vector_block(evaluator, engine, mask, targets, s_block, options, policy):
+    """One memory-bounded block of the column-form batched computation."""
+    from .linear import passage_transform_direct_batch
+
+    n_s = s_block.size
+    n = evaluator.kernel.n_states
+    result = np.empty((n_s, n), dtype=complex)
+    diags: list[ConvergenceDiagnostics | None] = [None] * n_s
+
+    u_data = up_data = None
+    if engine == "factored":
+        contraction = evaluator.factored().contraction(s_block, mask)
+    else:
+        u_data = evaluator.u_data_batch(s_block)
+        up_data = evaluator.u_prime_data_batch(s_block, mask)
+        contraction = evaluator.row_abs_sums(up_data).max(axis=1)
+
+    if policy.allow_direct(evaluator):
+        direct_mask = policy.route_direct(options.epsilon, contraction)
+    else:
+        direct_mask = np.zeros(n_s, dtype=bool)
     direct_idx = np.flatnonzero(direct_mask)
     iter_idx = np.flatnonzero(~direct_mask)
 
     if direct_idx.size:
+        u_rows = u_data[direct_idx] if u_data is not None else None
         result[direct_idx] = passage_transform_direct_batch(
-            evaluator, targets, s_values[direct_idx], u_data=u_data[direct_idx]
+            evaluator, targets, s_block[direct_idx], u_data=u_rows
         )
         for idx in direct_idx:
             diags[idx] = ConvergenceDiagnostics(
                 iterations=0, converged=True, final_delta=0.0, matvec_count=0,
-                solver="direct", direct_solves=1,
+                solver="direct", direct_solves=1, engine=engine,
             )
 
     if iter_idx.size:
-        # Same block-diagonal active-set scheme as passage_transform_batch,
-        # in the column-accumulation shape of Eq. (9).
-        active = iter_idx.copy()
-        up_active = up_data[active]
-        operator = evaluator.block_diag_matrix(up_active, transpose=False)
-        X = np.tile(e, active.size)
-        acc = np.tile(e, (active.size, 1))
-        below = np.zeros(active.size, dtype=np.int64)
-        delta = np.full(active.size, np.inf)
-        live = np.ones(active.size, dtype=bool)
-        # Converged accumulators are parked here and hit with the final
-        # ``U(s) @ acc`` multiplication in one batched product at the end.
-        final_idx: list[int] = []
-        final_acc: list[np.ndarray] = []
-        for iteration in range(1, options.max_iterations + 1):
-            X = operator @ X
-            term = X.reshape(active.size, n)
-            acc += term
-            delta = np.abs(term).max(axis=1)
-            below = np.where(delta < options.epsilon, below + 1, 0)
-            done = live & (below >= options.consecutive)
-            if done.any():
-                for pos in np.flatnonzero(done):
-                    idx = int(active[pos])
-                    final_idx.append(idx)
-                    final_acc.append(acc[pos].copy())
-                    diags[idx] = ConvergenceDiagnostics(
-                        iterations=iteration,
-                        converged=True,
-                        final_delta=float(delta[pos]),
-                        matvec_count=iteration + 1,
-                    )
-                live &= ~done
-                n_live = int(live.sum())
-                if n_live == 0:
-                    break
-                term[done] = 0.0
-                if n_live <= active.size // 2:
-                    active = active[live]
-                    up_active = up_active[live]
-                    operator = evaluator.block_diag_matrix(up_active, transpose=False)
-                    X = term[live].ravel()
-                    acc = acc[live]
-                    below = below[live]
-                    delta = delta[live]
-                    live = np.ones(active.size, dtype=bool)
-        if live.any():
-            leftovers = active[live]
-            if policy.fallback_to_direct:
-                result[leftovers] = passage_transform_direct_batch(
-                    evaluator, targets, s_values[leftovers], u_data=u_data[leftovers]
-                )
-                for idx in leftovers:
-                    diags[idx] = ConvergenceDiagnostics(
-                        iterations=options.max_iterations,
-                        converged=True,
-                        final_delta=0.0,
-                        matvec_count=options.max_iterations + 1,
-                        solver="direct-fallback",
-                        direct_solves=1,
-                    )
-            else:
-                for pos in np.flatnonzero(live):
-                    idx = int(active[pos])
-                    final_idx.append(idx)
-                    final_acc.append(acc[pos].copy())
-                    diags[idx] = ConvergenceDiagnostics(
-                        iterations=options.max_iterations,
-                        converged=False,
-                        final_delta=float(delta[pos]),
-                        matvec_count=options.max_iterations + 1,
-                    )
-        if final_idx:
-            idx_arr = np.asarray(final_idx, dtype=np.int64)
-            result[idx_arr] = evaluator.matrix_vec_batch(
-                u_data[idx_arr], np.asarray(final_acc)
+        s_iter = s_block[iter_idx]
+        if engine == "factored":
+            from .factored import FactoredColOperator
+
+            op = FactoredColOperator(evaluator.factored(), s_iter, mask)
+        else:
+            op = _BatchColOperator(
+                evaluator, s_iter, mask, u_data[iter_idx], up_data[iter_idx], policy
             )
-    return result, diags  # type: ignore[return-value]
+        # When the policy would re-solve cap-hitting points directly, their
+        # final U(s)@acc product is wasted work — tell the driver to skip it.
+        will_fallback = policy.fallback_to_direct and policy.allow_direct(evaluator)
+        rows, iterations, deltas, conv = _drive_col(
+            op, options, finalize_unconverged=not will_fallback
+        )
+        do_fallback = not conv.all() and will_fallback
+        retried = ~conv if do_fallback else np.zeros(iter_idx.size, dtype=bool)
+        for pos in range(iter_idx.size):
+            if retried[pos]:
+                continue
+            idx = int(iter_idx[pos])
+            result[idx] = rows[pos]
+            diags[idx] = ConvergenceDiagnostics(
+                iterations=int(iterations[pos]),
+                converged=bool(conv[pos]),
+                final_delta=float(deltas[pos]),
+                matvec_count=int(iterations[pos]) + 1,
+                engine=engine,
+            )
+        if retried.any():
+            retry = iter_idx[retried]
+            u_rows = u_data[retry] if u_data is not None else None
+            result[retry] = passage_transform_direct_batch(
+                evaluator, targets, s_block[retry], u_data=u_rows
+            )
+            for idx in retry:
+                diags[idx] = ConvergenceDiagnostics(
+                    iterations=options.max_iterations,
+                    converged=True,
+                    final_delta=0.0,
+                    matvec_count=options.max_iterations + 1,
+                    solver="direct-fallback",
+                    direct_solves=1,
+                    engine=engine,
+                )
+    return result, diags

@@ -13,6 +13,8 @@ passage-time vector computation per target state — each yields both
 """
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .kernel import as_evaluator
@@ -22,6 +24,7 @@ from .passage import (
     PassageTimeOptions,
     SPointPolicy,
     _check_alpha,
+    _note_block,
     passage_transform_vector,
     passage_transform_vector_batch,
 )
@@ -104,14 +107,17 @@ def transient_transform_batch(
     *,
     solver: str = "iterative",
     policy: SPointPolicy | None = None,
+    report: dict | None = None,
 ) -> tuple[np.ndarray, list[ConvergenceDiagnostics]]:
     """Evaluate ``T*_{i->j}(s)`` at every point of an s-grid in one sweep.
 
     Batched counterpart of :func:`transient_transform`: the per-target
     passage-time vectors of Eq. (7) are computed with
     :func:`passage_transform_vector_batch` (or the batched direct solve), so
-    the sojourn transforms and each iteration's sparse product are shared by
-    the whole grid.  Returns the values plus one aggregated
+    the sojourn transforms and each iteration's sparse products are shared by
+    the whole grid.  The s-grid is processed in memory-bounded blocks
+    (outermost, so every target of a block reuses its cached transform
+    data).  Returns the values plus one aggregated
     :class:`ConvergenceDiagnostics` per s-point (matvec counts summed over
     the target states, used by backends to apportion wall-clock time).
     """
@@ -136,51 +142,78 @@ def transient_transform_batch(
     if n_s == 0:
         return np.empty(0, dtype=complex), []
 
-    h = evaluator.sojourn_lst_batch(s_values)
+    policy = policy or SPointPolicy()
+    engine = policy.resolve_engine(evaluator)
+    if report is not None:
+        report["engine"] = engine
+        report.setdefault("blocks", [])
+    # The explicit direct solver materialises O(block · nnz) data whatever
+    # engine the policy resolved, so its blocks must use the batch sizing —
+    # factored-sized blocks would blow the memory budget on dense kernels.
+    sizing_engine = "batch" if solver == "direct" else engine
+    block = policy.block_points(evaluator, sizing_engine, vector=True)
+
     source_states = np.where(np.abs(alpha) > 0)[0]
     weights = alpha[source_states]
 
-    totals = np.zeros(n_s, dtype=complex)
-    matvec_totals = np.zeros(n_s, dtype=np.int64)
-    direct_totals = np.zeros(n_s, dtype=np.int64)
-    iterations_max = np.zeros(n_s, dtype=np.int64)
-    converged_all = np.ones(n_s, dtype=bool)
-    for k in targets:
-        if solver == "direct":
-            l_mat = passage_transform_direct_batch(
-                evaluator, [k], s_values, u_data=evaluator.u_data_batch(s_values)
-            )
-            target_diags: list[ConvergenceDiagnostics] | None = None
-            direct_totals += 1
+    values = np.empty(n_s, dtype=complex)
+    diags: list[ConvergenceDiagnostics | None] = [None] * n_s
+    for lo in range(0, n_s, block):
+        hi = min(lo + block, n_s)
+        started = time.perf_counter()
+        s_block = s_values[lo:hi]
+        if engine == "factored":
+            h = evaluator.factored().sojourn_lst_batch(s_block)
         else:
-            l_mat, target_diags = passage_transform_vector_batch(
-                evaluator, [k], s_values, options, policy=policy
-            )
-        lam = (1.0 - h[:, k]) / (1.0 - l_mat[:, k])
-        l_src = l_mat[:, source_states].copy()
-        in_sources = np.flatnonzero(source_states == k)
-        if in_sources.size:
-            # The delta term of Eq. (7): a source equal to the target
-            # contributes Lambda_k itself rather than Lambda_k L_kk(s).
-            l_src[:, in_sources[0]] = 1.0
-        totals += lam * (l_src @ weights)
-        if target_diags is not None:
-            for t, diag in enumerate(target_diags):
-                matvec_totals[t] += diag.matvec_count
-                direct_totals[t] += diag.direct_solves
-                iterations_max[t] = max(iterations_max[t], diag.iterations)
-                converged_all[t] &= diag.converged
+            h = evaluator.sojourn_lst_batch(s_block)
 
-    values = totals / s_values
-    diags = [
-        ConvergenceDiagnostics(
-            iterations=int(iterations_max[t]),
-            converged=bool(converged_all[t]),
-            final_delta=0.0,
-            matvec_count=int(matvec_totals[t]),
-            solver="direct" if direct_totals[t] and matvec_totals[t] == 0 else "iterative",
-            direct_solves=int(direct_totals[t]),
+        totals = np.zeros(hi - lo, dtype=complex)
+        matvec_totals = np.zeros(hi - lo, dtype=np.int64)
+        direct_totals = np.zeros(hi - lo, dtype=np.int64)
+        iterations_max = np.zeros(hi - lo, dtype=np.int64)
+        converged_all = np.ones(hi - lo, dtype=bool)
+        for k in targets:
+            if solver == "direct":
+                l_mat = passage_transform_direct_batch(
+                    evaluator, [k], s_block, u_data=evaluator.u_data_batch(s_block)
+                )
+                target_diags: list[ConvergenceDiagnostics] | None = None
+                direct_totals += 1
+            else:
+                l_mat, target_diags = passage_transform_vector_batch(
+                    evaluator, [k], s_block, options, policy=policy
+                )
+            lam = (1.0 - h[:, k]) / (1.0 - l_mat[:, k])
+            l_src = l_mat[:, source_states].copy()
+            k_pos = np.flatnonzero(source_states == k)
+            if k_pos.size:
+                # The delta term of Eq. (7): a source equal to the target
+                # contributes Lambda_k itself rather than Lambda_k L_kk(s).
+                l_src[:, k_pos[0]] = 1.0
+            totals += lam * (l_src @ weights)
+            if target_diags is not None:
+                for t, diag in enumerate(target_diags):
+                    matvec_totals[t] += diag.matvec_count
+                    direct_totals[t] += diag.direct_solves
+                    iterations_max[t] = max(iterations_max[t], diag.iterations)
+                    converged_all[t] &= diag.converged
+
+        values[lo:hi] = totals / s_block
+        block_diags = [
+            ConvergenceDiagnostics(
+                iterations=int(iterations_max[t]),
+                converged=bool(converged_all[t]),
+                final_delta=0.0,
+                matvec_count=int(matvec_totals[t]),
+                solver="direct" if direct_totals[t] and matvec_totals[t] == 0 else "iterative",
+                direct_solves=int(direct_totals[t]),
+                engine=engine,
+            )
+            for t in range(hi - lo)
+        ]
+        diags[lo:hi] = block_diags
+        _note_block(
+            report, points=hi - lo, seconds=time.perf_counter() - started,
+            diags=block_diags,
         )
-        for t in range(n_s)
-    ]
-    return values, diags
+    return values, diags  # type: ignore[return-value]

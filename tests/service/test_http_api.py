@@ -203,3 +203,34 @@ class TestStatsAndTransport:
         assert service.scheduler.points_evaluated == required
         for reply in replies[1:]:
             np.testing.assert_allclose(reply["density"], replies[0]["density"])
+
+
+class TestEvaluatorEngineReporting:
+    def test_stats_report_engine_batches_and_blocks(self, http_client, onoff_spec):
+        model = http_client.register_model(onoff_spec)["model"]
+        reply = http_client.passage(
+            model=model, source="on == K", target="off == K", t_points=[0.7, 1.4]
+        )
+        # The cold query's statistics name the engine and its block timings.
+        stats = reply["statistics"]
+        assert stats["evaluator_engine"] in ("batch", "factored")
+        blocks = stats["solve_blocks"]
+        assert blocks and all(b["points"] >= 1 and b["seconds"] >= 0 for b in blocks)
+        server_stats = http_client.stats()
+        engines = server_stats["scheduler"]["engine_batches"]
+        assert sum(engines.values()) >= 1
+        assert server_stats["scheduler"]["engine_blocks"]
+
+    def test_registration_reports_engine(self, http_client, onoff_spec):
+        info = http_client.register_model(onoff_spec)
+        assert info["evaluator_engine"] in ("batch", "factored")
+
+    def test_warm_query_omits_engine(self, http_client, onoff_spec):
+        """A fully cached query ran no solve, so no engine is reported."""
+        model = http_client.register_model(onoff_spec)["model"]
+        query = dict(model=model, source="on == K", target="off == K",
+                     t_points=[2.2, 3.3])
+        http_client.passage(**query)
+        warm = http_client.passage(**query)
+        assert warm["statistics"]["s_points_computed"] == 0
+        assert "evaluator_engine" not in warm["statistics"]
