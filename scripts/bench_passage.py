@@ -20,25 +20,38 @@ Two measurements, written to ``BENCH_passage.json``:
    solver under a fixed memory budget.  Records states, s-points, solve
    seconds, per-block timings, peak RSS and the density curve.
 
+3. **Worker scaling** (``--scaling``) — the shared-plane block-dispatch
+   stack: the same mid-size measure evaluated on pools of 1/2/4/8 worker
+   processes attached to one kernel plane, recording the seconds, speedup
+   and parallel efficiency of each point plus a <= 1e-10 parity check
+   against the single-process run.  Speedup floors are enforced only when
+   the machine actually has the cores (``effective_cores`` is recorded so a
+   1-core CI runner never produces a vacuous pass that looks like scaling).
+
 Modes
 -----
 ``--smoke``
     CI guard: reduced scales with *generous* floors (fractions of what the
     hardware does) so the step fails only on a real regression, never on a
-    slow runner.
+    slow runner.  With ``--scaling`` the curve is just 1 and 2 workers with
+    a >= 1.5x floor (again only enforced when >= 2 cores are available).
 default (full)
     The acceptance-scale run: the >= 5x mid-size comparison floor plus the
-    >= 1M-state voting run under the 6 GiB RSS ceiling.
+    >= 1M-state voting run under the 6 GiB RSS ceiling; ``--scaling`` runs
+    the full 1/2/4/8 curve on a 132-point grid with a >= 3x floor at 4
+    workers (>= 4 cores).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_passage.py [--smoke] [--out FILE]
     PYTHONPATH=src python scripts/bench_passage.py --skip-voting
+    PYTHONPATH=src python scripts/bench_passage.py --smoke --scaling --skip-voting
 """
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import resource
 import sys
 import time
@@ -172,6 +185,81 @@ def engine_comparison(n_states: int, degree: int, t_points) -> dict:
     }
 
 
+def effective_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware, >= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def worker_scaling(n_states: int, degree: int, t_points, worker_counts) -> dict:
+    """Evaluate one measure on pools of increasing size sharing a kernel plane."""
+    from repro.core.jobs import PassageTimeJob
+    from repro.distributed import MultiprocessingBackend, SerialBackend
+
+    kernel = comparison_kernel(n_states, degree)
+    alpha = np.zeros(kernel.n_states)
+    alpha[0] = 1.0
+    job = PassageTimeJob(kernel=kernel, alpha=alpha, targets=[kernel.n_states - 1])
+    s_points = [complex(s) for s in euler_grid(t_points)]
+    cores = effective_cores()
+    print(
+        f"# worker scaling: service-pool kernel n={kernel.n_states} "
+        f"nnz={kernel.n_transitions}, {len(s_points)} s-points, "
+        f"{cores} effective core(s)",
+        flush=True,
+    )
+
+    started = time.perf_counter()
+    reference = SerialBackend().evaluate(job, s_points)
+    serial_seconds = time.perf_counter() - started
+    print(f"  single-process baseline: {serial_seconds:.2f}s", flush=True)
+
+    curve = []
+    one_worker_seconds = None
+    for workers in worker_counts:
+        backend = MultiprocessingBackend(processes=workers)
+        started = time.perf_counter()
+        values = backend.evaluate(job, s_points)
+        seconds = time.perf_counter() - started
+        stats = backend.last_worker_stats or {}
+        backend.close()
+        deviation = float(max(abs(values[s] - reference[s]) for s in reference))
+        if workers == 1 or one_worker_seconds is None:
+            one_worker_seconds = seconds
+        speedup = one_worker_seconds / seconds if seconds > 0 else float("inf")
+        point = {
+            "workers": workers,
+            "seconds": round(seconds, 3),
+            "speedup_vs_1_worker": round(speedup, 3),
+            "efficiency": round(speedup / workers, 3),
+            "blocks": int(sum(e["blocks"] for e in stats.values())),
+            "busy_seconds": round(sum(e["busy_seconds"] for e in stats.values()), 3),
+            "pool_processes_used": len(stats),
+            "max_deviation": deviation,
+        }
+        curve.append(point)
+        print(
+            f"  {workers} worker(s): {seconds:.2f}s "
+            f"(speedup {speedup:.2f}x, efficiency {speedup/workers:.2f}, "
+            f"{point['blocks']} blocks, max deviation {deviation:.2e})",
+            flush=True,
+        )
+    return {
+        "model": {
+            "kind": "service-pool",
+            "states": kernel.n_states,
+            "transitions": kernel.n_transitions,
+            "distinct_distributions": kernel.n_distributions,
+        },
+        "s_points": len(s_points),
+        "effective_cores": cores,
+        "serial_seconds": round(serial_seconds, 3),
+        "curve": curve,
+    }
+
+
 def voting_passage(params: VotingParameters, t_points, budget_bytes: int) -> dict:
     print(f"# voting passage density: {params.label}", flush=True)
     started = time.perf_counter()
@@ -250,6 +338,10 @@ def main(argv=None) -> int:
         "--skip-voting", action="store_true",
         help="only run the engine comparison (skips the large voting solve)",
     )
+    parser.add_argument(
+        "--scaling", action="store_true",
+        help="also measure the 1/2/4/8-worker shared-plane scaling curve",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -261,7 +353,16 @@ def main(argv=None) -> int:
             "min_voting_states": 1_000,
             "min_voting_s_points": 128,
         }
+        floors.update({
+            "min_2worker_speedup": 1.5,
+            "max_scaling_deviation": 1e-10,
+        })
         comparison = engine_comparison(1000, 90, t_points=(2.0, 5.0, 9.0))
+        scaling = None
+        if args.scaling:
+            scaling = worker_scaling(
+                800, 60, t_points=(2.0, 6.0), worker_counts=(1, 2)
+            )
         voting = None
         if not args.skip_voting:
             voting = voting_passage(
@@ -276,7 +377,21 @@ def main(argv=None) -> int:
             "min_voting_states": 1_000_000,
             "min_voting_s_points": 128,
         }
+        floors.update({
+            "min_2worker_speedup": 1.5,
+            "min_4worker_speedup": 3.0,
+            "max_scaling_deviation": 1e-10,
+        })
         comparison = engine_comparison(3000, 140, t_points=(2.0, 4.0, 6.0, 8.0, 10.0))
+        scaling = None
+        if args.scaling:
+            # Four t-points give the 132-point Euler grid of the acceptance
+            # measure; 1/2/4/8 workers share one plane of the 3000-state
+            # comparison kernel.
+            scaling = worker_scaling(
+                3000, 140, t_points=(2.0, 4.0, 7.0, 10.0),
+                worker_counts=(1, 2, 4, 8),
+            )
         voting = None
         if not args.skip_voting:
             # The all-voted passage time of CC=175 concentrates around t=363
@@ -288,6 +403,7 @@ def main(argv=None) -> int:
     report = {
         "mode": "smoke" if args.smoke else "full",
         "engine_comparison": comparison,
+        "worker_scaling": scaling,
         "voting": voting,
         "floors": floors,
         "peak_rss_bytes": peak_rss_bytes(),
@@ -325,6 +441,34 @@ def main(argv=None) -> int:
             )
         if not voting["converged"]:
             failures.append("voting solve left unconverged s-points")
+    if scaling is not None:
+        worst = max(p["max_deviation"] for p in scaling["curve"])
+        if worst > floors["max_scaling_deviation"]:
+            failures.append(
+                f"block-dispatched results deviate {worst:.2e} > "
+                f"{floors['max_scaling_deviation']:.0e} from single-process"
+            )
+        cores = scaling["effective_cores"]
+        by_workers = {p["workers"]: p for p in scaling["curve"]}
+        # Speedup floors apply only where the hardware can deliver them; the
+        # recorded effective_cores keeps a 1-core pass honest.
+        for workers, key in ((2, "min_2worker_speedup"), (4, "min_4worker_speedup")):
+            floor = floors.get(key)
+            point = by_workers.get(workers)
+            if floor is None or point is None:
+                continue
+            if cores < workers:
+                print(
+                    f"# scaling floor at {workers} workers skipped: only "
+                    f"{cores} effective core(s)",
+                    flush=True,
+                )
+                continue
+            if point["speedup_vs_1_worker"] < floor:
+                failures.append(
+                    f"{workers}-worker speedup {point['speedup_vs_1_worker']}x "
+                    f"< {floor}x on {cores} cores"
+                )
     report["failures"] = failures
 
     with open(args.out, "w") as handle:

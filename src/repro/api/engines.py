@@ -25,6 +25,7 @@ from ..core.results import PassageTimeResult, TransientResult
 from ..distributed.backends import MultiprocessingBackend, SerialBackend
 from ..distributed.checkpoint import CheckpointStore
 from ..distributed.pipeline import DistributedPipeline
+from ..distributed.queue import merge_worker_stats
 from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
 from ..utils.timing import Stopwatch
 from .errors import ApiError, EngineError
@@ -122,6 +123,8 @@ class _LocalEngine(Engine):
             if report and report.get("engine"):
                 stats["evaluator_engine"] = report["engine"]
                 stats.setdefault("solve_blocks", []).extend(report.get("blocks") or [])
+            if report and report.get("workers"):
+                merge_worker_stats(stats.setdefault("workers", {}), report["workers"])
         return expand_to_grid(required, cache)
 
     def _new_stats(self, query, plan: QueryPlan) -> dict:
@@ -217,16 +220,32 @@ class InlineEngine(_LocalEngine):
 class MultiprocessingEngine(_LocalEngine):
     """Evaluate the s-grid on a pool of worker processes.
 
-    The job is shipped to each worker once (the paper's slaves receiving the
-    model); each task message carries a chunk of s-points for the batched
-    engine.  Quantile-refinement probes are tiny (33 points each) and are
-    evaluated inline rather than paying a pool round-trip.
+    The pool shares one kernel plane (workers attach the exported kernel
+    zero-copy instead of receiving a pickled model copy) and the unit of
+    dispatch is a memory-budgeted s-block.  ``workers`` and ``processes``
+    are synonyms; ``block_size`` (alias ``chunk_size``) overrides the
+    policy-computed block, mainly for tests.  Quantile-refinement probes are
+    tiny (33 points each) and are evaluated inline rather than paying a pool
+    round-trip.
     """
 
     name = "multiprocessing"
 
-    def __init__(self, *, processes: int | None = None, chunk_size: int = 8):
-        self._backend = MultiprocessingBackend(processes=processes, chunk_size=chunk_size)
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        processes: int | None = None,
+        block_size: int | None = None,
+        chunk_size: int | None = None,
+    ):
+        if workers is not None and processes is not None and workers != processes:
+            raise EngineError("workers and processes are synonyms; pass one")
+        self._backend = MultiprocessingBackend(
+            processes=workers if workers is not None else processes,
+            block_size=block_size,
+            chunk_size=chunk_size,
+        )
         # Per-run dispatch state is thread-local so one engine instance can
         # serve concurrent threads without mixing up pool-vs-inline routing.
         self._run_state = threading.local()
@@ -250,9 +269,13 @@ class DistributedEngine(Engine):
     """Run through the master/worker :class:`DistributedPipeline`.
 
     Adds what the paper's master adds: a work queue, conjugate folding,
-    on-disk checkpoint/resume of s-point results, and per-task accounting.
-    ``backend`` accepts any pipeline backend; ``workers > 1`` builds a
-    multiprocessing backend; the default is the timing-recording serial one.
+    on-disk checkpoint/resume (now block-granular: each completed s-block is
+    merged as it arrives), and per-task accounting.  ``backend`` accepts any
+    pipeline backend; ``workers > 1`` builds a block-dispatching
+    multiprocessing backend — with a checkpoint configured, its kernel plane
+    is exported as an mmap'd file under ``<checkpoint>/planes`` so any
+    process on the host (or a checkpoint-sharing fleet) can attach by
+    digest; the default backend is the timing-recording serial one.
     """
 
     name = "distributed"
@@ -262,18 +285,29 @@ class DistributedEngine(Engine):
         *,
         backend=None,
         workers: int | None = None,
-        chunk_size: int = 4,
+        block_size: int | None = None,
+        chunk_size: int | None = None,
         checkpoint: str | CheckpointStore | None = None,
         fold_conjugates: bool = True,
     ):
-        if backend is None and workers and workers > 1:
-            backend = MultiprocessingBackend(processes=workers, chunk_size=chunk_size)
-        self.backend = backend
         self.checkpoint = (
             CheckpointStore(checkpoint)
             if isinstance(checkpoint, (str, bytes)) or hasattr(checkpoint, "__fspath__")
             else checkpoint
         )
+        if backend is None and workers and workers > 1:
+            plane_store = (
+                str(self.checkpoint.directory / "planes")
+                if self.checkpoint is not None
+                else None
+            )
+            backend = MultiprocessingBackend(
+                processes=workers,
+                block_size=block_size,
+                chunk_size=chunk_size,
+                plane_store=plane_store,
+            )
+        self.backend = backend
         self.fold_conjugates = fold_conjugates
 
     def _pipeline(self, query, job) -> DistributedPipeline:

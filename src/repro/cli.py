@@ -240,6 +240,7 @@ def _cmd_serve(args) -> int:
         checkpoint_dir=args.checkpoint,
         cache_points=args.cache_points,
         default_max_states=args.max_states,
+        workers=args.workers,
     )
     overrides = _overrides(args)
     for path in args.preload or []:
@@ -299,6 +300,18 @@ def _print_engine_stats(statistics: dict) -> None:
             )
     else:
         print(f"# evaluator: {engine} engine", file=sys.stderr)
+    workers = statistics.get("workers") or {}
+    if workers:
+        detail = ", ".join(
+            f"{label}: {entry.get('blocks', 0)} blk/"
+            f"{entry.get('points', 0)} pt/"
+            f"{entry.get('busy_seconds', 0.0):.3f}s"
+            for label, entry in sorted(workers.items())
+        )
+        print(
+            f"# workers: {len(workers)} process(es) [{detail}]",
+            file=sys.stderr,
+        )
 
 
 def _cmd_query_register(args) -> int:
@@ -432,6 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-memory cache bound (total s-points)")
     serve.add_argument("--max-states", type=int, default=None,
                        help="default state-space cap for registered models")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharing the kernel plane; "
+                            "1 evaluates in-process")
     serve.add_argument("--preload", action="append", metavar="MODEL",
                        help="register this spec file at startup (repeatable)")
     serve.add_argument("--set", action="append", metavar="NAME=VALUE",

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..smp.kernel import SMPKernel, UEvaluator
+from ..smp.kernel import SMPKernel, UEvaluator, kernel_content_digest
 from ..smp.linear import passage_transform_direct, passage_transform_direct_batch
 from ..smp.passage import (
     PassageTimeOptions,
@@ -25,7 +25,7 @@ from ..smp.passage import (
 )
 from ..smp.transient import transient_transform, transient_transform_batch
 
-__all__ = ["TransformJob", "PassageTimeJob", "TransientJob"]
+__all__ = ["TransformJob", "PassageTimeJob", "TransientJob", "JobSpec"]
 
 #: Relative cost, in matvec-equivalents, attributed to one sparse-LU solve
 #: when apportioning a batch's wall-clock time over its s-points.  Only the
@@ -35,26 +35,9 @@ __all__ = ["TransformJob", "PassageTimeJob", "TransientJob"]
 _DIRECT_SOLVE_COST = 100.0
 
 
-def _kernel_digest(kernel: SMPKernel) -> str:
-    """A stable content hash of the kernel's structure and distributions.
-
-    Memoised on the kernel object: a long-lived analysis service re-digests
-    the same kernel on every query, and the arrays are immutable after build.
-    """
-    cached = getattr(kernel, "_content_digest", None)
-    if cached is not None:
-        return cached
-    h = hashlib.sha256()
-    h.update(np.int64(kernel.n_states).tobytes())
-    h.update(kernel.src.tobytes())
-    h.update(kernel.dst.tobytes())
-    h.update(kernel.probs.tobytes())
-    h.update(kernel.dist_index.tobytes())
-    for dist in kernel.distributions:
-        h.update(repr(dist._key()).encode())
-    digest = h.hexdigest()
-    kernel._content_digest = digest
-    return digest
+# The kernel content hash lives with the kernel (repro.smp.kernel); keep the
+# historical alias for callers that imported it from here.
+_kernel_digest = kernel_content_digest
 
 
 @dataclass
@@ -244,3 +227,72 @@ class TransientJob(TransformJob):
             dtype=float,
         )
         return values, costs
+
+
+_JOB_KINDS = {"passage": PassageTimeJob, "transient": TransientJob}
+
+
+@dataclass
+class JobSpec:
+    """The picklable skeleton of a :class:`TransformJob` — no kernel arrays.
+
+    A worker that has attached the kernel plane (see
+    :mod:`repro.smp.plane`) only needs to know *which measure* to evaluate:
+    the kernel digest (for sanity/checkpoint keying), the non-zero source
+    weights, the target indices and the truncation/routing options.  Pickling
+    a spec costs a few hundred bytes regardless of kernel size; ``build``
+    reconstitutes a full job against the process-local evaluator with a
+    digest identical to the original job's.
+    """
+
+    kind: str
+    kernel_digest: str
+    n_states: int
+    alpha_indices: np.ndarray
+    alpha_weights: np.ndarray
+    targets: np.ndarray
+    options: PassageTimeOptions = field(default_factory=PassageTimeOptions)
+    solver: str = "iterative"
+    policy: SPointPolicy | None = None
+
+    @classmethod
+    def from_job(cls, job: TransformJob) -> "JobSpec":
+        indices = np.flatnonzero(job.alpha)
+        return cls(
+            kind=job.kind(),
+            kernel_digest=_kernel_digest(job.kernel),
+            n_states=job.kernel.n_states,
+            alpha_indices=indices.astype(np.int64),
+            alpha_weights=np.asarray(job.alpha[indices], dtype=float),
+            targets=job.targets.copy(),
+            options=job.options,
+            solver=job.solver,
+            policy=job.policy,
+        )
+
+    def build(self, evaluator: UEvaluator) -> TransformJob:
+        """Reconstitute the job against a process-local evaluator."""
+        kernel = evaluator.kernel
+        if kernel.n_states != self.n_states:
+            raise ValueError(
+                f"evaluator kernel has {kernel.n_states} states, "
+                f"spec expects {self.n_states}"
+            )
+        local_digest = _kernel_digest(kernel)
+        if local_digest != self.kernel_digest:
+            raise ValueError(
+                "evaluator kernel digest does not match the job spec "
+                f"({local_digest[:12]} != {self.kernel_digest[:12]})"
+            )
+        alpha = np.zeros(kernel.n_states, dtype=float)
+        alpha[self.alpha_indices] = self.alpha_weights
+        job = _JOB_KINDS[self.kind](
+            kernel=kernel,
+            alpha=alpha,
+            targets=self.targets,
+            options=self.options,
+            solver=self.solver,
+            policy=self.policy,
+        )
+        job.attach_evaluator(evaluator)
+        return job

@@ -8,19 +8,25 @@ passage-time algorithm for each, results are cached in memory and on disk
 No slave–slave communication is needed, which is what gives the near-linear
 speedups of Table 2.
 
-This package reproduces that architecture:
+This package reproduces that architecture, with one modernisation: the unit
+of dispatch is an :class:`SBlock` (a memory-budgeted batch of contour
+points) rather than a scalar s-value, and workers attach a shared-memory
+kernel plane (:mod:`repro.smp.plane`) instead of receiving a pickled copy of
+the model:
 
-* :class:`SPointWorkQueue` — the global queue of outstanding s-points,
+* :class:`SPointWorkQueue` / :class:`SBlockQueue` — the global queues of
+  outstanding s-points and dispatched s-blocks,
 * :class:`CheckpointStore` — the on-disk cache keyed by a model/measure digest,
 * backends — :class:`SerialBackend`, :class:`MultiprocessingBackend` (real
-  parallelism on this machine's cores) and :class:`SimulatedCluster` (a
-  deterministic model of a cluster with a configurable number of slaves,
-  per-task compute times, master dispatch overhead and network latency, used
-  to regenerate the shape of Table 2),
+  parallelism on this machine's cores, block-granular dispatch with
+  per-block checkpoint merge and resume-on-failure) and
+  :class:`SimulatedCluster` (a deterministic model of a cluster with a
+  configurable number of slaves, per-task compute times, master dispatch
+  overhead and network latency, used to regenerate the shape of Table 2),
 * :class:`DistributedPipeline` — the master: orchestrates queue, backend,
   checkpointing and final inversion.
 """
-from .queue import SPointWorkQueue, WorkItem
+from .queue import SBlock, SBlockQueue, SPointWorkQueue, WorkItem
 from .checkpoint import CheckpointStore
 from .backends import Backend, SerialBackend, MultiprocessingBackend
 from .simcluster import SimulatedCluster, ClusterTiming, ScalabilityRow, scalability_table, relative_timing
@@ -29,6 +35,8 @@ from .pipeline import DistributedPipeline, PipelineStatistics
 __all__ = [
     "SPointWorkQueue",
     "WorkItem",
+    "SBlock",
+    "SBlockQueue",
     "CheckpointStore",
     "Backend",
     "SerialBackend",

@@ -6,9 +6,11 @@ s-points and returns ``{s: L(s)}``.  Three implementations are provided:
 * :class:`SerialBackend` — in-process evaluation, optionally recording the
   wall-clock duration of every s-point (the measured durations feed the
   simulated cluster used to regenerate Table 2),
-* :class:`MultiprocessingBackend` — a pool of worker *processes*, each of
-  which receives the job once (master -> slave, exactly like the paper's
-  slaves receiving the model) and then streams s-values,
+* :class:`MultiprocessingBackend` — a pool of worker *processes* sharing one
+  kernel image: the master exports the kernel plane once (shared memory, or
+  an mmap'd file via a :class:`~repro.smp.plane.PlaneStore`), ships each
+  worker a few-hundred-byte :class:`~repro.core.jobs.JobSpec` at pool start,
+  and then streams :class:`~repro.distributed.queue.SBlock` work units,
 * :class:`repro.distributed.simcluster.SimulatedCluster` — not an executor
   but a timing model; see that module.
 """
@@ -21,7 +23,11 @@ from typing import Iterable, Protocol
 
 import numpy as np
 
-from ..core.jobs import TransformJob
+from ..core.jobs import JobSpec, TransformJob
+from ..smp.kernel import kernel_content_digest
+from ..smp.passage import SPointPolicy
+from ..smp.plane import KernelPlane, PlaneHandle, PlaneStore
+from .queue import SBlock, SBlockQueue
 
 __all__ = ["Backend", "SerialBackend", "MultiprocessingBackend"]
 
@@ -72,72 +78,236 @@ class SerialBackend:
 
 
 # ---------------------------------------------------------------------------
-# Multiprocessing backend.  The job is shipped to each worker once via the
-# pool initializer (the paper's "slaves are assigned the next available
-# s-value" loop); each task message then carries a *chunk* of s-points so the
-# worker can run the batched engine on it, rather than a single s-value.
+# Multiprocessing backend.  Pool start-up attaches every worker to the shared
+# kernel plane and builds the job from its JobSpec (the paper's "slaves are
+# assigned the model" handshake, minus the model copy); each task message then
+# carries one s-block, so the worker runs the batched engine on a
+# memory-budgeted block rather than a single s-value.
 # ---------------------------------------------------------------------------
 
 _WORKER_JOB: TransformJob | None = None
+_WORKER_PLANE = None
 
 
-def _worker_initialise(job: TransformJob) -> None:  # pragma: no cover - runs in subprocess
-    global _WORKER_JOB
-    _WORKER_JOB = job
+def _block_worker_init(spec: JobSpec, handle: PlaneHandle) -> None:  # pragma: no cover - subprocess
+    global _WORKER_JOB, _WORKER_PLANE
+    _WORKER_PLANE = handle.attach()
+    _WORKER_JOB = spec.build(_WORKER_PLANE.evaluator)
 
 
-def _worker_evaluate_chunk(
-    chunk: list[complex],
-) -> list[tuple[complex, complex]]:  # pragma: no cover - subprocess
+def _block_worker_run(block: SBlock):  # pragma: no cover - subprocess
     assert _WORKER_JOB is not None, "worker used before initialisation"
-    return list(_WORKER_JOB.evaluate_many(chunk).items())
+    kill_block = os.environ.get("REPRO_TEST_KILL_BLOCK")
+    if kill_block is not None and int(kill_block) == block.index:
+        sentinel = os.environ.get("REPRO_TEST_KILL_SENTINEL", "")
+        if sentinel and not os.path.exists(sentinel):
+            with open(sentinel, "w") as f:
+                f.write(str(os.getpid()))
+            os._exit(1)  # simulate a worker crash, exactly once
+    started = time.perf_counter()
+    values, _ = _WORKER_JOB.evaluate_batch(block.s_points)
+    elapsed = time.perf_counter() - started
+    pairs = [(complex(s), complex(v)) for s, v in zip(block.s_points, values)]
+    return block.index, pairs, elapsed, os.getpid(), _WORKER_JOB.last_report
 
 
 class MultiprocessingBackend:
-    """Evaluate s-points on a pool of worker processes.
+    """Evaluate s-blocks on a pool of worker processes sharing one kernel plane.
 
     Parameters
     ----------
     processes:
-        Number of slave processes (defaults to the machine's CPU count).
-    chunk_size:
-        How many s-points each task message carries; each chunk is evaluated
-        with the worker's batched engine, so larger chunks both amortise
-        inter-process overhead and share per-batch work (one transform
-        evaluation per distribution, vectorised matvecs).  ``None`` (default)
-        picks a size that gives every worker about four chunks, balancing
-        batching efficiency against tail imbalance.
+        Number of worker processes (defaults to the machine's CPU count).
+    block_size:
+        s-points per dispatched :class:`SBlock`.  ``None`` (default) delegates
+        to :meth:`SPointPolicy.dispatch_block_points` — the same memory-budget
+        computation the in-process engines block by, capped so every worker
+        sees about four blocks.  ``chunk_size`` is the historical alias.
+    plane_store:
+        When given (a :class:`~repro.smp.plane.PlaneStore` or a directory
+        path), the kernel plane is exported as an mmap'd *file* under that
+        directory and workers attach by digest — the serve-fleet layout.
+        Default is an anonymous shared-memory segment.
+    max_retries:
+        How many times a broken pool is rebuilt and the unfinished blocks
+        resubmitted before giving up.  Completed blocks are never recomputed
+        (and, when a checkpoint is threaded through, already merged to disk).
     """
 
     name = "multiprocessing"
+    #: pipeline capability flag: evaluate() accepts checkpoint/digest and
+    #: merges each block's results as it completes
+    supports_blocks = True
 
-    def __init__(self, processes: int | None = None, *, chunk_size: int | None = None):
+    def __init__(
+        self,
+        processes: int | None = None,
+        *,
+        block_size: int | None = None,
+        chunk_size: int | None = None,
+        plane_store: PlaneStore | str | None = None,
+        max_retries: int = 2,
+    ):
         if processes is not None and processes < 1:
             raise ValueError("processes must be >= 1")
         self.processes = processes or os.cpu_count() or 1
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        self.chunk_size = chunk_size
+        if block_size is not None and chunk_size is not None:
+            raise ValueError("pass block_size or chunk_size, not both")
+        size = block_size if block_size is not None else chunk_size
+        if size is not None and size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = size
+        if isinstance(plane_store, (str, os.PathLike)):
+            plane_store = PlaneStore(plane_store)
+        self.plane_store = plane_store
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
         self.last_wall_clock: float | None = None
+        #: per-worker {"blocks", "busy_seconds", "points"} of the last evaluate
+        self.last_worker_stats: dict[str, dict] | None = None
+        self._plane_cache: dict[tuple[str, bool], KernelPlane] = {}
 
-    def evaluate(self, job: TransformJob, s_points) -> dict[complex, complex]:
-        s_points = [complex(s) for s in np.asarray(list(s_points), dtype=complex)]
-        if not s_points:
+    # --------------------------------------------------------------- plumbing
+    @property
+    def chunk_size(self) -> int | None:
+        """Historical name for :attr:`block_size`."""
+        return self.block_size
+
+    def _plane_handle(self, job: TransformJob, include_factored: bool) -> PlaneHandle:
+        evaluator = job.evaluator
+        if include_factored:
+            evaluator.factored().prewarm()
+            evaluator.factored().col_structure()
+        if self.plane_store is not None:
+            return self.plane_store.export(
+                evaluator, include_factored=include_factored
+            )
+        key = (kernel_content_digest(job.kernel), include_factored)
+        plane = self._plane_cache.get(key)
+        if plane is None:
+            plane = KernelPlane.build(
+                evaluator, backing="shm", include_factored=include_factored
+            )
+            self._plane_cache[key] = plane
+        return plane.handle()
+
+    def close(self) -> None:
+        """Release any shared-memory planes this backend built."""
+        for plane in self._plane_cache.values():
+            plane.unlink()
+        self._plane_cache.clear()
+
+    # -------------------------------------------------------------------- API
+    def evaluate(
+        self,
+        job: TransformJob,
+        s_points,
+        *,
+        checkpoint=None,
+        digest: str | None = None,
+    ) -> dict[complex, complex]:
+        """Evaluate ``s_points``, dispatching s-blocks to the worker pool.
+
+        When ``checkpoint`` (a :class:`~repro.distributed.checkpoint.CheckpointStore`)
+        and ``digest`` are given, every completed block is merged to disk as
+        it arrives, so a run that dies mid-grid resumes from the finished
+        blocks rather than from nothing.
+        """
+        s_list = [complex(s) for s in np.asarray(list(s_points), dtype=complex)]
+        if not s_list:
             return {}
         start = time.perf_counter()
-        workers = min(self.processes, len(s_points))
-        chunk_size = self.chunk_size or max(1, -(-len(s_points) // (4 * workers)))
-        chunks = [
-            s_points[i : i + chunk_size] for i in range(0, len(s_points), chunk_size)
-        ]
-        results: dict[complex, complex] = {}
-        with futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_worker_initialise,
-            initargs=(job,),
-        ) as pool:
-            for pairs in pool.map(_worker_evaluate_chunk, chunks):
-                for s, value in pairs:
-                    results[complex(s)] = complex(value)
+        workers = min(self.processes, len(s_list))
+        policy = job.policy or SPointPolicy()
+        evaluator = job.evaluator
+        engine = policy.resolve_engine(evaluator)
+        if self.block_size is not None:
+            block_size = min(
+                self.block_size,
+                policy.dispatch_block_points(
+                    evaluator, engine, len(s_list), workers,
+                    vector=job.kind() == "transient",
+                ),
+            )
+        else:
+            block_size = policy.dispatch_block_points(
+                evaluator, engine, len(s_list), workers,
+                vector=job.kind() == "transient",
+            )
+        include_factored = engine == "factored" and job.solver != "direct"
+        handle = self._plane_handle(job, include_factored)
+        spec = JobSpec.from_job(job)
+
+        queue = SBlockQueue.from_points(s_list, block_size)
+        reports: list[tuple[int, str, dict | None]] = []
+        attempts = 0
+        while queue.n_pending:
+            outstanding = queue.outstanding()
+            with futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(outstanding)),
+                initializer=_block_worker_init,
+                initargs=(spec, handle),
+            ) as pool:
+                by_future = {
+                    pool.submit(_block_worker_run, block): block
+                    for block in outstanding
+                }
+                broken = self._drain(by_future, queue, checkpoint, digest, reports)
+            if broken:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise futures.process.BrokenProcessPool(
+                        f"worker pool died {attempts} time(s); "
+                        f"{queue.n_pending} block(s) unfinished"
+                    )
+        self._finalise_report(job, queue, reports)
         self.last_wall_clock = time.perf_counter() - start
-        return results
+        return dict(queue.results)
+
+    def _drain(self, by_future, queue, checkpoint, digest, reports) -> bool:
+        """Process completions until the pool drains; True if the pool broke.
+
+        Results that finished before a crash are kept (and checkpointed), so
+        a retry only re-runs the genuinely unfinished blocks.
+        """
+        broken = False
+        not_done = set(by_future)
+        while not_done:
+            done, not_done = futures.wait(
+                not_done, return_when=futures.FIRST_COMPLETED
+            )
+            for future in done:
+                block = by_future[future]
+                error = future.exception()
+                if error is not None:
+                    if isinstance(error, futures.process.BrokenProcessPool):
+                        broken = True
+                        continue
+                    raise error
+                index, pairs, elapsed, pid, report = future.result()
+                values = {s: v for s, v in pairs}
+                queue.complete(block, values, worker=pid, duration=elapsed)
+                reports.append((index, str(pid), report))
+                if checkpoint is not None and digest is not None:
+                    checkpoint.merge(digest, values)
+        return broken
+
+    def _finalise_report(self, job, queue: SBlockQueue, reports) -> None:
+        """Aggregate the workers' engine reports onto the master-side job."""
+        blocks: list[dict] = []
+        engine = None
+        for index, pid, report in sorted(reports, key=lambda r: r[0]):
+            if not report:
+                continue
+            engine = report.get("engine", engine)
+            for entry in report.get("blocks", []):
+                entry = dict(entry)
+                entry["worker"] = pid
+                blocks.append(entry)
+        self.last_worker_stats = queue.worker_stats()
+        job.last_report = {
+            "engine": engine,
+            "blocks": blocks,
+            "workers": self.last_worker_stats,
+        }

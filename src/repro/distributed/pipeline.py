@@ -12,7 +12,7 @@ from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
 from ..utils.timing import Stopwatch
 from .backends import SerialBackend
 from .checkpoint import CheckpointStore
-from .queue import SPointWorkQueue
+from .queue import SPointWorkQueue, merge_worker_stats
 
 __all__ = ["DistributedPipeline", "PipelineStatistics"]
 
@@ -28,6 +28,9 @@ class PipelineStatistics:
     evaluation_seconds: float = 0.0
     inversion_seconds: float = 0.0
     task_durations: list[float] = field(default_factory=list)
+    #: per-worker {"blocks", "points", "busy_seconds"} from block-dispatching
+    #: backends (empty for in-process backends)
+    workers: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -119,19 +122,36 @@ class DistributedPipeline:
             self.queue.put(missing)
             items = self.queue.take(self.queue.n_pending)
             stopwatch = Stopwatch()
+            block_granular = getattr(self.backend, "supports_blocks", False)
             with stopwatch:
-                computed = self.backend.evaluate(self.job, [item.s for item in items])
+                if block_granular:
+                    # Block-dispatching backends merge each completed block
+                    # into the checkpoint as it arrives, so a crash mid-grid
+                    # resumes from the finished blocks.
+                    computed = self.backend.evaluate(
+                        self.job,
+                        [item.s for item in items],
+                        checkpoint=self.checkpoint,
+                        digest=self.job.digest() if self.checkpoint else None,
+                    )
+                else:
+                    computed = self.backend.evaluate(
+                        self.job, [item.s for item in items]
+                    )
             stats.evaluation_seconds += stopwatch.elapsed
             durations = getattr(self.backend, "task_durations", None)
             if durations:
                 new = durations[-len(items):]
                 stats.task_durations.extend(new)
+            merge_worker_stats(
+                stats.workers, getattr(self.backend, "last_worker_stats", None)
+            )
             for item in items:
                 value = computed[item.s]
                 self.queue.complete(item, value)
                 self._values[canonical_s(item.s)] = complex(value)
             stats.s_points_computed += len(items)
-            if self.checkpoint is not None:
+            if self.checkpoint is not None and not block_granular:
                 self.checkpoint.merge(self.job.digest(), computed)
 
         # Every wanted point is now in _values — commit the bookkeeping.
@@ -201,7 +221,7 @@ class DistributedPipeline:
 
     def statistics_summary(self) -> dict:
         stats = self.statistics
-        return {
+        summary = {
             "s_points_required": stats.s_points_required,
             "s_points_computed": stats.s_points_computed,
             "s_points_from_cache": stats.s_points_from_cache,
@@ -210,3 +230,6 @@ class DistributedPipeline:
             "inversion_seconds": stats.inversion_seconds,
             "backend": getattr(self.backend, "name", type(self.backend).__name__),
         }
+        if stats.workers:
+            summary["workers"] = {k: dict(v) for k, v in stats.workers.items()}
+        return summary

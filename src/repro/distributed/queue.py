@@ -1,4 +1,4 @@
-"""The master's global work queue of outstanding s-point evaluations."""
+"""The master's global work queues: scalar s-points and dispatched s-blocks."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
@@ -7,7 +7,32 @@ import numpy as np
 
 from ..laplace.inverter import canonical_s
 
-__all__ = ["WorkItem", "SPointWorkQueue"]
+__all__ = [
+    "WorkItem",
+    "SPointWorkQueue",
+    "SBlock",
+    "SBlockQueue",
+    "merge_worker_stats",
+]
+
+
+def merge_worker_stats(into: dict, update: dict | None) -> dict:
+    """Accumulate per-worker ``{"blocks", "points", "busy_seconds"}`` counters.
+
+    Shared by every layer that surfaces worker statistics (pipeline, api
+    engines, service scheduler): the same worker appearing in several
+    evaluation rounds sums, new workers are added.
+    """
+    for worker, entry in (update or {}).items():
+        slot = into.setdefault(
+            worker, {"blocks": 0, "points": 0, "busy_seconds": 0.0}
+        )
+        slot["blocks"] += entry.get("blocks", 0)
+        slot["points"] += entry.get("points", 0)
+        slot["busy_seconds"] = round(
+            slot["busy_seconds"] + entry.get("busy_seconds", 0.0), 6
+        )
+    return into
 
 
 @dataclass
@@ -80,3 +105,86 @@ class SPointWorkQueue:
         return np.asarray(
             [item.duration for item in self.completed if item.duration is not None], dtype=float
         )
+
+
+@dataclass
+class SBlock:
+    """The unit of dispatch of the block-granular execution stack.
+
+    PR 5's memory-budgeted s-block promoted from an engine-internal loop
+    bound to a first-class work unit: a block id plus the *exact* contour
+    points it covers.  A block is what gets pickled to a worker (alongside
+    the one-time :class:`~repro.core.jobs.JobSpec`), what gets retried when
+    a worker dies, and the granularity at which results are merged into the
+    checkpoint — never the whole grid, never single scalars.
+    """
+
+    index: int
+    s_points: np.ndarray
+
+    def __post_init__(self):
+        self.s_points = np.asarray(self.s_points, dtype=complex).ravel()
+
+    @property
+    def n_points(self) -> int:
+        return int(self.s_points.size)
+
+
+@dataclass
+class SBlockQueue:
+    """Completion bookkeeping for dispatched s-blocks.
+
+    Tracks which blocks are outstanding so a broken pool can be rebuilt and
+    only the unfinished blocks resubmitted, and records which worker served
+    each block (plus its busy time) for the scalability statistics.
+    """
+
+    pending: dict[int, SBlock] = field(default_factory=dict)
+    #: block index -> (worker label, busy seconds, points served)
+    served_by: dict[int, tuple[str, float, int]] = field(default_factory=dict)
+    results: dict[complex, complex] = field(default_factory=dict)
+
+    @classmethod
+    def from_points(cls, s_points, block_size: int) -> "SBlockQueue":
+        s_points = np.asarray(list(s_points), dtype=complex)
+        queue = cls()
+        for index, lo in enumerate(range(0, s_points.size, int(block_size))):
+            queue.pending[index] = SBlock(index, s_points[lo : lo + int(block_size)])
+        return queue
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.pending)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.served_by)
+
+    def outstanding(self) -> list[SBlock]:
+        return [self.pending[i] for i in sorted(self.pending)]
+
+    def complete(
+        self,
+        block: SBlock,
+        values: dict[complex, complex],
+        *,
+        worker: str = "?",
+        duration: float = 0.0,
+    ) -> None:
+        self.pending.pop(block.index, None)
+        self.served_by[block.index] = (str(worker), float(duration), block.n_points)
+        self.results.update(values)
+
+    def worker_stats(self) -> dict[str, dict]:
+        """Per-worker block counts, points and busy time, keyed by worker label."""
+        stats: dict[str, dict] = {}
+        for worker, seconds, points in self.served_by.values():
+            entry = stats.setdefault(
+                worker, {"blocks": 0, "points": 0, "busy_seconds": 0.0}
+            )
+            entry["blocks"] += 1
+            entry["points"] += points
+            entry["busy_seconds"] += seconds
+        for entry in stats.values():
+            entry["busy_seconds"] = round(entry["busy_seconds"], 6)
+        return stats

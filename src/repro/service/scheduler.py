@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass, field
 
 from ..core.jobs import TransformJob
+from ..distributed.queue import merge_worker_stats
 from ..laplace.inverter import canonical_s
 from ..utils.timing import Stopwatch
 from .cache import TieredResultCache
@@ -72,10 +73,17 @@ class _Ticket:
 
 
 class CoalescingScheduler:
-    """Single-flight batched evaluation over a tiered result cache."""
+    """Single-flight batched evaluation over a tiered result cache.
 
-    def __init__(self, cache: TieredResultCache):
+    With a block-dispatching ``backend`` (the service's ``workers > 1``
+    mode), each owned batch is farmed out as s-blocks to a worker pool that
+    shares the kernel plane; per-worker block counts and busy time are
+    accumulated for ``/v1/stats``.
+    """
+
+    def __init__(self, cache: TieredResultCache, *, backend=None):
         self.cache = cache
+        self.backend = backend
         self._lock = threading.Lock()
         self._in_flight: dict[tuple[str, complex], _Ticket] = {}
         self.points_evaluated = 0
@@ -86,6 +94,8 @@ class CoalescingScheduler:
         self.engine_batches: dict[str, int] = {}
         #: solve blocks executed per engine (one batch spans >= 1 blocks)
         self.engine_blocks: dict[str, int] = {}
+        #: per-worker {"blocks", "points", "busy_seconds"} (pool mode only)
+        self.worker_stats: dict[str, dict] = {}
 
     # ------------------------------------------------------------------ API
     def evaluate(
@@ -171,7 +181,7 @@ class CoalescingScheduler:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "points_evaluated": self.points_evaluated,
                 "points_coalesced": self.points_coalesced,
                 "batches_dispatched": self.batches_dispatched,
@@ -180,6 +190,9 @@ class CoalescingScheduler:
                 "engine_batches": dict(self.engine_batches),
                 "engine_blocks": dict(self.engine_blocks),
             }
+            if self.worker_stats:
+                out["workers"] = {k: dict(v) for k, v in self.worker_stats.items()}
+            return out
 
     # ------------------------------------------------------------ internals
     def _evaluate_owned(
@@ -200,6 +213,15 @@ class CoalescingScheduler:
         todo = [exact.get(key, key) for key in owned]
         stopwatch = Stopwatch()
         report = None
+
+        def _dispatch():
+            # Pool mode dispatches s-blocks to workers sharing the kernel
+            # plane; the lock still serialises use of the master-side
+            # evaluator (plane export, engine resolution) per kernel.
+            if self.backend is not None:
+                return self.backend.evaluate(job, todo)
+            return job.evaluate_many(todo)
+
         try:
             with stopwatch:
                 # Capture the evaluation report right after the call (while
@@ -208,10 +230,10 @@ class CoalescingScheduler:
                 # and overwrite job.last_report.
                 if eval_lock is not None:
                     with eval_lock:
-                        computed = job.evaluate_many(todo)
+                        computed = _dispatch()
                         report = getattr(job, "last_report", None)
                 else:
-                    computed = job.evaluate_many(todo)
+                    computed = _dispatch()
                     report = getattr(job, "last_report", None)
         except BaseException as exc:
             with self._lock:
@@ -239,6 +261,8 @@ class CoalescingScheduler:
                 self.engine_batches[engine] = self.engine_batches.get(engine, 0) + 1
                 blocks = report.get("blocks") or []
                 self.engine_blocks[engine] = self.engine_blocks.get(engine, 0) + len(blocks)
+            if report and report.get("workers"):
+                merge_worker_stats(self.worker_stats, report["workers"])
         if stats is not None:
             stats.s_points_computed += len(owned)
             stats.batches += 1
@@ -250,4 +274,7 @@ class CoalescingScheduler:
                 stats.extra.setdefault("solve_blocks", []).extend(
                     report.get("blocks") or []
                 )
+            if report and report.get("workers"):
+                merge_worker_stats(stats.extra.setdefault("workers", {}),
+                                   report["workers"])
         return computed

@@ -82,11 +82,29 @@ class AnalysisService:
         checkpoint_dir=None,
         cache_points: int = 500_000,
         default_max_states: int | None = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
         store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         self.registry = ModelRegistry(default_max_states=default_max_states)
         self.cache = TieredResultCache(store=store, max_points=cache_points)
-        self.scheduler = CoalescingScheduler(self.cache)
+        self.workers = int(workers)
+        backend = None
+        if workers > 1:
+            from ..distributed.backends import MultiprocessingBackend
+
+            # With a checkpoint directory the kernel plane is exported as an
+            # mmap'd file under <checkpoint>/planes, so workers — including
+            # ones started later, or sharing the directory across serve
+            # processes — attach by content digest; without one the plane
+            # lives in an anonymous shared-memory segment.
+            plane_store = str(store.directory / "planes") if store else None
+            backend = MultiprocessingBackend(
+                processes=workers, plane_store=plane_store
+            )
+        self.backend = backend
+        self.scheduler = CoalescingScheduler(self.cache, backend=backend)
         self._counter_lock = threading.Lock()
         self._query_counts = {"passage": 0, "transient": 0}
         self._started = time.monotonic()
@@ -274,6 +292,7 @@ class AnalysisService:
         return {
             "uptime_seconds": time.monotonic() - self._started,
             "queries": queries,
+            "workers": self.workers,
             "registry": self.registry.stats(),
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),

@@ -16,8 +16,9 @@ This package is the numerical heart of the reproduction:
 * :mod:`repro.smp.steady` — long-run SMP state probabilities (the t -> inf
   reference line of Fig. 7).
 """
-from .kernel import SMPKernel, UEvaluator
+from .kernel import SMPKernel, UEvaluator, kernel_content_digest
 from .factored import FactoredUEvaluator
+from .plane import AttachedPlane, KernelPlane, PlaneHandle, PlaneStore
 from .builder import SMPBuilder
 from .embedded import dtmc_steady_state, source_weights
 from .steady import smp_steady_state, steady_state_probability
@@ -36,7 +37,12 @@ from .transient import transient_transform, transient_transform_batch, sojourn_l
 __all__ = [
     "SMPKernel",
     "UEvaluator",
+    "kernel_content_digest",
     "FactoredUEvaluator",
+    "AttachedPlane",
+    "KernelPlane",
+    "PlaneHandle",
+    "PlaneStore",
     "SMPBuilder",
     "dtmc_steady_state",
     "source_weights",

@@ -13,6 +13,7 @@ fill of a pre-assembled CSR structure.
 """
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -23,7 +24,38 @@ from scipy import sparse
 from ..distributions import Distribution
 from ..utils.validation import check_probability_vector, require
 
-__all__ = ["SMPKernel", "UEvaluator", "as_evaluator", "target_mask"]
+__all__ = [
+    "SMPKernel",
+    "UEvaluator",
+    "as_evaluator",
+    "kernel_content_digest",
+    "target_mask",
+]
+
+
+def kernel_content_digest(kernel: "SMPKernel") -> str:
+    """A stable content hash of the kernel's structure and distributions.
+
+    Memoised on the kernel object: a long-lived analysis service re-digests
+    the same kernel on every query, and the arrays are immutable after build.
+    Kernels reconstructed from a shared-memory plane carry the original
+    digest forward (their edge columns are in CSR order, so re-hashing would
+    produce a different — but equivalent — value).
+    """
+    cached = getattr(kernel, "_content_digest", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(np.int64(kernel.n_states).tobytes())
+    h.update(kernel.src.tobytes())
+    h.update(kernel.dst.tobytes())
+    h.update(kernel.probs.tobytes())
+    h.update(kernel.dist_index.tobytes())
+    for dist in kernel.distributions:
+        h.update(repr(dist._key()).encode())
+    digest = h.hexdigest()
+    kernel._content_digest = digest
+    return digest
 
 
 def as_evaluator(kernel_or_evaluator) -> "UEvaluator":
@@ -259,6 +291,45 @@ class SMPKernel:
         return cls(n_states, src, dst, probs, dist_index, list(distributions),
                    state_names)
 
+    @classmethod
+    def _from_csr(
+        cls,
+        n_states: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        csr_probs: np.ndarray,
+        csr_dist_index: np.ndarray,
+        csr_rows: np.ndarray,
+        distributions: Sequence[Distribution],
+        content_digest: str | None = None,
+    ) -> "SMPKernel":
+        """Reassemble a kernel zero-copy from already-validated CSR columns.
+
+        The shared-memory plane attach path: the arrays come straight out of
+        a buffer exported by a kernel that already passed ``__init__``'s
+        validation, so this skips re-validation *and* the COO→CSR sort — the
+        edge columns are adopted in CSR order (``_coo_to_csr`` is the
+        identity).  ``content_digest`` stamps the original kernel's digest so
+        checkpoint keys agree across processes.
+        """
+        self = cls.__new__(cls)
+        self.n_states = int(n_states)
+        self.src = csr_rows
+        self.dst = indices
+        self.probs = csr_probs
+        self.dist_index = csr_dist_index
+        self.distributions = list(distributions)
+        self._state_names = None
+        self._state_names_factory = None
+        self._structure = sparse.csr_matrix(
+            (csr_probs, indices, indptr), shape=(self.n_states, self.n_states),
+            copy=False,
+        )
+        self._coo_to_csr = np.arange(csr_probs.size, dtype=np.int64)
+        if content_digest is not None:
+            self._content_digest = content_digest
+        return self
+
     # ------------------------------------------------------------ topology
     @property
     def n_transitions(self) -> int:
@@ -396,6 +467,36 @@ class UEvaluator:
         )
         self._cache = _EvaluatorCache()
         self._batch_cache = _BatchLRU()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        kernel: SMPKernel,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        csr_probs: np.ndarray,
+        csr_dist_index: np.ndarray,
+        csr_rows: np.ndarray,
+    ) -> "UEvaluator":
+        """Assemble an evaluator directly over externally-owned CSR arrays.
+
+        The plane attach path: `__init__` would copy ``indptr``/``indices``
+        and re-derive the data-order columns, defeating the point of a
+        shared-memory export.  The caller guarantees the arrays are the CSR
+        projection of ``kernel`` (they come from a buffer that an ordinary
+        evaluator exported).  Caches start empty and are process-local.
+        """
+        self = cls.__new__(cls)
+        self.kernel = kernel
+        self._indptr = indptr
+        self._indices = indices
+        self._shape = (kernel.n_states, kernel.n_states)
+        self._csr_probs = csr_probs
+        self._csr_dist_index = csr_dist_index
+        self._csr_rows = csr_rows
+        self._cache = _EvaluatorCache()
+        self._batch_cache = _BatchLRU()
+        return self
 
     # ------------------------------------------------------------ internals
     def _u_data(self, s: complex) -> np.ndarray:

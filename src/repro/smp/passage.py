@@ -237,6 +237,27 @@ class SPointPolicy:
             )
         return max(1, int(self.max_block_bytes // max(per_point, 1)))
 
+    def dispatch_block_points(
+        self,
+        evaluator,
+        engine: str,
+        n_points: int,
+        workers: int,
+        *,
+        vector: bool = False,
+    ) -> int:
+        """s-points per *dispatched* block when farming a grid out to workers.
+
+        The single code path for every parallel backend: the memory-budgeted
+        :meth:`block_points` bound (a worker solves its block in one sweep),
+        additionally capped so each worker sees several blocks — small grids
+        still spread across the pool, and stragglers can be rebalanced.
+        """
+        workers = max(1, int(workers))
+        spread_cap = max(1, -(-int(n_points) // (4 * workers)))
+        return max(1, min(self.block_points(evaluator, engine, vector=vector),
+                          spread_cap))
+
 
 def passage_transform(
     kernel_or_evaluator,

@@ -1,0 +1,215 @@
+"""Block-granular dispatch: payload size, crash recovery, checkpoint resume.
+
+What crosses the process boundary in the refactored execution stack is a
+one-time :class:`JobSpec` + :class:`PlaneHandle` pair at pool start and one
+:class:`SBlock` per task — never the kernel arrays.  These tests pin the
+payload sizes down as a regression (the scalar-era backend pickled the whole
+job, kernel included, into every worker), and exercise the failure paths:
+a worker killed mid-run is retried without recomputing finished blocks, and
+a run that exhausts its retries resumes from the per-block checkpoint.
+"""
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import JobSpec, PassageTimeJob
+from repro.distributed import (
+    CheckpointStore,
+    DistributedPipeline,
+    MultiprocessingBackend,
+    SBlockQueue,
+    SerialBackend,
+)
+from repro.smp import KernelPlane, SPointPolicy, kernel_content_digest, source_weights
+from tests.smp.conftest import random_kernel
+
+S_GRID = [complex(0.3 * (k + 1), 0.9 * k) for k in range(16)]
+
+
+@pytest.fixture(scope="module")
+def big_kernel():
+    rng = np.random.default_rng(20030422)
+    return random_kernel(rng, 80, density=0.4)
+
+
+@pytest.fixture
+def big_job(big_kernel):
+    return PassageTimeJob(
+        kernel=big_kernel, alpha=source_weights(big_kernel, [0]), targets=[3, 4]
+    )
+
+
+class TestPayloadSize:
+    def test_spec_has_no_kernel_arrays(self, big_job):
+        """Regression: the per-pool payload must not scale with the kernel."""
+        spec = JobSpec.from_job(big_job)
+        spec_bytes = len(pickle.dumps(spec))
+        job_bytes = len(pickle.dumps(big_job))
+        # The full job pickles the edge arrays of an ~80-state dense-ish
+        # kernel; the spec pickles indices/weights of one source, two targets
+        # and the options — three orders of magnitude apart.
+        assert spec_bytes < 2_000
+        assert job_bytes > 50 * spec_bytes
+
+    def test_per_block_payload_is_bounded(self, big_job):
+        plane = KernelPlane.build(big_job.evaluator)
+        try:
+            handle_bytes = len(pickle.dumps(plane.handle()))
+            queue = SBlockQueue.from_points(S_GRID, 4)
+            block_bytes = max(
+                len(pickle.dumps(b)) for b in queue.outstanding()
+            )
+            assert handle_bytes < 512
+            assert block_bytes < 1_024
+        finally:
+            plane.unlink()
+
+    def test_spec_build_round_trip(self, big_job):
+        plane = KernelPlane.build(big_job.evaluator)
+        try:
+            attached = plane.handle().attach()
+            spec = pickle.loads(pickle.dumps(JobSpec.from_job(big_job)))
+            rebuilt = spec.build(attached.evaluator)
+            assert rebuilt.digest() == big_job.digest()
+            np.testing.assert_array_equal(rebuilt.alpha, big_job.alpha)
+            np.testing.assert_array_equal(rebuilt.targets, big_job.targets)
+            attached.close()
+        finally:
+            plane.unlink()
+
+    def test_spec_build_rejects_wrong_kernel(self, big_job, two_state_kernel):
+        spec = JobSpec.from_job(big_job)
+        with pytest.raises(ValueError, match="states"):
+            spec.build(two_state_kernel.evaluator())
+
+
+class TestBlockSizing:
+    def test_dispatch_blocks_spread_over_workers(self, big_job):
+        """No explicit size: the policy's memory budget is capped so every
+        worker sees work — the single code path shared with the in-process
+        engines."""
+        policy = SPointPolicy()
+        evaluator = big_job.evaluator
+        engine = policy.resolve_engine(evaluator)
+        expected = policy.dispatch_block_points(evaluator, engine, 16, 4)
+        assert expected <= 4  # ceil(16 / (4 workers * 4)) caps the budget
+        assert expected == min(
+            policy.block_points(evaluator, engine), expected
+        )
+
+    def test_explicit_block_size_and_policy_take_the_min(self, big_job):
+        policy = SPointPolicy()
+        evaluator = big_job.evaluator
+        engine = policy.resolve_engine(evaluator)
+        effective = min(3, policy.dispatch_block_points(evaluator, engine, 10, 2))
+        backend = MultiprocessingBackend(processes=2, block_size=3)
+        try:
+            values = backend.evaluate(big_job, S_GRID[:10])
+            assert len(values) == 10
+            stats = backend.last_worker_stats
+            assert sum(e["blocks"] for e in stats.values()) == -(-10 // effective)
+            assert sum(e["points"] for e in stats.values()) == 10
+        finally:
+            backend.close()
+
+    def test_chunk_size_is_an_alias(self):
+        backend = MultiprocessingBackend(processes=1, chunk_size=7)
+        assert backend.block_size == 7
+        assert backend.chunk_size == 7
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_retried(self, big_job, tmp_path, monkeypatch):
+        sentinel = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", "1")
+        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(sentinel))
+        backend = MultiprocessingBackend(processes=2, block_size=4)
+        try:
+            values = backend.evaluate(big_job, S_GRID)
+        finally:
+            backend.close()
+        assert sentinel.exists()  # the crash really happened
+        serial = SerialBackend().evaluate(big_job, S_GRID)
+        for s, v in serial.items():
+            assert values[s] == pytest.approx(v, abs=1e-12)
+
+    def test_retries_exhausted_raises(self, big_job, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", "0")
+        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(tmp_path / "killed"))
+        backend = MultiprocessingBackend(processes=1, block_size=8, max_retries=0)
+        try:
+            with pytest.raises(Exception, match="1 time"):
+                backend.evaluate(big_job, S_GRID)
+        finally:
+            backend.close()
+
+    def test_resume_from_per_block_checkpoint(self, big_job, tmp_path, monkeypatch):
+        """A run that dies mid-grid leaves its finished blocks on disk; the
+        next run computes only the remainder."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        t_grid = [0.5, 1.0, 2.0]
+
+        # Probe how many deduplicated s-points the grid actually dispatches.
+        probe = DistributedPipeline(big_job)
+        reference = probe.density(t_grid)
+        required = probe.statistics.s_points_computed
+        n_blocks = -(-required // 4)
+        assert n_blocks > 1
+
+        # One worker, four-point blocks, crash on the last block: every
+        # earlier block completes (and is merged to disk) first.
+        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(tmp_path / "killed"))
+        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", str(n_blocks - 1))
+        backend = MultiprocessingBackend(processes=1, block_size=4, max_retries=0)
+        pipeline = DistributedPipeline(big_job, backend=backend, checkpoint=store)
+        with pytest.raises(Exception):
+            pipeline.density(t_grid)
+        backend.close()
+        checkpointed = len(store.load(big_job.digest()))
+        assert 0 < checkpointed < required
+
+        monkeypatch.delenv("REPRO_TEST_KILL_BLOCK")
+        backend = MultiprocessingBackend(processes=1, block_size=4)
+        resumed = DistributedPipeline(big_job, backend=backend, checkpoint=store)
+        density = resumed.density(t_grid)
+        backend.close()
+        assert resumed.statistics.s_points_from_cache >= checkpointed
+        assert 0 < resumed.statistics.s_points_computed < required
+        np.testing.assert_allclose(density, reference, rtol=0.0, atol=1e-10)
+
+
+class TestWorkerStats:
+    def test_backend_reports_per_worker_counters(self, big_job):
+        backend = MultiprocessingBackend(processes=2, block_size=4)
+        try:
+            backend.evaluate(big_job, S_GRID)
+            stats = backend.last_worker_stats
+            assert stats
+            assert sum(e["points"] for e in stats.values()) == len(S_GRID)
+            assert all(e["busy_seconds"] >= 0 for e in stats.values())
+            report = big_job.last_report
+            assert report["workers"] == stats
+            assert report["engine"] in ("batch", "factored")
+        finally:
+            backend.close()
+
+    def test_pipeline_surfaces_worker_stats(self, big_job):
+        backend = MultiprocessingBackend(processes=2, block_size=4)
+        pipeline = DistributedPipeline(big_job, backend=backend)
+        try:
+            pipeline.density([0.5, 1.0])
+        finally:
+            backend.close()
+        summary = pipeline.statistics_summary()
+        assert "workers" in summary
+        assert sum(e["points"] for e in summary["workers"].values()) > 0
+
+    def test_plane_digest_agrees_with_checkpoint_keying(self, big_job):
+        # The plane stamps the kernel digest, so a worker-built job checkpoints
+        # under the same key as the master's.
+        assert JobSpec.from_job(big_job).kernel_digest == kernel_content_digest(
+            big_job.kernel
+        )
