@@ -51,7 +51,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import resource
 import sys
 import time
@@ -63,6 +62,8 @@ from repro.laplace.euler import EulerInverter
 from repro.models import SCALED_CONFIGURATIONS
 from repro.models.voting import VotingParameters, build_voting_net
 from repro.petri import build_kernel, explore_vectorized
+from repro.obs import get_metrics
+from repro.obs.metrics import effective_cores
 from repro.smp import SMPBuilder, SPointPolicy, passage_transform_batch
 from repro.api.plan import QueryPlan
 
@@ -183,14 +184,6 @@ def engine_comparison(n_states: int, degree: int, t_points) -> dict:
         "end_to_end_speedup": round(end_to_end_speedup, 2),
         "max_deviation": deviation,
     }
-
-
-def effective_cores() -> int:
-    """CPUs this process may actually run on (affinity-aware, >= 1)."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return max(1, os.cpu_count() or 1)
 
 
 def worker_scaling(n_states: int, degree: int, t_points, worker_counts) -> dict:
@@ -407,6 +400,9 @@ def main(argv=None) -> int:
         "voting": voting,
         "floors": floors,
         "peak_rss_bytes": peak_rss_bytes(),
+        # Everything the run counted (solve blocks, per-worker totals,
+        # iteration histograms), straight from the obs registry.
+        "metrics": get_metrics().snapshot(),
     }
 
     failures = []

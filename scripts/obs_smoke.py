@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""CI smoke test for the observability planes: tracing, metrics, progress.
+
+Four checks, each exercising the same surface a user would:
+
+1. **CLI tracing** — ``semimarkov passage ... --workers 2 --trace out.json
+   --progress`` as a real subprocess; asserts the written Chrome/Perfetto
+   trace is valid JSON containing the explore, plane-export, per-worker
+   s-block (>= 2 distinct worker pids) and inversion spans, and that the
+   progress line reached stderr.
+2. **Live /metrics scrape** — boots ``semimarkov serve --workers 2`` as a
+   subprocess, runs an HTTP passage query, scrapes ``GET /metrics`` and
+   asserts the core metric names/types, ``GET /v1/progress/{digest}`` shows
+   the finished run and ``/v1/stats`` carries version + build info.
+3. **Counter reconciliation** — an in-process 2-worker solve on a fresh
+   registry; ``repro_points_evaluated_total`` must equal the number of
+   s-points the run reported computing, exactly.
+4. **Overhead** — best-of-N block solves with tracing+metrics on vs off;
+   prints the measured overhead and fails above a generous CI bound (the
+   instrumentation is per-block, so the real number sits well under 2%).
+
+Run:  PYTHONPATH=src python scripts/obs_smoke.py
+"""
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, SRC_DIR)
+
+from repro.models import SCALED_CONFIGURATIONS, voting_spec_text  # noqa: E402
+from repro.service import ServiceClient, ServiceClientError  # noqa: E402
+
+PORT = int(os.environ.get("OBS_SMOKE_PORT", "8437"))
+#: generous CI bound; the measured number is printed and normally « 2%
+MAX_OVERHEAD_FRACTION = 0.10
+
+REQUIRED_SPANS = ("explore", "kernel-build", "plane-export", "s-block",
+                  "s-block-solve", "inversion")
+REQUIRED_METRICS = (
+    "# TYPE repro_points_evaluated_total counter",
+    "# TYPE repro_solve_iterations_total counter",
+    "# TYPE repro_block_seconds histogram",
+    "# TYPE repro_iterations_per_s_point histogram",
+    "# TYPE repro_queries_total counter",
+    "# TYPE repro_requests_total counter",
+    "# TYPE repro_models_built_total counter",
+    "# TYPE repro_worker_points_total counter",
+    "# TYPE repro_worker_busy_fraction gauge",
+)
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def check_cli_trace(spec_path: str, trace_path: str) -> None:
+    print("== CLI --trace / --progress ==", flush=True)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "passage", spec_path,
+         "--source", "p1 == 4", "--target", "p2 == 4",
+         "--t-points", "5", "10", "20", "--cdf",
+         "--workers", "2", "--trace", trace_path, "--progress"],
+        env=subprocess_env(), capture_output=True, text=True, timeout=300,
+    )
+    sys.stderr.write(result.stderr)
+    assert result.returncode == 0, f"CLI exited {result.returncode}"
+    assert "# progress:" in result.stderr, "no progress line on stderr"
+    assert "# trace:" in result.stderr, "no trace summary on stderr"
+
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    assert events, "empty span tree"
+    names = {e["name"] for e in events}
+    for required in REQUIRED_SPANS:
+        assert required in names, f"span {required!r} missing from {sorted(names)}"
+    master_pid = {e["pid"] for e in events if e["name"] == "explore"}
+    worker_pids = {e["pid"] for e in events if e["name"] == "s-block"}
+    assert len(worker_pids) >= 2, f"expected >= 2 worker pids, got {worker_pids}"
+    assert not (worker_pids & master_pid), "worker spans carry the master pid"
+    # spans form a tree: every parent id resolves
+    by_id = {e["id"] for e in events}
+    dangling = [e for e in events
+                if e["args"].get("parent") and e["args"]["parent"] not in by_id]
+    assert not dangling, f"dangling parent links: {dangling[:3]}"
+    print(f"trace ok: {len(events)} spans, {len(worker_pids)} worker pids",
+          flush=True)
+
+
+def wait_for_health(client: ServiceClient, deadline_seconds: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        try:
+            if client.health().get("status") == "ok":
+                return
+        except (ServiceClientError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("server did not become healthy in time")
+
+
+def check_live_metrics(spec: str) -> None:
+    print("== live /metrics scrape ==", flush=True)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", str(PORT),
+         "--workers", "2", "--log-level", "info"],
+        env=subprocess_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{PORT}")
+    try:
+        wait_for_health(client)
+        model = client.register_model(spec, name="voting-tiny")["model"]
+        reply = client.passage(
+            model=model, source="p1 == 4", target="p2 == 4",
+            t_points=[5.0, 10.0, 20.0], cdf=True,
+        )
+        computed = reply["statistics"]["s_points_computed"]
+        assert computed > 0, reply["statistics"]
+
+        # request accounting lands just after the reply; give it a beat
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            text = client.metrics_text()
+            if 'repro_requests_total{path="/v1/passage",status="200"}' in text:
+                break
+            time.sleep(0.1)
+        for required in REQUIRED_METRICS:
+            assert required in text, f"{required!r} missing from /metrics"
+        for line in text.splitlines():
+            if line.startswith("repro_points_evaluated_total "):
+                assert float(line.split()[-1]) >= computed, line
+                break
+        else:
+            raise AssertionError("repro_points_evaluated_total not exposed")
+
+        progress = client.progress(model)
+        assert progress["recent"], progress
+        assert progress["recent"][-1]["finished"] is True
+
+        stats = client.stats()
+        assert stats["version"], stats
+        assert stats["build"]["effective_cores"] >= 1, stats
+        print(f"metrics ok: {len(text.splitlines())} exposition lines, "
+              f"{computed} points computed; progress + build info ok",
+              flush=True)
+    finally:
+        server.terminate()
+        try:
+            out, _ = server.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            out, _ = server.communicate()
+        if out:
+            sys.stderr.write("---- server log ----\n" + out.decode(errors="replace"))
+
+
+def _tiny_job():
+    import numpy as np
+
+    from repro.core.jobs import PassageTimeJob
+    from repro.dnamaca import load_model
+    from repro.petri import build_kernel, explore_vectorized
+
+    net = load_model(voting_spec_text(SCALED_CONFIGURATIONS["tiny"]))
+    graph = explore_vectorized(net)
+    kernel = build_kernel(graph, allow_truncated=graph.truncated)
+    marking = graph.marking_array()
+    targets = np.flatnonzero(marking[:, net.place_index["p2"]] == 4)
+    alpha = np.zeros(kernel.n_states)
+    alpha[0] = 1.0
+    return PassageTimeJob(kernel=kernel, alpha=alpha, targets=targets)
+
+
+def check_counter_reconciliation() -> None:
+    print("== counter reconciliation ==", flush=True)
+    from repro.distributed import MultiprocessingBackend
+    from repro.obs import get_metrics, worker_stats_snapshot
+
+    job = _tiny_job()
+    s_points = [complex(0.05 * (k + 1), 0.4 * k) for k in range(48)]
+    registry = get_metrics()
+    registry.reset()
+    backend = MultiprocessingBackend(processes=2)
+    try:
+        values = backend.evaluate(job, s_points)
+    finally:
+        backend.close()
+    counted = registry.get("repro_points_evaluated_total").value()
+    assert counted == len(values) == len(s_points), (counted, len(s_points))
+    total = sum(e["points"] for e in worker_stats_snapshot().values())
+    assert total == len(s_points), (total, len(s_points))
+    print(f"counters reconcile: {int(counted)} points evaluated == "
+          f"{len(s_points)} s-points dispatched", flush=True)
+
+
+def check_overhead() -> None:
+    print("== instrumentation overhead ==", flush=True)
+    from repro.obs import get_metrics, get_tracer
+
+    job = _tiny_job()
+    s_points = [complex(0.05 * (k + 1), 0.4 * k) for k in range(256)]
+    tracer = get_tracer()
+
+    def best_of(n: int) -> float:
+        best = float("inf")
+        for _ in range(n):
+            started = time.perf_counter()
+            job.evaluate_batch(s_points)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    job.evaluate_batch(s_points)  # warm caches on both sides of the measure
+    tracer.disable()
+    baseline = best_of(5)
+    tracer.enable()
+    try:
+        instrumented = best_of(5)
+    finally:
+        tracer.disable()
+        tracer.clear()
+        get_metrics().reset()
+    overhead = instrumented / baseline - 1.0
+    print(f"overhead: baseline {baseline*1e3:.2f} ms, instrumented "
+          f"{instrumented*1e3:.2f} ms -> {overhead*100:+.2f}%", flush=True)
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"instrumentation overhead {overhead*100:.1f}% exceeds "
+        f"{MAX_OVERHEAD_FRACTION*100:.0f}% CI bound"
+    )
+
+
+def main() -> int:
+    spec = voting_spec_text(SCALED_CONFIGURATIONS["tiny"])
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = os.path.join(tmp, "voting_tiny.dnamaca")
+        with open(spec_path, "w") as f:
+            f.write(spec)
+        check_cli_trace(spec_path, os.path.join(tmp, "trace.json"))
+    check_live_metrics(spec)
+    check_counter_reconciliation()
+    check_overhead()
+    print("observability smoke test PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,9 @@ from ..core.results import PassageTimeResult, TransientResult
 from ..distributed.backends import MultiprocessingBackend, SerialBackend
 from ..distributed.checkpoint import CheckpointStore
 from ..distributed.pipeline import DistributedPipeline
-from ..distributed.queue import merge_worker_stats
 from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
+from ..obs import trace as obs_trace
+from ..obs.metrics import merge_worker_stats
 from ..utils.timing import Stopwatch
 from .errors import ApiError, EngineError
 from .model import resolve_state_sets
@@ -113,7 +114,9 @@ class _LocalEngine(Engine):
         missing = [complex(s) for s in folded if canonical_s(s) not in cache]
         if missing:
             stopwatch = Stopwatch()
-            with stopwatch:
+            with stopwatch, obs_trace.span(
+                "evaluate", engine=self.name, n_points=len(missing)
+            ):
                 computed = self._evaluate(job, missing)
             for s, value in computed.items():
                 cache[canonical_s(s)] = complex(value)
@@ -141,7 +144,9 @@ class _LocalEngine(Engine):
 
     def _invert(self, inverter, t_points, values, stats) -> np.ndarray:
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span(
+            "inversion", method=inverter.name, n_t_points=int(np.asarray(t_points).size)
+        ):
             result = inverter.invert_values(t_points, values)
         stats["inversion_seconds"] += stopwatch.elapsed
         return result
@@ -289,7 +294,11 @@ class DistributedEngine(Engine):
         chunk_size: int | None = None,
         checkpoint: str | CheckpointStore | None = None,
         fold_conjugates: bool = True,
+        progress=None,
     ):
+        #: optional :class:`~repro.obs.progress.ProgressReporter` advanced per
+        #: completed s-block (pool backends) or per evaluation round
+        self.progress = progress
         self.checkpoint = (
             CheckpointStore(checkpoint)
             if isinstance(checkpoint, (str, bytes)) or hasattr(checkpoint, "__fspath__")
@@ -318,6 +327,7 @@ class DistributedEngine(Engine):
             backend=self.backend or SerialBackend(record_timings=True),
             checkpoint=self.checkpoint,
             fold_conjugates=self.fold_conjugates,
+            progress=self.progress,
         )
 
     def _context(self, query):

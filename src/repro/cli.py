@@ -149,6 +149,40 @@ def _print_quantiles(result) -> None:
         print(f"quantile: P(T <= {t:.6g}) = {q}")
 
 
+def _start_trace(args) -> str | None:
+    """Enable the process tracer when ``--trace OUT.json`` was given."""
+    path = getattr(args, "trace", None)
+    if path:
+        from .obs import get_tracer
+
+        get_tracer().enable()
+    return path
+
+
+def _finish_trace(path: str | None) -> None:
+    """Write the Chrome/Perfetto trace-event file and reset the tracer."""
+    if not path:
+        return
+    from .obs import get_tracer
+
+    tracer = get_tracer()
+    count = tracer.write_chrome_trace(path)
+    tracer.disable()
+    tracer.clear()
+    print(f"# trace: {count} span(s) written to {path} "
+          "(load in https://ui.perfetto.dev or chrome://tracing)",
+          file=sys.stderr)
+
+
+def _progress_reporter(args):
+    """A stderr progress line for ``--progress``, else ``None``."""
+    if not getattr(args, "progress", False):
+        return None
+    from .obs import ProgressReporter, stderr_renderer
+
+    return ProgressReporter().subscribe(stderr_renderer())
+
+
 # ---------------------------------------------------------------------------
 # Sub-commands
 # ---------------------------------------------------------------------------
@@ -182,8 +216,17 @@ def _cmd_info(args) -> int:
 def _cmd_passage(args) -> int:
     model = _model(args)
     query = _measure_query(model, args, "passage")
-    engine = DistributedEngine(workers=args.workers, checkpoint=args.checkpoint)
-    result = _run(query, engine)
+    engine = DistributedEngine(
+        workers=args.workers, checkpoint=args.checkpoint,
+        progress=_progress_reporter(args),
+    )
+    trace_path = _start_trace(args)
+    try:
+        result = _run(query, engine)
+    finally:
+        if engine.progress is not None:
+            engine.progress.finish()
+        _finish_trace(trace_path)
 
     rows, header = _passage_rows(result)
     _emit(rows, header, args)
@@ -201,7 +244,11 @@ def _cmd_passage(args) -> int:
 def _cmd_transient(args) -> int:
     model = _model(args)
     query = _measure_query(model, args, "transient")
-    result = _run(query, "inline")
+    trace_path = _start_trace(args)
+    try:
+        result = _run(query, "inline")
+    finally:
+        _finish_trace(trace_path)
     _emit(result.as_table(), ["t", "probability"], args)
     print(f"steady-state value: {result.steady_state:.6g}")
     return 0
@@ -234,7 +281,17 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import logging
+
     from .service import AnalysisService, create_server
+
+    # One structured line per request on the repro.service logger; the
+    # handler writes to stderr so stdout stays clean for the banner.
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(message)s"))
+    service_logger = logging.getLogger("repro.service")
+    service_logger.addHandler(handler)
+    service_logger.setLevel(getattr(logging, args.log_level.upper()))
 
     service = AnalysisService(
         checkpoint_dir=args.checkpoint,
@@ -415,11 +472,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the s-point evaluations")
     passage.add_argument("--checkpoint", default=None,
                          help="directory for on-disk checkpointing of s-point results")
+    passage.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome/Perfetto trace-event JSON file "
+                              "covering explore, kernel build, plane export, "
+                              "per-worker s-block solves and inversion")
+    passage.add_argument("--progress", action="store_true",
+                         help="render a live blocks/points/ETA line on stderr")
     passage.set_defaults(handler=_cmd_passage)
 
     transient = sub.add_parser("transient", help="transient state distribution")
     add_common(transient)
     add_measure_options(transient)
+    transient.add_argument("--trace", metavar="FILE", default=None,
+                           help="write a Chrome/Perfetto trace-event JSON file")
     transient.set_defaults(handler=_cmd_transient)
 
     simulate = sub.add_parser("simulate", help="Monte-Carlo passage-time estimation")
@@ -453,7 +518,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--set", action="append", metavar="NAME=VALUE",
                        help="constant overrides applied to preloaded models")
     serve.add_argument("--verbose", action="store_true",
-                       help="log every HTTP request to stderr")
+                       help="also emit the stdlib per-request log lines")
+    serve.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="threshold for the structured request log on "
+                            "stderr (default: info)")
     serve.set_defaults(handler=_cmd_serve)
 
     query = sub.add_parser("query", help="query a running analysis server")

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import note_solve_block
 from ..smp.kernel import SMPKernel, UEvaluator, kernel_content_digest
 from ..smp.linear import passage_transform_direct, passage_transform_direct_batch
 from ..smp.passage import (
@@ -169,11 +170,16 @@ class PassageTimeJob(TransformJob):
             vecs = passage_transform_direct_batch(self.evaluator, self.targets, s_work)
             values[nonzero] = vecs @ alpha
             costs[nonzero] = _DIRECT_SOLVE_COST
+            elapsed = _time.perf_counter() - started
+            note_solve_block(
+                points=int(s_work.size), seconds=elapsed,
+                direct_solves=int(s_work.size), engine="direct-lu",
+            )
             self.last_report = {
                 "engine": "direct-lu",
                 "blocks": [{
                     "points": int(s_work.size),
-                    "seconds": round(_time.perf_counter() - started, 6),
+                    "seconds": round(elapsed, 6),
                     "iterations": 0,
                     "direct_solves": int(s_work.size),
                 }],

@@ -24,6 +24,8 @@ from typing import Iterable, Protocol
 import numpy as np
 
 from ..core.jobs import JobSpec, TransformJob
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..smp.kernel import kernel_content_digest
 from ..smp.passage import SPointPolicy
 from ..smp.plane import KernelPlane, PlaneHandle, PlaneStore
@@ -89,8 +91,14 @@ _WORKER_JOB: TransformJob | None = None
 _WORKER_PLANE = None
 
 
-def _block_worker_init(spec: JobSpec, handle: PlaneHandle) -> None:  # pragma: no cover - subprocess
+def _block_worker_init(
+    spec: JobSpec, handle: PlaneHandle, trace_enabled: bool = False
+) -> None:  # pragma: no cover - subprocess
     global _WORKER_JOB, _WORKER_PLANE
+    tracer = obs_trace.get_tracer()
+    tracer.clear()  # drop spans inherited from the parent on fork
+    if trace_enabled:
+        tracer.enable()
     _WORKER_PLANE = handle.attach()
     _WORKER_JOB = spec.build(_WORKER_PLANE.evaluator)
 
@@ -104,11 +112,21 @@ def _block_worker_run(block: SBlock):  # pragma: no cover - subprocess
             with open(sentinel, "w") as f:
                 f.write(str(os.getpid()))
             os._exit(1)  # simulate a worker crash, exactly once
+    registry = obs_metrics.get_metrics()
+    baseline = registry.snapshot()
     started = time.perf_counter()
-    values, _ = _WORKER_JOB.evaluate_batch(block.s_points)
+    with obs_trace.span("s-block", index=block.index, points=block.n_points):
+        values, _ = _WORKER_JOB.evaluate_batch(block.s_points)
     elapsed = time.perf_counter() - started
     pairs = [(complex(s), complex(v)) for s, v in zip(block.s_points, values)]
-    return block.index, pairs, elapsed, os.getpid(), _WORKER_JOB.last_report
+    # Everything the master-side observability needs from this block: the
+    # worker's finished spans and its metrics delta, shipped with the result
+    # so crashes lose a block's telemetry only alongside the block itself.
+    obs = {
+        "spans": obs_trace.get_tracer().drain(),
+        "metrics": registry.diff(baseline),
+    }
+    return block.index, pairs, elapsed, os.getpid(), _WORKER_JOB.last_report, obs
 
 
 class MultiprocessingBackend:
@@ -138,6 +156,8 @@ class MultiprocessingBackend:
     #: pipeline capability flag: evaluate() accepts checkpoint/digest and
     #: merges each block's results as it completes
     supports_blocks = True
+    #: evaluate() accepts a ProgressReporter and advances it per block
+    supports_progress = True
 
     def __init__(
         self,
@@ -176,21 +196,28 @@ class MultiprocessingBackend:
 
     def _plane_handle(self, job: TransformJob, include_factored: bool) -> PlaneHandle:
         evaluator = job.evaluator
-        if include_factored:
-            evaluator.factored().prewarm()
-            evaluator.factored().col_structure()
-        if self.plane_store is not None:
-            return self.plane_store.export(
-                evaluator, include_factored=include_factored
-            )
-        key = (kernel_content_digest(job.kernel), include_factored)
-        plane = self._plane_cache.get(key)
-        if plane is None:
-            plane = KernelPlane.build(
-                evaluator, backing="shm", include_factored=include_factored
-            )
-            self._plane_cache[key] = plane
-        return plane.handle()
+        digest = kernel_content_digest(job.kernel)
+        with obs_trace.span(
+            "plane-export",
+            digest=digest,
+            factored=include_factored,
+            backing="file" if self.plane_store is not None else "shm",
+        ):
+            if include_factored:
+                evaluator.factored().prewarm()
+                evaluator.factored().col_structure()
+            if self.plane_store is not None:
+                return self.plane_store.export(
+                    evaluator, include_factored=include_factored
+                )
+            key = (digest, include_factored)
+            plane = self._plane_cache.get(key)
+            if plane is None:
+                plane = KernelPlane.build(
+                    evaluator, backing="shm", include_factored=include_factored
+                )
+                self._plane_cache[key] = plane
+            return plane.handle()
 
     def close(self) -> None:
         """Release any shared-memory planes this backend built."""
@@ -206,13 +233,16 @@ class MultiprocessingBackend:
         *,
         checkpoint=None,
         digest: str | None = None,
+        progress=None,
     ) -> dict[complex, complex]:
         """Evaluate ``s_points``, dispatching s-blocks to the worker pool.
 
         When ``checkpoint`` (a :class:`~repro.distributed.checkpoint.CheckpointStore`)
         and ``digest`` are given, every completed block is merged to disk as
         it arrives, so a run that dies mid-grid resumes from the finished
-        blocks rather than from nothing.
+        blocks rather than from nothing.  ``progress`` (a
+        :class:`~repro.obs.progress.ProgressReporter`) is advanced once per
+        completed block.
         """
         s_list = [complex(s) for s in np.asarray(list(s_points), dtype=complex)]
         if not s_list:
@@ -240,6 +270,8 @@ class MultiprocessingBackend:
         spec = JobSpec.from_job(job)
 
         queue = SBlockQueue.from_points(s_list, block_size)
+        if progress is not None:
+            progress.add_total(queue.n_pending, len(s_list))
         reports: list[tuple[int, str, dict | None]] = []
         attempts = 0
         while queue.n_pending:
@@ -247,13 +279,15 @@ class MultiprocessingBackend:
             with futures.ProcessPoolExecutor(
                 max_workers=min(workers, len(outstanding)),
                 initializer=_block_worker_init,
-                initargs=(spec, handle),
+                initargs=(spec, handle, obs_trace.get_tracer().enabled),
             ) as pool:
                 by_future = {
                     pool.submit(_block_worker_run, block): block
                     for block in outstanding
                 }
-                broken = self._drain(by_future, queue, checkpoint, digest, reports)
+                broken = self._drain(
+                    by_future, queue, checkpoint, digest, reports, progress
+                )
             if broken:
                 attempts += 1
                 if attempts > self.max_retries:
@@ -263,14 +297,24 @@ class MultiprocessingBackend:
                     )
         self._finalise_report(job, queue, reports)
         self.last_wall_clock = time.perf_counter() - start
+        self._note_busy_fractions(self.last_wall_clock)
         return dict(queue.results)
 
-    def _drain(self, by_future, queue, checkpoint, digest, reports) -> bool:
+    def _drain(self, by_future, queue, checkpoint, digest, reports, progress=None) -> bool:
         """Process completions until the pool drains; True if the pool broke.
 
         Results that finished before a crash are kept (and checkpointed), so
-        a retry only re-runs the genuinely unfinished blocks.
+        a retry only re-runs the genuinely unfinished blocks.  Each completed
+        block is recorded exactly once here — telemetry (global per-worker
+        counters, queue-depth gauge, progress, worker spans and metric
+        deltas) rides the same path as the results, so a pool rebuild neither
+        loses nor double-counts it.
         """
+        registry = obs_metrics.get_metrics()
+        depth_gauge = registry.gauge(
+            "repro_sblocks_pending", "s-blocks not yet completed"
+        )
+        depth_gauge.set(queue.n_pending)
         broken = False
         not_done = set(by_future)
         while not_done:
@@ -285,13 +329,35 @@ class MultiprocessingBackend:
                         broken = True
                         continue
                     raise error
-                index, pairs, elapsed, pid, report = future.result()
+                index, pairs, elapsed, pid, report, obs = future.result()
                 values = {s: v for s, v in pairs}
                 queue.complete(block, values, worker=pid, duration=elapsed)
                 reports.append((index, str(pid), report))
+                obs_trace.get_tracer().absorb(obs.get("spans"))
+                registry.absorb(obs.get("metrics"))
+                obs_metrics.record_worker_block(
+                    pid, block.n_points, elapsed, registry=registry
+                )
+                depth_gauge.set(queue.n_pending)
+                if progress is not None:
+                    progress.advance(1, block.n_points)
                 if checkpoint is not None and digest is not None:
                     checkpoint.merge(digest, values)
         return broken
+
+    def _note_busy_fractions(self, wall_clock: float) -> None:
+        """Per-worker busy fraction of the evaluate that just finished."""
+        if not wall_clock or not self.last_worker_stats:
+            return
+        gauge = obs_metrics.get_metrics().gauge(
+            "repro_worker_busy_fraction",
+            "busy seconds / wall-clock of the last pool evaluate",
+            ("worker",),
+        )
+        for worker, entry in self.last_worker_stats.items():
+            gauge.set(
+                min(entry["busy_seconds"] / wall_clock, 1.0), worker=str(worker)
+            )
 
     def _finalise_report(self, job, queue: SBlockQueue, reports) -> None:
         """Aggregate the workers' engine reports onto the master-side job."""

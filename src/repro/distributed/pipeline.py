@@ -9,10 +9,12 @@ from ..core.jobs import TransformJob
 from ..core.results import PassageTimeResult, TransientResult
 from ..laplace import get_inverter
 from ..laplace.inverter import canonical_s, conjugate_reduced, expand_to_grid
+from ..obs import trace as obs_trace
+from ..obs.metrics import merge_worker_stats
 from ..utils.timing import Stopwatch
 from .backends import SerialBackend
 from .checkpoint import CheckpointStore
-from .queue import SPointWorkQueue, merge_worker_stats
+from .queue import SPointWorkQueue
 
 __all__ = ["DistributedPipeline", "PipelineStatistics"]
 
@@ -56,6 +58,10 @@ class DistributedPipeline:
         Exploit ``L(conj(s)) = conj(L(s))`` to halve the work for grids that
         include conjugate pairs (the Laguerre contour); the Euler grid lies in
         the upper half plane already, so folding is a no-op there.
+    progress:
+        Optional :class:`~repro.obs.progress.ProgressReporter`.  Backends
+        that dispatch s-blocks advance it per completed block; other
+        backends advance it per evaluation round.
     """
 
     def __init__(
@@ -67,12 +73,14 @@ class DistributedPipeline:
         backend=None,
         checkpoint: CheckpointStore | None = None,
         fold_conjugates: bool = True,
+        progress=None,
     ):
         self.job = job
         self.inverter = get_inverter(inversion, **(inverter_options or {}))
         self.backend = backend if backend is not None else SerialBackend(record_timings=True)
         self.checkpoint = checkpoint
         self.fold_conjugates = fold_conjugates
+        self.progress = progress
         self.queue = SPointWorkQueue()
         self.statistics = PipelineStatistics()
         self._values: dict[complex, complex] = {}
@@ -123,21 +131,33 @@ class DistributedPipeline:
             items = self.queue.take(self.queue.n_pending)
             stopwatch = Stopwatch()
             block_granular = getattr(self.backend, "supports_blocks", False)
-            with stopwatch:
+            block_progress = getattr(self.backend, "supports_progress", False)
+            if self.progress is not None and not block_progress:
+                self.progress.add_total(1, len(items))
+            with stopwatch, obs_trace.span(
+                "evaluate", n_points=len(items),
+                backend=getattr(self.backend, "name", type(self.backend).__name__),
+            ):
                 if block_granular:
                     # Block-dispatching backends merge each completed block
                     # into the checkpoint as it arrives, so a crash mid-grid
                     # resumes from the finished blocks.
+                    extra = (
+                        {"progress": self.progress} if block_progress else {}
+                    )
                     computed = self.backend.evaluate(
                         self.job,
                         [item.s for item in items],
                         checkpoint=self.checkpoint,
                         digest=self.job.digest() if self.checkpoint else None,
+                        **extra,
                     )
                 else:
                     computed = self.backend.evaluate(
                         self.job, [item.s for item in items]
                     )
+            if self.progress is not None and not block_progress:
+                self.progress.advance(1, len(items))
             stats.evaluation_seconds += stopwatch.elapsed
             durations = getattr(self.backend, "task_durations", None)
             if durations:
@@ -174,7 +194,9 @@ class DistributedPipeline:
         t_points = np.asarray(list(t_points), dtype=float)
         values = self._gather_values(t_points)
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span(
+            "inversion", method=self.inverter.name, n_t_points=int(t_points.size)
+        ):
             result = self.inverter.invert_values(t_points, values)
         self.statistics.inversion_seconds += stopwatch.elapsed
         return result
@@ -185,7 +207,10 @@ class DistributedPipeline:
         values = self._gather_values(t_points)
         cdf_values = {s: v / s for s, v in values.items() if s != 0}
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span(
+            "inversion", method=self.inverter.name, n_t_points=int(t_points.size),
+            measure="cdf",
+        ):
             result = self.inverter.invert_values(t_points, cdf_values)
         self.statistics.inversion_seconds += stopwatch.elapsed
         return result

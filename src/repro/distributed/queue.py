@@ -12,27 +12,7 @@ __all__ = [
     "SPointWorkQueue",
     "SBlock",
     "SBlockQueue",
-    "merge_worker_stats",
 ]
-
-
-def merge_worker_stats(into: dict, update: dict | None) -> dict:
-    """Accumulate per-worker ``{"blocks", "points", "busy_seconds"}`` counters.
-
-    Shared by every layer that surfaces worker statistics (pipeline, api
-    engines, service scheduler): the same worker appearing in several
-    evaluation rounds sums, new workers are added.
-    """
-    for worker, entry in (update or {}).items():
-        slot = into.setdefault(
-            worker, {"blocks": 0, "points": 0, "busy_seconds": 0.0}
-        )
-        slot["blocks"] += entry.get("blocks", 0)
-        slot["points"] += entry.get("points", 0)
-        slot["busy_seconds"] = round(
-            slot["busy_seconds"] + entry.get("busy_seconds", 0.0), 6
-        )
-    return into
 
 
 @dataclass

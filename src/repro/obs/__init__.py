@@ -1,0 +1,48 @@
+"""repro.obs — dependency-free observability: tracing, metrics, progress.
+
+Three planes, one package, zero third-party imports (and no imports from
+the rest of ``repro`` — the solver/service layers depend on *this*, never
+the reverse):
+
+- :mod:`repro.obs.trace` — ``Span``/``Tracer`` with a disabled-by-default
+  no-op path, cross-process span merge, JSON + Chrome/Perfetto export.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms, snapshot/diff/
+  absorb for pool workers, Prometheus text exposition, and the single
+  per-worker stats merge path.
+- :mod:`repro.obs.progress` — per-block ``ProgressReporter``, the service
+  ``ProgressBoard``, and the CLI stderr renderer.
+"""
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    effective_cores,
+    get_metrics,
+    merge_worker_stats,
+    note_solve_block,
+    record_worker_block,
+    worker_stats_snapshot,
+)
+from repro.obs.progress import ProgressBoard, ProgressReporter, stderr_renderer
+from repro.obs.trace import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "merge_worker_stats",
+    "worker_stats_snapshot",
+    "note_solve_block",
+    "record_worker_block",
+    "effective_cores",
+    "ProgressReporter",
+    "ProgressBoard",
+    "stderr_renderer",
+]

@@ -1,0 +1,224 @@
+"""Spans and the process-wide tracer.
+
+A :class:`Span` is one timed region of the pipeline — a state-space
+exploration, a kernel-plane export, one s-block solve inside a pool worker,
+a numerical inversion — recorded with wall and CPU time, free-form
+attributes and a parent id, so the finished spans form a tree across
+threads *and* processes.
+
+The tracer is **disabled by default and compiles to a no-op**: ``span()``
+on a disabled tracer returns a shared singleton whose ``__enter__`` /
+``__exit__`` do nothing, so instrumented code paths cost one attribute
+check.  Enable it (``get_tracer().enable()`` or ``semimarkov ... --trace
+out.json``) and spans are recorded; pool workers run their own tracer and
+their finished spans travel back to the master through the existing
+:class:`~repro.distributed.queue.SBlock` result path (see
+:func:`Tracer.drain` / :func:`Tracer.absorb`).
+
+Export formats: a plain JSON span list (:meth:`Tracer.to_json`) and the
+Chrome trace-event format (:meth:`Tracer.to_chrome_trace`) loadable in
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+"""
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "get_tracer", "span"]
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span: a context manager that records itself on exit.
+
+    Attributes may be attached at creation (``tracer.span(name, key=val)``)
+    or later via :meth:`set`; everything must be JSON-serialisable because
+    spans cross process boundaries as plain dicts.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attributes", "span_id", "parent_id",
+        "_wall", "_perf", "_cpu",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self._wall = 0.0
+        self._perf = 0.0
+        self._cpu = 0.0
+
+    def set(self, **attributes) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.span_id, self.parent_id = self.tracer._push(self)
+        self._wall = time.time()
+        self._perf = time.perf_counter()
+        self._cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._perf
+        cpu = time.process_time() - self._cpu
+        if exc_type is not None:
+            self.attributes.setdefault("error", repr(exc))
+        self.tracer._pop(self, duration, cpu)
+        return False
+
+
+class Tracer:
+    """Records finished spans; process-wide via :func:`get_tracer`.
+
+    Thread-safe: each thread keeps its own open-span stack (for parent
+    links), finished spans land in one shared list.
+    """
+
+    def __init__(self):
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._finished: list[dict] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------- control
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> "Tracer":
+        self._enabled = True
+        return self
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    # ------------------------------------------------------------- tracing
+    def span(self, name: str, **attributes):
+        """A context manager timing one region (no-op while disabled)."""
+        if not self._enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attributes)
+
+    def _push(self, span: Span) -> tuple[str, str | None]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            self._next_id += 1
+            span_id = f"{os.getpid()}.{self._next_id}"
+        parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+        return span_id, parent_id
+
+    def _pop(self, span: Span, duration: float, cpu: float) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+        record = {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "start": span._wall,
+            "duration": round(duration, 9),
+            "cpu": round(cpu, 9),
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+            "attributes": span.attributes,
+        }
+        with self._lock:
+            self._finished.append(record)
+
+    # ------------------------------------------------------------ transfer
+    def spans(self) -> list[dict]:
+        """A copy of every finished span recorded so far."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> list[dict]:
+        """Remove and return the finished spans (worker -> master shipping)."""
+        with self._lock:
+            drained, self._finished = self._finished, []
+        return drained
+
+    def absorb(self, spans) -> None:
+        """Merge spans recorded elsewhere (a pool worker) into this tracer."""
+        if not spans:
+            return
+        with self._lock:
+            self._finished.extend(dict(s) for s in spans)
+
+    # -------------------------------------------------------------- export
+    def to_json(self) -> str:
+        """The span list as a JSON array (schema: the record dicts above)."""
+        return json.dumps(self.spans(), indent=2)
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome/Perfetto trace-event JSON: complete ("ph": "X") events."""
+        events = []
+        for s in self.spans():
+            args = dict(s["attributes"])
+            args["cpu_seconds"] = s["cpu"]
+            if s["parent"]:
+                args["parent"] = s["parent"]
+            events.append({
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": s["start"] * 1e6,
+                "dur": max(s["duration"], 1e-7) * 1e6,
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "id": s["id"],
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> int:
+        """Write the Perfetto-loadable trace file; returns the span count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w") as f:
+            json.dump(trace, f)
+        return len(trace["traceEvents"])
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _TRACER
+
+
+def span(name: str, **attributes):
+    """Shorthand for ``get_tracer().span(name, **attributes)``."""
+    return _TRACER.span(name, **attributes)

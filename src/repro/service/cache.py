@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..distributed.checkpoint import CheckpointStore
 from ..laplace.inverter import canonical_s
+from ..obs.metrics import get_metrics
 
 __all__ = ["CacheLookup", "TieredResultCache"]
 
@@ -120,6 +121,16 @@ class TieredResultCache:
             self.disk_hits += disk_hits
             self.misses += len(missing)
             self._evict_locked(keep=digest)
+        counter = get_metrics().counter(
+            "repro_cache_points_total", "result-cache lookups by outcome tier",
+            ("tier",),
+        )
+        if memory_hits:
+            counter.inc(memory_hits, tier="memory")
+        if disk_hits:
+            counter.inc(disk_hits, tier="disk")
+        if missing:
+            counter.inc(len(missing), tier="miss")
         return CacheLookup(found, missing, memory_hits, disk_hits)
 
     def peek(self, digest: str, s_points) -> dict[complex, complex]:

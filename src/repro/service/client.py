@@ -84,6 +84,25 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def progress(self, digest: str) -> dict:
+        """In-flight / recently finished evaluations for one model digest."""
+        return self._request("GET", f"/v1/progress/{digest}")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition body from ``GET /metrics``."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(exc.code, str(exc.reason)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach server at {self.base_url}: {exc.reason}"
+            ) from None
+
     def register_model(
         self,
         spec: str,

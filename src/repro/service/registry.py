@@ -24,6 +24,8 @@ import numpy as np
 from ..dnamaca import load_model, parse_model
 from ..dnamaca.expressions import ExpressionError, parse_overrides
 from ..dnamaca.vectorize import vector_marking_predicate
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
 from ..petri import build_kernel, explore_vectorized
 from ..smp.kernel import SMPKernel, UEvaluator
 from ..smp.steady import steady_state_probability
@@ -217,18 +219,29 @@ class ModelRegistry:
         from ..smp.passage import SPointPolicy
 
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span("model-build", digest=digest):
             spec = parse_model(text, name=name or "model")
             net = load_model(text, name=name or spec.name or "model", overrides=overrides or None)
-            graph = explore_vectorized(net, max_states=max_states)
-            kernel = build_kernel(graph, allow_truncated=graph.truncated)
-            evaluator = kernel.evaluator()
+            with obs_trace.span("explore", digest=digest):
+                graph = explore_vectorized(net, max_states=max_states)
+            with obs_trace.span(
+                "kernel-build", digest=digest, n_states=int(graph.n_states)
+            ):
+                kernel = build_kernel(graph, allow_truncated=graph.truncated)
+                evaluator = kernel.evaluator()
             # Decide the evaluation engine once per model; kernels routed to
             # the factored engine prewarm its target-independent structures
             # here so no query pays the pair decomposition.
             engine = SPointPolicy().resolve_engine(evaluator)
             if engine == "factored":
                 evaluator.factored().prewarm()
+        get_metrics().counter(
+            "repro_models_built_total", "model builds by evaluation engine",
+            ("engine",),
+        ).inc(1, engine=engine)
+        get_metrics().histogram(
+            "repro_model_build_seconds", "wall-clock of one model build"
+        ).observe(stopwatch.elapsed)
         constants = dict(spec.constants)
         constants.update(overrides)
         return ModelEntry(

@@ -20,8 +20,8 @@ import threading
 from dataclasses import dataclass, field
 
 from ..core.jobs import TransformJob
-from ..distributed.queue import merge_worker_stats
 from ..laplace.inverter import canonical_s
+from ..obs.metrics import get_metrics, merge_worker_stats, worker_stats_snapshot
 from ..utils.timing import Stopwatch
 from .cache import TieredResultCache
 
@@ -81,9 +81,13 @@ class CoalescingScheduler:
     accumulated for ``/v1/stats``.
     """
 
-    def __init__(self, cache: TieredResultCache, *, backend=None):
+    def __init__(self, cache: TieredResultCache, *, backend=None, progress_board=None):
         self.cache = cache
         self.backend = backend
+        #: optional :class:`~repro.obs.progress.ProgressBoard`; owned batches
+        #: register a per-digest reporter so ``GET /v1/progress/{digest}``
+        #: shows in-flight evaluations
+        self.progress_board = progress_board
         self._lock = threading.Lock()
         self._in_flight: dict[tuple[str, complex], _Ticket] = {}
         self.points_evaluated = 0
@@ -94,8 +98,6 @@ class CoalescingScheduler:
         self.engine_batches: dict[str, int] = {}
         #: solve blocks executed per engine (one batch spans >= 1 blocks)
         self.engine_blocks: dict[str, int] = {}
-        #: per-worker {"blocks", "points", "busy_seconds"} (pool mode only)
-        self.worker_stats: dict[str, dict] = {}
 
     # ------------------------------------------------------------------ API
     def evaluate(
@@ -105,6 +107,7 @@ class CoalescingScheduler:
         *,
         eval_lock=None,
         stats: QueryStatistics | None = None,
+        progress_key: str | None = None,
     ) -> dict[complex, complex]:
         """Transform values for ``s_points``, keyed by canonical s.
 
@@ -159,7 +162,9 @@ class CoalescingScheduler:
                 if stats is not None:
                     stats.s_points_from_memory += len(already)
         if owned:
-            computed = self._evaluate_owned(job, digest, owned, exact, eval_lock, stats)
+            computed = self._evaluate_owned(
+                job, digest, owned, exact, eval_lock, stats, progress_key
+            )
             found.update(computed)
 
         for s, ticket in waits.items():
@@ -175,6 +180,10 @@ class CoalescingScheduler:
         if waits:
             with self._lock:
                 self.points_coalesced += len(waits)
+            get_metrics().counter(
+                "repro_coalesced_points_total",
+                "s-points served by another request's in-flight evaluation",
+            ).inc(len(waits))
             if stats is not None:
                 stats.s_points_coalesced += len(waits)
         return found
@@ -190,9 +199,14 @@ class CoalescingScheduler:
                 "engine_batches": dict(self.engine_batches),
                 "engine_blocks": dict(self.engine_blocks),
             }
-            if self.worker_stats:
-                out["workers"] = {k: dict(v) for k, v in self.worker_stats.items()}
-            return out
+        # Pool mode only: the per-worker view comes straight from the obs
+        # metrics registry — the one place the backend records completed
+        # blocks — instead of a scheduler-private merge of report dicts.
+        if self.backend is not None:
+            workers = worker_stats_snapshot()
+            if workers:
+                out["workers"] = workers
+        return out
 
     # ------------------------------------------------------------ internals
     def _evaluate_owned(
@@ -203,6 +217,7 @@ class CoalescingScheduler:
         exact: dict[complex, complex],
         eval_lock,
         stats: QueryStatistics | None,
+        progress_key: str | None = None,
     ) -> dict[complex, complex]:
         # Evaluate at the *exact* s-points the caller supplied, not at their
         # canonically rounded cache keys: rounding perturbs contour points
@@ -213,14 +228,27 @@ class CoalescingScheduler:
         todo = [exact.get(key, key) for key in owned]
         stopwatch = Stopwatch()
         report = None
+        reporter = None
+        # The board is keyed by the *model* digest (what clients poll at
+        # /v1/progress/{digest}), not the per-measure job digest.
+        board_key = progress_key or digest
+        if self.progress_board is not None:
+            reporter = self.progress_board.start(board_key, label=job.kind())
 
         def _dispatch():
             # Pool mode dispatches s-blocks to workers sharing the kernel
             # plane; the lock still serialises use of the master-side
             # evaluator (plane export, engine resolution) per kernel.
             if self.backend is not None:
+                if getattr(self.backend, "supports_progress", False):
+                    return self.backend.evaluate(job, todo, progress=reporter)
                 return self.backend.evaluate(job, todo)
-            return job.evaluate_many(todo)
+            if reporter is not None:
+                reporter.add_total(1, len(todo))
+            computed = job.evaluate_many(todo)
+            if reporter is not None:
+                reporter.advance(1, len(todo))
+            return computed
 
         try:
             with stopwatch:
@@ -243,6 +271,9 @@ class CoalescingScheduler:
                         ticket.error = exc
                         ticket.event.set()
             raise
+        finally:
+            if reporter is not None:
+                self.progress_board.done(board_key, reporter)
         # Re-key the values by their canonical cache keys (evaluate_many
         # keyed them by the exact inputs).
         computed = {key: computed[s] for key, s in zip(owned, todo)}
@@ -261,8 +292,6 @@ class CoalescingScheduler:
                 self.engine_batches[engine] = self.engine_batches.get(engine, 0) + 1
                 blocks = report.get("blocks") or []
                 self.engine_blocks[engine] = self.engine_blocks.get(engine, 0) + len(blocks)
-            if report and report.get("workers"):
-                merge_worker_stats(self.worker_stats, report["workers"])
         if stats is not None:
             stats.s_points_computed += len(owned)
             stats.batches += 1

@@ -1,28 +1,41 @@
 """Stdlib-only HTTP JSON transport for the analysis service.
 
-Routes (all JSON request/response bodies):
+Routes (JSON request/response bodies unless noted):
 
-======  =================  ====================================================
-POST    ``/v1/models``     register a spec; returns its digest and build info
-POST    ``/v1/passage``    passage-time density / CDF / quantile query
-POST    ``/v1/transient``  transient state-distribution query
-GET     ``/v1/stats``      registry / cache / scheduler counters
-GET     ``/v1/health``     liveness probe
-======  =================  ====================================================
+======  ========================  ==============================================
+POST    ``/v1/models``            register a spec; returns its digest and build
+                                  info
+POST    ``/v1/passage``           passage-time density / CDF / quantile query
+POST    ``/v1/transient``         transient state-distribution query
+GET     ``/v1/stats``             registry / cache / scheduler counters plus
+                                  version + build info
+GET     ``/v1/progress/{digest}`` in-flight / recent evaluations for one model
+GET     ``/v1/health``            liveness probe
+GET     ``/metrics``              Prometheus text exposition (``text/plain``)
+======  ========================  ==============================================
 
 Built on :class:`http.server.ThreadingHTTPServer` so concurrent requests map
 onto threads — which is exactly the shape the coalescing scheduler expects.
+
+Every request emits one structured log line on the ``repro.service`` logger
+(method, path, model digest, status, milliseconds, points evaluated); wire a
+handler/level with ``semimarkov serve --log-level info``.
 """
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs.metrics import get_metrics
 from .service import AnalysisService, ServiceError, ValidationError
 
 __all__ = ["create_server", "AnalysisHTTPServer"]
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+
+logger = logging.getLogger("repro.service")
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -43,10 +56,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        # The stdlib per-request line is replaced by the structured line
+        # emitted in _log_request; keep the stdlib one only in verbose mode.
         if not self.server.quiet:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
     def _reply(self, status: int, payload: dict) -> None:
+        self._note_outcome(status, payload)
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -54,8 +70,44 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str) -> None:
+        self._note_outcome(status, None)
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": message, "status": status})
+
+    def _note_outcome(self, status: int, payload: dict | None) -> None:
+        self._status = status
+        if isinstance(payload, dict):
+            digest = payload.get("model") or payload.get("digest")
+            if digest:
+                self._digest = str(digest)
+            stats = payload.get("statistics")
+            if isinstance(stats, dict):
+                self._points = int(stats.get("s_points_computed", 0))
+
+    def _log_request(self, method: str, path: str, started: float) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        status = getattr(self, "_status", 0)
+        logger.info(
+            "method=%s path=%s digest=%s status=%d ms=%.1f points=%d",
+            method, path, getattr(self, "_digest", "-"), status,
+            elapsed_ms, getattr(self, "_points", 0),
+        )
+        registry = get_metrics()
+        registry.counter(
+            "repro_requests_total", "HTTP requests by path and status",
+            ("path", "status"),
+        ).inc(1, path=path, status=status)
+        registry.histogram(
+            "repro_request_seconds", "HTTP request latency", ("path",),
+        ).observe(elapsed_ms / 1000.0, path=path)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -74,15 +126,29 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path == "/v1/stats":
-            self._reply(200, self.server.service.stats())
-        elif path == "/v1/health":
-            self._reply(200, {"status": "ok"})
-        else:
-            self._error(404, f"unknown endpoint {self.path!r}")
+        try:
+            if path == "/v1/stats":
+                self._reply(200, self.server.service.stats())
+            elif path == "/v1/health":
+                self._reply(200, {"status": "ok"})
+            elif path == "/metrics":
+                self._reply_text(200, self.server.service.metrics_text())
+            elif path.startswith("/v1/progress/"):
+                digest = path.rsplit("/", 1)[1]
+                self._reply(200, self.server.service.progress(digest))
+            else:
+                self._error(404, f"unknown endpoint {self.path!r}")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"internal error: {exc}")
+        finally:
+            self._log_request("GET", path, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/")
         service = self.server.service
         try:
@@ -113,6 +179,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             pass
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"internal error: {exc}")
+        finally:
+            self._log_request("POST", path, started)
 
     @staticmethod
     def _measure_kwargs(payload: dict, **extra) -> dict:

@@ -23,6 +23,9 @@ from ..distributed.checkpoint import CheckpointStore
 from ..dnamaca.expressions import ExpressionError, parse_overrides
 from ..laplace import get_inverter
 from ..laplace.inverter import expand_to_grid
+from ..obs import trace as obs_trace
+from ..obs.metrics import effective_cores, get_metrics
+from ..obs.progress import ProgressBoard
 from ..utils.timing import Stopwatch
 from .cache import TieredResultCache
 from .registry import ModelEntry, ModelRegistry
@@ -73,6 +76,26 @@ def _as_t_points(raw) -> np.ndarray:
     return t_points
 
 
+def _package_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def _build_info() -> dict:
+    """Toolchain fingerprint for fleet debugging (``GET /v1/stats``)."""
+    import platform
+
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "effective_cores": effective_cores(),
+    }
+
+
 class AnalysisService:
     """Serves passage-time and transient queries over registered models."""
 
@@ -104,7 +127,10 @@ class AnalysisService:
                 processes=workers, plane_store=plane_store
             )
         self.backend = backend
-        self.scheduler = CoalescingScheduler(self.cache, backend=backend)
+        self.progress_board = ProgressBoard()
+        self.scheduler = CoalescingScheduler(
+            self.cache, backend=backend, progress_board=self.progress_board
+        )
         self._counter_lock = threading.Lock()
         self._query_counts = {"passage": 0, "transient": 0}
         self._started = time.monotonic()
@@ -217,7 +243,9 @@ class AnalysisService:
 
         values = self._gather(job, entry, inverter, t_points, stats)
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span(
+            "inversion", method=inverter.name, n_t_points=int(t_points.size)
+        ):
             density = inverter.invert_values(t_points, values)
             cdf = None
             if include_cdf:
@@ -268,7 +296,9 @@ class AnalysisService:
 
         values = self._gather(job, entry, inverter, t_points, stats)
         stopwatch = Stopwatch()
-        with stopwatch:
+        with stopwatch, obs_trace.span(
+            "inversion", method=inverter.name, n_t_points=int(t_points.size)
+        ):
             probability = inverter.invert_values(t_points, values)
         stats.inversion_seconds += stopwatch.elapsed
 
@@ -293,10 +323,20 @@ class AnalysisService:
             "uptime_seconds": time.monotonic() - self._started,
             "queries": queries,
             "workers": self.workers,
+            "version": _package_version(),
+            "build": _build_info(),
             "registry": self.registry.stats(),
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
         }
+
+    def progress(self, digest: str) -> dict:
+        """In-flight / recently finished evaluations for one model digest."""
+        return self.progress_board.view(str(digest))
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body served at ``GET /metrics``."""
+        return get_metrics().render_prometheus()
 
     # ------------------------------------------------------------ internals
     def _make_job(self, kind, entry, sources, targets, solver, epsilon) -> TransformJob:
@@ -338,7 +378,8 @@ class AnalysisService:
 
         plan = QueryPlan.derive(inverter, t_points)
         resolved = self.scheduler.evaluate(
-            job, plan.s_points, eval_lock=entry.eval_lock, stats=stats
+            job, plan.s_points, eval_lock=entry.eval_lock, stats=stats,
+            progress_key=entry.digest,
         )
         return expand_to_grid(plan.required_s_points, resolved)
 
@@ -385,3 +426,6 @@ class AnalysisService:
     def _count_query(self, kind: str) -> None:
         with self._counter_lock:
             self._query_counts[kind] += 1
+        get_metrics().counter(
+            "repro_queries_total", "queries served by measure kind", ("kind",)
+        ).inc(1, kind=kind)

@@ -179,8 +179,15 @@ class FactoredUEvaluator:
         Called by the service registry for kernels the policy routes to this
         engine, so queries never pay the pair decomposition.
         """
-        self._row_pairs()
-        self.dist_row_sums()
+        from repro.obs import trace as _obs_trace
+
+        with _obs_trace.span(
+            "factored-prewarm",
+            n_states=int(self.kernel.n_states),
+            n_distributions=int(self.n_distributions),
+        ):
+            self._row_pairs()
+            self.dist_row_sums()
 
     def density_ratio(self) -> float:
         """``nnz / (pairs + 2n)`` — the fan-out measure the policy routes on.

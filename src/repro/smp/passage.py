@@ -51,6 +51,9 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+
 from .kernel import as_evaluator, target_mask
 
 __all__ = [
@@ -666,19 +669,31 @@ def _block_bounds(n_s: int, block: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + block, n_s)) for lo in range(0, n_s, block)]
 
 
-def _note_block(report, *, points, seconds, diags) -> None:
+def _note_block(report, *, points, seconds, diags, engine=None) -> None:
+    iterations = int(sum(d.iterations for d in diags))
+    direct_solves = int(sum(d.direct_solves for d in diags))
+    # Points returned truncated (no convergence, no direct fallback —
+    # e.g. kernels above direct_max_states): downstream stats must be
+    # able to see that the values are approximations.
+    unconverged = int(sum(not d.converged for d in diags))
+    _obs_metrics.note_solve_block(
+        points=int(points),
+        seconds=seconds,
+        iterations=iterations,
+        direct_solves=direct_solves,
+        unconverged=unconverged,
+        iteration_counts=[int(d.iterations) for d in diags],
+        engine=engine,
+    )
     if report is None:
         return
     report.setdefault("blocks", []).append(
         {
             "points": int(points),
             "seconds": round(seconds, 6),
-            "iterations": int(sum(d.iterations for d in diags)),
-            "direct_solves": int(sum(d.direct_solves for d in diags)),
-            # Points returned truncated (no convergence, no direct fallback —
-            # e.g. kernels above direct_max_states): downstream stats must be
-            # able to see that the values are approximations.
-            "unconverged": int(sum(not d.converged for d in diags)),
+            "iterations": iterations,
+            "direct_solves": direct_solves,
+            "unconverged": unconverged,
         }
     )
 
@@ -733,14 +748,16 @@ def passage_transform_batch(
     block = policy.block_points(evaluator, engine)
     for lo, hi in _block_bounds(n_s, block):
         started = time.perf_counter()
-        block_values, block_diags = _passage_block(
-            evaluator, engine, alpha, mask, targets, s_values[lo:hi], options, policy
-        )
+        with _obs_trace.span("s-block-solve", points=hi - lo, engine=engine):
+            block_values, block_diags = _passage_block(
+                evaluator, engine, alpha, mask, targets, s_values[lo:hi],
+                options, policy,
+            )
         values[lo:hi] = block_values
         diags[lo:hi] = block_diags
         _note_block(
             report, points=hi - lo, seconds=time.perf_counter() - started,
-            diags=block_diags,
+            diags=block_diags, engine=engine,
         )
     return values, diags  # type: ignore[return-value]
 
@@ -866,14 +883,16 @@ def passage_transform_vector_batch(
     block = policy.block_points(evaluator, engine, vector=True)
     for lo, hi in _block_bounds(n_s, block):
         started = time.perf_counter()
-        block_rows, block_diags = _vector_block(
-            evaluator, engine, mask, targets, s_values[lo:hi], options, policy
-        )
+        with _obs_trace.span("s-block-solve", points=hi - lo, engine=engine,
+                             form="vector"):
+            block_rows, block_diags = _vector_block(
+                evaluator, engine, mask, targets, s_values[lo:hi], options, policy
+            )
         result[lo:hi] = block_rows
         diags[lo:hi] = block_diags
         _note_block(
             report, points=hi - lo, seconds=time.perf_counter() - started,
-            diags=block_diags,
+            diags=block_diags, engine=engine,
         )
     return result, diags  # type: ignore[return-value]
 

@@ -1,0 +1,149 @@
+"""Span recording, parent links, cross-process transfer and export."""
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer, get_tracer, span
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer().enable()
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_noop(self):
+        t = Tracer()
+        a = t.span("anything", key=1)
+        b = t.span("else")
+        assert a is b  # one singleton, no allocation per call
+        with a as live:
+            assert live is a
+        assert t.spans() == []
+
+    def test_noop_set_chains(self):
+        t = Tracer()
+        s = t.span("x")
+        assert s.set(foo=1) is s
+
+    def test_module_tracer_is_disabled_by_default(self):
+        assert get_tracer().enabled is False
+        with span("never-recorded"):
+            pass
+        assert all(
+            r["name"] != "never-recorded" for r in get_tracer().spans()
+        )
+
+
+class TestRecording:
+    def test_records_timing_and_attributes(self, tracer):
+        with tracer.span("solve", points=4) as s:
+            s.set(engine="batch")
+        (record,) = tracer.spans()
+        assert record["name"] == "solve"
+        assert record["attributes"] == {"points": 4, "engine": "batch"}
+        assert record["duration"] >= 0.0
+        assert record["cpu"] >= 0.0
+        assert record["pid"] == os.getpid()
+        assert record["parent"] is None
+        assert isinstance(Span(tracer, "x", {}), Span)
+
+    def test_nested_spans_link_to_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_sibling_spans_share_a_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.spans()
+        assert a["parent"] == root["id"]
+        assert b["parent"] == root["id"]
+
+    def test_exception_is_recorded_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("explode"):
+                raise ValueError("boom")
+        (record,) = tracer.spans()
+        assert "ValueError" in record["attributes"]["error"]
+
+    def test_threads_keep_separate_stacks(self, tracer):
+        def worker():
+            with tracer.span("thread-span"):
+                pass
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        thread_record = next(
+            r for r in tracer.spans() if r["name"] == "thread-span"
+        )
+        # the other thread's span must NOT parent under main's open span
+        assert thread_record["parent"] is None
+
+
+class TestTransfer:
+    def test_drain_empties_and_absorb_merges(self, tracer):
+        with tracer.span("shipped"):
+            pass
+        shipped = tracer.drain()
+        assert tracer.spans() == []
+        other = Tracer().enable()
+        with other.span("local"):
+            pass
+        other.absorb(shipped)
+        names = {r["name"] for r in other.spans()}
+        assert names == {"local", "shipped"}
+
+    def test_absorb_none_is_noop(self, tracer):
+        tracer.absorb(None)
+        tracer.absorb([])
+        assert tracer.spans() == []
+
+    def test_clear(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestExport:
+    def test_to_json_round_trips(self, tracer):
+        with tracer.span("a", n=1):
+            pass
+        records = json.loads(tracer.to_json())
+        assert records[0]["name"] == "a"
+
+    def test_chrome_trace_events(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner", points=3):
+                pass
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        inner = by_name["inner"]
+        assert inner["ph"] == "X"
+        assert inner["cat"] == "repro"
+        assert inner["dur"] > 0  # zero-length spans still render
+        assert inner["args"]["points"] == 3
+        assert inner["args"]["parent"] == by_name["outer"]["id"]
+
+    def test_write_chrome_trace(self, tracer, tmp_path):
+        with tracer.span("one"):
+            pass
+        path = tmp_path / "trace.json"
+        assert tracer.write_chrome_trace(path) == 1
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 1

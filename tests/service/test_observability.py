@@ -1,0 +1,131 @@
+"""Service observability: /metrics, /v1/progress, build info, request log."""
+from __future__ import annotations
+
+import logging
+import time
+
+import repro
+
+
+def _wait_until(predicate, timeout: float = 5.0):
+    """Poll for a condition that lands just after the HTTP reply.
+
+    Request accounting (the structured log line, the request counters) runs
+    in the handler's ``finally`` — *after* the client has read the response
+    body — so assertions made immediately can race it by a scheduling beat.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value or time.monotonic() >= deadline:
+            return value
+        time.sleep(0.01)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_exposition(self, http_client, onoff_spec):
+        model = http_client.register_model(onoff_spec)["model"]
+        reply = http_client.passage(
+            model=model, source="on == K", target="off == K",
+            t_points=[1.0, 5.0], cdf=True,
+        )
+        assert _wait_until(
+            lambda: 'repro_requests_total{path="/v1/passage",status="200"}'
+            in http_client.metrics_text()
+        )
+        text = http_client.metrics_text()
+        assert "# TYPE repro_points_evaluated_total counter" in text
+        assert "# TYPE repro_block_seconds histogram" in text
+        assert "repro_block_seconds_bucket{le=" in text
+        assert 'repro_queries_total{kind="passage"}' in text
+        assert "repro_models_built_total" in text
+        # the counter reconciles with what this query reported computing
+        computed = reply["statistics"]["s_points_computed"]
+        for line in text.splitlines():
+            if line.startswith("repro_points_evaluated_total "):
+                assert float(line.split()[-1]) >= computed
+                break
+        else:  # pragma: no cover - assertion aid
+            raise AssertionError("repro_points_evaluated_total not exposed")
+
+    def test_cache_tier_counters(self, http_client, onoff_spec):
+        model = http_client.register_model(onoff_spec)["model"]
+        kwargs = dict(model=model, source="on == K", target="off == K",
+                      t_points=[2.0, 4.0])
+        http_client.passage(**kwargs)
+        http_client.passage(**kwargs)  # served from the memory tier
+        text = http_client.metrics_text()
+        assert 'repro_cache_points_total{tier="memory"}' in text
+
+
+class TestProgressEndpoint:
+    def test_finished_run_is_visible_in_recent(self, http_client, onoff_spec):
+        model = http_client.register_model(onoff_spec)["model"]
+        http_client.passage(
+            model=model, source="on == K", target="off == K", t_points=[1.0]
+        )
+        view = http_client.progress(model)
+        assert view["digest"] == model
+        assert view["active"] == []
+        assert view["recent"]
+        snap = view["recent"][-1]
+        assert snap["finished"] is True
+        assert snap["points_done"] == snap["points_total"] > 0
+        assert snap["blocks_done"] >= 1
+
+    def test_unknown_digest_is_empty_not_an_error(self, http_client):
+        view = http_client.progress("deadbeef")
+        assert view == {"digest": "deadbeef", "active": [], "recent": []}
+
+
+class TestStatsBuildInfo:
+    def test_stats_carry_version_and_build(self, http_client):
+        stats = http_client.stats()
+        assert stats["version"] == repro.__version__
+        build = stats["build"]
+        assert build["python"].count(".") >= 1
+        assert build["numpy"]
+        assert build["scipy"]
+        assert build["effective_cores"] >= 1
+
+
+class TestRequestLog:
+    def test_one_structured_line_per_request(self, http_client, onoff_spec,
+                                             caplog):
+        with caplog.at_level(logging.INFO, logger="repro.service"):
+            model = http_client.register_model(onoff_spec)["model"]
+            http_client.passage(
+                model=model, source="on == K", target="off == K",
+                t_points=[1.0],
+            )
+            http_client.health()
+            _wait_until(lambda: len(
+                [r for r in caplog.records if r.name == "repro.service"]
+            ) >= 3)
+        lines = [r.getMessage() for r in caplog.records
+                 if r.name == "repro.service"]
+        assert len(lines) == 3
+        passage_line = next(line for line in lines if "/v1/passage" in line)
+        assert "method=POST" in passage_line
+        assert f"digest={model}" in passage_line
+        assert "status=200" in passage_line
+        assert "ms=" in passage_line
+        assert "points=" in passage_line
+        health_line = next(line for line in lines if "/v1/health" in line)
+        assert "method=GET" in health_line
+        assert "digest=-" in health_line
+
+    def test_errors_log_their_status(self, http_client, caplog):
+        import pytest
+
+        from repro.service import ServiceClientError
+
+        with caplog.at_level(logging.INFO, logger="repro.service"):
+            with pytest.raises(ServiceClientError):
+                http_client.passage(model="missing", source="a", target="b",
+                                    t_points=[1.0])
+            _wait_until(lambda: [r for r in caplog.records
+                                 if r.name == "repro.service"])
+        (line,) = [r.getMessage() for r in caplog.records
+                   if r.name == "repro.service"]
+        assert "status=404" in line
