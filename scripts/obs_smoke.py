@@ -130,7 +130,7 @@ def check_live_metrics(spec: str) -> None:
         deadline = time.monotonic() + 5.0
         while time.monotonic() < deadline:
             text = client.metrics_text()
-            if 'repro_requests_total{path="/v1/passage",status="200"}' in text:
+            if 'repro_requests_total{path="/v1/passage",status="200",tenant="default"}' in text:
                 break
             time.sleep(0.1)
         for required in REQUIRED_METRICS:

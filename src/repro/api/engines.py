@@ -435,11 +435,18 @@ class RemoteEngine(Engine):
 
     name = "remote"
 
-    def __init__(self, *, url: str = "http://127.0.0.1:8400", timeout: float = 120.0, client=None):
+    def __init__(
+        self,
+        *,
+        url: str = "http://127.0.0.1:8400",
+        timeout: float = 120.0,
+        tenant: str | None = None,
+        client=None,
+    ):
         if client is None:
             from ..service.client import ServiceClient
 
-            client = ServiceClient(url, timeout=timeout)
+            client = ServiceClient(url, timeout=timeout, tenant=tenant)
         self.client = client
 
     def _call(self, method: str, **payload):

@@ -293,11 +293,20 @@ def _cmd_serve(args) -> int:
     service_logger.addHandler(handler)
     service_logger.setLevel(getattr(logging, args.log_level.upper()))
 
+    from .jobs import TenantQuotas
+
     service = AnalysisService(
         checkpoint_dir=args.checkpoint,
         cache_points=args.cache_points,
         default_max_states=args.max_states,
         workers=args.workers,
+        quotas=TenantQuotas(
+            max_active_jobs=args.max_active_jobs,
+            max_models=args.max_models,
+            rate_per_second=args.rate,
+            burst=args.burst,
+        ),
+        job_store=args.job_store,
     )
     overrides = _overrides(args)
     for path in args.preload or []:
@@ -310,13 +319,15 @@ def _cmd_serve(args) -> int:
     server = create_server(service, host=args.host, port=args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     print(f"semimarkov analysis server listening on http://{host}:{port} "
-          f"(checkpoint: {args.checkpoint or 'none'})", flush=True)
+          f"(checkpoint: {args.checkpoint or 'none'}, "
+          f"jobs: {service.jobs.backend_name})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
         server.server_close()
+        service.close()
     return 0
 
 
@@ -371,12 +382,18 @@ def _print_engine_stats(statistics: dict) -> None:
         )
 
 
+def _client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url, tenant=getattr(args, "tenant", None))
+
+
 def _cmd_query_register(args) -> int:
-    from .service import ServiceClient, ServiceClientError
+    from .service import ServiceClientError
 
     override_map = _overrides(args)
     try:
-        info = ServiceClient(args.url).register_model(
+        info = _client(args).register_model(
             Path(args.model).read_text(),
             name=args.name or Path(args.model).stem,
             overrides=override_map or None,
@@ -397,7 +414,7 @@ def _cmd_query_register(args) -> int:
 def _cmd_query_passage(args) -> int:
     model = _query_model(args)
     query = _measure_query(model, args, "passage")
-    result = _run(query, "remote", url=args.url)
+    result = _run(query, "remote", url=args.url, tenant=args.tenant)
     rows, header = _passage_rows(result)
     _emit(rows, header, args)
     _print_quantiles(result)
@@ -408,7 +425,7 @@ def _cmd_query_passage(args) -> int:
 def _cmd_query_transient(args) -> int:
     model = _query_model(args)
     query = _measure_query(model, args, "transient")
-    result = _run(query, "remote", url=args.url)
+    result = _run(query, "remote", url=args.url, tenant=args.tenant)
     _emit(result.as_table(), ["t", "probability"], args)
     if result.steady_state is not None:
         print(f"steady-state value: {result.steady_state:.6g}")
@@ -417,13 +434,159 @@ def _cmd_query_transient(args) -> int:
 
 
 def _cmd_query_stats(args) -> int:
-    from .service import ServiceClient, ServiceClientError
+    from .service import ServiceClientError
 
     try:
-        stats = ServiceClient(args.url).stats()
+        stats = _client(args).stats()
     except ServiceClientError as exc:
         raise SystemExit(str(exc)) from None
     print(json.dumps(stats, indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Async jobs
+# ---------------------------------------------------------------------------
+
+
+def _print_job(view: dict, args) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(view, indent=2))
+        return
+    progress = view.get("progress") or {}
+    done = progress.get("points_done", 0)
+    total = progress.get("points_total", 0)
+    pct = f"{100.0 * done / total:.0f}%" if total else "-"
+    line = f"state    : {view['state']}"
+    if view.get("error"):
+        line += f" ({view['error']})"
+    print(f"job      : {view['job']} ({view['kind']})")
+    print(line)
+    print(f"model    : {view.get('model')}")
+    print(f"tenant   : {view.get('tenant')}")
+    print(f"progress : {done}/{total} s-points ({pct}), "
+          f"{progress.get('blocks_done', 0)}/{progress.get('blocks_total', 0)} blocks, "
+          f"attempt {view.get('attempts', 0)}")
+
+
+def _print_job_result(view: dict, args) -> None:
+    """Emit a finished job's measure table (the sync commands' format)."""
+    result = view.get("result")
+    if not isinstance(result, dict):
+        return
+    t_points = result.get("t_points") or []
+    if result.get("measure") == "passage":
+        density = result.get("density") or []
+        cdf = result.get("cdf")
+        if cdf is not None:
+            rows = [[t, d, F] for t, d, F in zip(t_points, density, cdf)]
+            _emit(rows, ["t", "density", "cdf"], args)
+        else:
+            _emit([[t, d] for t, d in zip(t_points, density)], ["t", "density"], args)
+        quantile = result.get("quantile")
+        if quantile:
+            print(f"quantile: P(T <= {quantile['t']:.6g}) = {quantile['q']}")
+    else:
+        rows = [[t, p] for t, p in zip(t_points, result.get("probability") or [])]
+        _emit(rows, ["t", "probability"], args)
+        if result.get("steady_state") is not None:
+            print(f"steady-state value: {result['steady_state']:.6g}")
+
+
+def _cmd_query_jobs_submit(args) -> int:
+    from .service import ServiceClientError
+
+    kwargs: dict = dict(
+        source=args.source, target=args.target, t_points=args.t_points,
+        solver=args.solver, inversion=args.inversion, epsilon=args.epsilon,
+    )
+    overrides = _overrides(args)
+    if Path(args.model).exists():
+        kwargs["spec"] = Path(args.model).read_text()
+        if overrides:
+            kwargs["overrides"] = overrides
+    else:
+        if overrides:
+            raise SystemExit(
+                "--set needs the specification text; pass a spec file path, "
+                "not a digest"
+            )
+        kwargs["model"] = args.model
+    if getattr(args, "max_states", None) is not None:
+        kwargs["max_states"] = args.max_states
+    if args.kind == "passage":
+        kwargs["cdf"] = args.cdf
+        if args.quantile is not None:
+            kwargs["quantile"] = args.quantile
+    try:
+        view = _client(args).submit(args.kind, **kwargs)
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps(view, indent=2))
+    else:
+        print(f"job {view['job']} {view['state']} "
+              f"(follow with: semimarkov query jobs wait {view['job']})")
+    return 0
+
+
+def _cmd_query_jobs_status(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        view = _client(args).job(args.job_id)
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    _print_job(view, args)
+    return 0
+
+
+def _cmd_query_jobs_wait(args) -> int:
+    from .service import ServiceClientError
+
+    client = _client(args)
+    try:
+        view = client.wait(args.job_id, timeout=args.timeout, interval=args.interval)
+    except TimeoutError as exc:
+        raise SystemExit(str(exc)) from None
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps(view, indent=2))
+    else:
+        _print_job(view, args)
+        _print_job_result(view, args)
+    return 0 if view.get("state") == "done" else 1
+
+
+def _cmd_query_jobs_cancel(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        view = _client(args).cancel(args.job_id)
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    _print_job(view, args)
+    return 0
+
+
+def _cmd_query_jobs_list(args) -> int:
+    from .service import ServiceClientError
+
+    try:
+        listing = _client(args).jobs()
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc)) from None
+    rows = []
+    for view in listing.get("jobs", []):
+        progress = view.get("progress") or {}
+        total = progress.get("points_total", 0)
+        done = progress.get("points_done", 0)
+        rows.append([
+            view["job"], view["kind"], view["model"], view["state"],
+            f"{done}/{total}" if total else "",
+        ])
+    _emit(rows, ["job", "kind", "model", "state", "points"], args)
     return 0
 
 
@@ -517,6 +680,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="register this spec file at startup (repeatable)")
     serve.add_argument("--set", action="append", metavar="NAME=VALUE",
                        help="constant overrides applied to preloaded models")
+    serve.add_argument("--job-store", default="auto",
+                       choices=["auto", "memory", "sqlite"],
+                       help="async-job record backend: sqlite persists under "
+                            "--checkpoint; auto picks sqlite when a "
+                            "checkpoint directory is configured")
+    serve.add_argument("--max-active-jobs", type=int, default=64,
+                       help="per-tenant cap on queued+running async jobs")
+    serve.add_argument("--max-models", type=int, default=None,
+                       help="per-tenant cap on registered model digests")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant sustained requests/second "
+                            "(token-bucket; default unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst size (default 2x rate)")
     serve.add_argument("--verbose", action="store_true",
                        help="also emit the stdlib per-request log lines")
     serve.add_argument("--log-level", default="info",
@@ -528,6 +705,8 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="query a running analysis server")
     query.add_argument("--url", default="http://127.0.0.1:8400",
                        help="base URL of the server")
+    query.add_argument("--tenant", default=None,
+                       help="tenant name sent as the X-Repro-Tenant header")
     qsub = query.add_subparsers(dest="query_command", required=True)
 
     q_register = qsub.add_parser("register", help="register a model spec with the server")
@@ -563,6 +742,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     q_stats = qsub.add_parser("stats", help="print the server's /v1/stats counters")
     q_stats.set_defaults(handler=_cmd_query_stats)
+
+    q_jobs = qsub.add_parser(
+        "jobs", help="submit and manage async jobs (POST ... \"async\": true)"
+    )
+    jsub = q_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    j_submit = jsub.add_parser("submit", help="enqueue a query; returns a job id")
+    j_submit.add_argument("kind", choices=["passage", "transient"],
+                          help="which measure to compute")
+    add_query_measure(j_submit)
+    j_submit.add_argument("--max-states", type=int, default=None)
+    j_submit.add_argument("--cdf", action="store_true",
+                          help="passage only: also invert the CDF")
+    j_submit.add_argument("--quantile", type=float, default=None,
+                          help="passage only: extract this quantile")
+    j_submit.set_defaults(handler=_cmd_query_jobs_submit)
+
+    j_status = jsub.add_parser("status", help="one job's state and progress")
+    j_status.add_argument("job_id")
+    j_status.add_argument("--json", action="store_true")
+    j_status.set_defaults(handler=_cmd_query_jobs_status)
+
+    j_wait = jsub.add_parser("wait", help="poll until the job finishes, then "
+                                          "print its result")
+    j_wait.add_argument("job_id")
+    j_wait.add_argument("--timeout", type=float, default=None,
+                        help="give up after this many seconds")
+    j_wait.add_argument("--interval", type=float, default=0.25,
+                        help="poll interval in seconds")
+    j_wait.add_argument("--json", action="store_true")
+    j_wait.add_argument("--csv", action="store_true")
+    j_wait.set_defaults(handler=_cmd_query_jobs_wait)
+
+    j_cancel = jsub.add_parser("cancel", help="cancel a queued or running job")
+    j_cancel.add_argument("job_id")
+    j_cancel.add_argument("--json", action="store_true")
+    j_cancel.set_defaults(handler=_cmd_query_jobs_cancel)
+
+    j_list = jsub.add_parser("list", help="this tenant's jobs, newest first")
+    j_list.add_argument("--json", action="store_true")
+    j_list.add_argument("--csv", action="store_true")
+    j_list.set_defaults(handler=_cmd_query_jobs_list)
     return parser
 
 

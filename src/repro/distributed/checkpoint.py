@@ -142,6 +142,15 @@ class CheckpointStore:
             if path.exists():
                 path.unlink()
 
+    def count(self, digest: str) -> int:
+        """Number of checkpointed s-points for this measure.
+
+        Used by the async-job runner to report, at (re)start, how much of a
+        measure is already durable — a resumed job's progress view shows how
+        many points the previous run banked before dying.
+        """
+        return len(self.load(digest))
+
     def digests(self) -> list[str]:
         """All measures with checkpoint files in this store."""
         return sorted(p.stem for p in self.directory.glob("*.json"))

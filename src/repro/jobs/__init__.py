@@ -1,0 +1,60 @@
+"""Durable async jobs with multi-tenant namespaces and pluggable storage.
+
+Long solves do not belong on an open HTTP socket: ``POST /v1/passage`` with
+``"async": true`` enqueues the query as a *job* and returns ``202`` with a
+``/v1/jobs/{id}`` handle immediately.  This package provides the three
+pieces behind that surface:
+
+* :mod:`repro.jobs.store` — the append-only job log (``queued -> running ->
+  done | failed | cancelled``) over a pluggable backend
+  (:class:`MemoryBackend` in-process, :class:`SqliteBackend` durable under
+  the checkpoint directory), replayed to a consistent state on restart;
+* :mod:`repro.jobs.runner` — the background executor draining the queue
+  through the coalescing scheduler / block pipeline, feeding per-block
+  progress, honouring cancellation between blocks and resuming re-queued
+  jobs from their checkpointed blocks;
+* :mod:`repro.jobs.tenancy` — tenant validation, per-tenant quotas (active
+  jobs, registered models) and token-bucket rate limiting.
+"""
+from .runner import JobCancelled, JobRunner
+from .store import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobBackend,
+    JobRecord,
+    JobStore,
+    JobStoreError,
+    MemoryBackend,
+    SqliteBackend,
+    open_backend,
+)
+from .tenancy import (
+    DEFAULT_TENANT,
+    QuotaError,
+    TenancyManager,
+    TenantError,
+    TenantQuotas,
+    TokenBucket,
+    validate_tenant,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "JOB_STATES",
+    "JobBackend",
+    "JobCancelled",
+    "JobRecord",
+    "JobRunner",
+    "JobStore",
+    "JobStoreError",
+    "MemoryBackend",
+    "QuotaError",
+    "SqliteBackend",
+    "TERMINAL_STATES",
+    "TenancyManager",
+    "TenantError",
+    "TenantQuotas",
+    "TokenBucket",
+    "open_backend",
+    "validate_tenant",
+]

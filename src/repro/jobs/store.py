@@ -1,0 +1,476 @@
+"""Durable job records as an append-only event log with pluggable backends.
+
+A job's lifecycle — ``queued -> running -> done | failed | cancelled`` — is
+recorded as a sequence of immutable events (created, transition, plan,
+progress, cancel-requested).  The :class:`JobStore` keeps the materialised
+:class:`JobRecord` view in memory and appends every event to a backend:
+
+* :class:`MemoryBackend` — events die with the process (tests, demos);
+* :class:`SqliteBackend` — one WAL-mode SQLite file under the server's
+  checkpoint directory; every append is a committed transaction, so a
+  SIGKILLed server replays the log on restart to exactly the state its
+  clients last observed.
+
+Backends only ever *append* and *replay* — the protocol is deliberately
+S3/Postgres-shaped (an ordered stream of ``(job_id, event)`` rows) so a
+future shared result tier slots in without touching the store logic.
+
+Recovery is part of construction: jobs found ``running`` after a replay are
+re-queued (the process executing them is gone), and running jobs with a
+pending cancellation are cancelled outright.  The
+:class:`~repro.jobs.runner.JobRunner` then resumes re-queued jobs from their
+per-block :class:`~repro.distributed.checkpoint.CheckpointStore` state.
+"""
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+from ..obs.metrics import note_job_transition, observe_job_seconds
+from .tenancy import DEFAULT_TENANT
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobBackend",
+    "JobRecord",
+    "JobStore",
+    "JobStoreError",
+    "MemoryBackend",
+    "SqliteBackend",
+    "open_backend",
+]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: legal state-machine edges; ``running -> queued`` is the restart-recovery
+#: re-queue (the executing process died, the work is durable on disk)
+_ALLOWED = {
+    "queued": {"running", "cancelled"},
+    "running": {"done", "failed", "cancelled", "queued"},
+}
+
+
+class JobStoreError(Exception):
+    """Illegal transition or malformed event."""
+
+
+@dataclass
+class JobRecord:
+    """The materialised view of one job's event log."""
+
+    job_id: str
+    tenant: str
+    kind: str
+    request: dict
+    model: str
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: derived once per execution: measure digest, grid/block counts, engine
+    plan: dict = field(default_factory=dict)
+    #: latest per-block progress snapshot for the current attempt
+    progress: dict = field(default_factory=dict)
+    attempts: int = 0
+    cancel_requested: bool = False
+
+    def view(self, *, include_result: bool = True) -> dict:
+        """JSON-ready view served at ``GET /v1/jobs/{id}``."""
+        out = {
+            "job": self.job_id,
+            "location": f"/v1/jobs/{self.job_id}",
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "model": self.model,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "plan": dict(self.plan),
+            "progress": dict(self.progress),
+            "has_result": self.result is not None,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class JobBackend(Protocol):
+    """Append-only event sink + ordered replay source."""
+
+    def append(self, job_id: str, event: dict) -> None:
+        ...  # pragma: no cover - protocol definition
+
+    def replay(self) -> Iterable[tuple[str, dict]]:
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+class MemoryBackend:
+    """Process-local event list; nothing survives a restart."""
+
+    name = "memory"
+    durable = False
+
+    def __init__(self):
+        self._events: list[tuple[str, dict]] = []
+        self._lock = threading.Lock()
+
+    def append(self, job_id: str, event: dict) -> None:
+        with self._lock:
+            self._events.append((job_id, dict(event)))
+
+    def replay(self) -> Iterator[tuple[str, dict]]:
+        with self._lock:
+            events = list(self._events)
+        yield from events
+
+    def close(self) -> None:
+        pass
+
+
+class SqliteBackend:
+    """One append-only ``job_events`` table in a WAL-mode SQLite file.
+
+    Each ``append`` commits, so every event a client ever observed survives
+    a SIGKILL; WAL keeps concurrent server threads (HTTP handlers, the job
+    runner) from serialising on reads.
+    """
+
+    name = "sqlite"
+    durable = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS job_events ("
+                "  seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                "  job_id TEXT NOT NULL,"
+                "  at REAL NOT NULL,"
+                "  event TEXT NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS job_events_job "
+                "ON job_events (job_id, seq)"
+            )
+            self._conn.commit()
+
+    def append(self, job_id: str, event: dict) -> None:
+        payload = json.dumps(event)
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO job_events (job_id, at, event) VALUES (?, ?, ?)",
+                (job_id, float(event.get("at", 0.0)), payload),
+            )
+            self._conn.commit()
+
+    def replay(self) -> Iterator[tuple[str, dict]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, event FROM job_events ORDER BY seq"
+            ).fetchall()
+        for job_id, payload in rows:
+            try:
+                event = json.loads(payload)
+            except json.JSONDecodeError:  # pragma: no cover - torn row guard
+                continue
+            yield job_id, event
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def open_backend(
+    kind: str, *, checkpoint_dir: str | Path | None = None
+) -> MemoryBackend | SqliteBackend:
+    """Resolve a backend-selection name (``memory`` / ``sqlite`` / ``auto``).
+
+    ``auto`` picks sqlite whenever a checkpoint directory exists to put the
+    database in (the job log and the per-block result checkpoints share one
+    durable root) and falls back to memory otherwise.
+    """
+    kind = (kind or "auto").lower()
+    if kind == "auto":
+        kind = "sqlite" if checkpoint_dir else "memory"
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        if not checkpoint_dir:
+            raise ValueError(
+                "the sqlite job store needs a checkpoint directory "
+                "(start the server with --checkpoint)"
+            )
+        return SqliteBackend(Path(checkpoint_dir) / "jobs.sqlite")
+    raise ValueError(
+        f"unknown job store {kind!r}: expected 'memory', 'sqlite' or 'auto'"
+    )
+
+
+class JobStore:
+    """Materialised job state over an append-only backend, with recovery."""
+
+    def __init__(self, backend: JobBackend | None = None, *, clock=time.time):
+        self._backend = backend or MemoryBackend()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._records: dict[str, JobRecord] = {}
+        self._replay()
+        #: job ids re-queued (or force-cancelled) by restart recovery
+        self.recovered: list[str] = self._recover()
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def backend_name(self) -> str:
+        return getattr(self._backend, "name", type(self._backend).__name__)
+
+    @property
+    def durable(self) -> bool:
+        return bool(getattr(self._backend, "durable", False))
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def create(
+        self,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        kind: str,
+        request: dict,
+        model: str,
+    ) -> JobRecord:
+        """Append a ``created`` event and return the new ``queued`` record."""
+        job_id = uuid.uuid4().hex[:12]
+        now = self._clock()
+        event = {
+            "type": "created",
+            "at": now,
+            "tenant": tenant,
+            "kind": kind,
+            "request": dict(request),
+            "model": model,
+        }
+        with self._lock:
+            record = self._apply(job_id, event)
+            self._backend.append(job_id, event)
+        note_job_transition("queued", tenant)
+        return record
+
+    def transition(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: dict | None = None,
+        error: str | None = None,
+        note: str | None = None,
+    ) -> JobRecord:
+        """Append a validated state transition (raises on illegal edges)."""
+        if state not in JOB_STATES:
+            raise JobStoreError(f"unknown job state {state!r}")
+        event: dict = {"type": "transition", "state": state, "at": self._clock()}
+        if result is not None:
+            event["result"] = result
+        if error is not None:
+            event["error"] = str(error)
+        if note is not None:
+            event["note"] = note
+        with self._lock:
+            record = self._require(job_id)
+            if state not in _ALLOWED.get(record.state, ()):  # terminal states allow nothing
+                raise JobStoreError(
+                    f"job {job_id} cannot go {record.state} -> {state}"
+                )
+            record = self._apply(job_id, event)
+            self._backend.append(job_id, event)
+        note_job_transition(state, record.tenant)
+        if state in TERMINAL_STATES and record.started_at is not None:
+            observe_job_seconds(
+                record.kind, max(record.finished_at - record.started_at, 0.0)
+            )
+        return record
+
+    def annotate_plan(self, job_id: str, plan: dict) -> None:
+        """Record the derived query plan (measure digest, grid/block sizes)."""
+        event = {"type": "plan", "at": self._clock(), "plan": dict(plan)}
+        with self._lock:
+            self._require(job_id)
+            self._apply(job_id, event)
+            self._backend.append(job_id, event)
+
+    def progress(self, job_id: str, progress: dict) -> None:
+        """Record one per-block progress snapshot (appended, last one wins)."""
+        event = {"type": "progress", "at": self._clock(), "progress": dict(progress)}
+        with self._lock:
+            self._require(job_id)
+            self._apply(job_id, event)
+            self._backend.append(job_id, event)
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job outright; flag a running one for the runner."""
+        with self._lock:  # RLock: held across the queued -> cancelled edge
+            record = self._require(job_id)
+            if record.state == "queued":
+                return self.transition(
+                    job_id, "cancelled", note="cancelled while queued"
+                )
+            if record.state == "running" and not record.cancel_requested:
+                event = {"type": "cancel-requested", "at": self._clock()}
+                self._apply(job_id, event)
+                self._backend.append(job_id, event)
+            return record  # running (runner cancels between blocks) or terminal
+
+    # -------------------------------------------------------------- queries
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            record = self._records.get(job_id)
+            return bool(record and record.cancel_requested)
+
+    def list(self, tenant: str | None = None) -> list[JobRecord]:
+        """Records (newest first), scoped to one tenant when given."""
+        with self._lock:
+            records = [
+                r for r in self._records.values()
+                if tenant is None or r.tenant == tenant
+            ]
+        return sorted(records, key=lambda r: r.created_at, reverse=True)
+
+    def next_queued(self) -> JobRecord | None:
+        """The oldest queued job (FIFO dispatch order)."""
+        with self._lock:
+            queued = [r for r in self._records.values() if r.state == "queued"]
+        return min(queued, key=lambda r: r.created_at) if queued else None
+
+    def active_count(self, tenant: str) -> int:
+        """Queued + running jobs owned by ``tenant`` (the quota unit)."""
+        with self._lock:
+            return sum(
+                1 for r in self._records.values()
+                if r.tenant == tenant and r.state in ("queued", "running")
+            )
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_state: dict[str, int] = {}
+            tenants: set[str] = set()
+            for record in self._records.values():
+                by_state[record.state] = by_state.get(record.state, 0) + 1
+                tenants.add(record.tenant)
+        return {
+            "backend": self.backend_name,
+            "durable": self.durable,
+            "jobs": sum(by_state.values()),
+            "by_state": by_state,
+            "tenants": len(tenants),
+            "recovered": list(self.recovered),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _require(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise JobStoreError(f"unknown job {job_id!r}")
+        return record
+
+    def _apply(self, job_id: str, event: dict) -> JobRecord:
+        """Fold one event into the materialised record (no validation)."""
+        kind = event.get("type")
+        at = float(event.get("at", 0.0))
+        if kind == "created":
+            record = JobRecord(
+                job_id=job_id,
+                tenant=event.get("tenant", DEFAULT_TENANT),
+                kind=event.get("kind", "passage"),
+                request=dict(event.get("request", {})),
+                model=str(event.get("model", "")),
+                state="queued",
+                created_at=at,
+                updated_at=at,
+            )
+            self._records[job_id] = record
+            return record
+        record = self._records.get(job_id)
+        if record is None:
+            raise JobStoreError(
+                f"event for unknown job {job_id!r} (log corrupted?)"
+            )
+        record.updated_at = at
+        if kind == "transition":
+            state = event["state"]
+            record.state = state
+            if state == "running":
+                record.started_at = at
+                record.attempts += 1
+                record.progress = {}
+            elif state == "queued":
+                # restart re-queue: keep attempts, clear the stale flags
+                record.started_at = None
+                record.progress = {}
+            if state in TERMINAL_STATES:
+                record.finished_at = at
+                record.cancel_requested = False
+            if "result" in event:
+                record.result = event["result"]
+            if "error" in event:
+                record.error = event["error"]
+        elif kind == "plan":
+            record.plan = dict(event.get("plan", {}))
+        elif kind == "progress":
+            record.progress = dict(event.get("progress", {}))
+        elif kind == "cancel-requested":
+            record.cancel_requested = True
+        else:
+            raise JobStoreError(f"unknown event type {kind!r}")
+        return record
+
+    def _replay(self) -> None:
+        """Rebuild records from the backend (no re-append, no metrics)."""
+        for job_id, event in self._backend.replay():
+            self._apply(job_id, event)
+
+    def _recover(self) -> list[str]:
+        """Re-queue jobs orphaned mid-run by a dead process."""
+        with self._lock:
+            running = [r for r in self._records.values() if r.state == "running"]
+        recovered = []
+        for record in running:
+            if record.cancel_requested:
+                self.transition(
+                    record.job_id, "cancelled",
+                    note="cancellation completed during restart recovery",
+                )
+            else:
+                self.transition(
+                    record.job_id, "queued",
+                    note="re-queued after restart (previous run died)",
+                )
+            recovered.append(record.job_id)
+        return recovered

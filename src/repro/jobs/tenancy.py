@@ -1,0 +1,202 @@
+"""Multi-tenant namespaces, quotas and rate limits for the serving layer.
+
+Every HTTP request carries a tenant name (the ``X-Repro-Tenant`` header;
+:data:`DEFAULT_TENANT` when absent).  The tenant threads through model
+registration (per-tenant namespaces over the content-addressed registry),
+job ownership (``/v1/jobs`` listings are disjoint across tenants) and the
+per-tenant metric labels, and is the unit of admission control:
+
+* a **token-bucket rate limit** smooths request bursts per tenant,
+* a **max active jobs** quota bounds how many async jobs one tenant may
+  have queued or running at once,
+* a **max models** quota bounds how many distinct model digests one tenant
+  may register.
+
+All enforcement raises :class:`QuotaError`, which the service layer maps to
+a structured HTTP ``429`` — one tenant exhausting its budget never degrades
+another tenant's service.  Everything here is stdlib-only and thread-safe.
+"""
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "QuotaError",
+    "TenantError",
+    "TenantQuotas",
+    "TenancyManager",
+    "TokenBucket",
+    "validate_tenant",
+]
+
+#: tenant used when a request carries no ``X-Repro-Tenant`` header
+DEFAULT_TENANT = "default"
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class TenantError(ValueError):
+    """Malformed tenant name (maps to HTTP 400)."""
+
+
+class QuotaError(Exception):
+    """A tenant exceeded one of its budgets (maps to HTTP 429).
+
+    Attributes name the tenant, which quota tripped (``"rate"``,
+    ``"active_jobs"`` or ``"models"``), the configured limit, and — for the
+    rate limiter — how long until a token is available again.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        quota: str,
+        limit: float | int | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+def validate_tenant(name: str | None) -> str:
+    """Normalise and validate a tenant name; ``None``/empty means default.
+
+    Names are restricted to a filename/label-safe alphabet because they key
+    metric labels, job ownership and registry namespaces.
+    """
+    if name is None:
+        return DEFAULT_TENANT
+    name = str(name).strip()
+    if not name:
+        return DEFAULT_TENANT
+    if not _TENANT_RE.match(name):
+        raise TenantError(
+            f"invalid tenant name {name!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Per-tenant budgets; ``None`` disables the corresponding check.
+
+    The defaults are deliberately generous — single-user deployments and the
+    test suite never notice them — and a real multi-tenant deployment dials
+    them down via ``semimarkov serve --max-active-jobs/--max-models/--rate``.
+    """
+
+    #: jobs one tenant may have queued or running at once
+    max_active_jobs: int | None = 64
+    #: distinct model digests one tenant may register
+    max_models: int | None = None
+    #: sustained requests/second through the HTTP admission hook
+    rate_per_second: float | None = None
+    #: bucket capacity (burst size); defaults to ``max(2 * rate, 8)``
+    burst: float | None = None
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill up to ``burst``."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> float | None:
+        """Take ``cost`` tokens; ``None`` on success, else seconds-to-retry."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return None
+            return (cost - self._tokens) / self.rate
+
+
+class TenancyManager:
+    """The one admission-control hook the HTTP layer calls per request.
+
+    Owns a token bucket per tenant and answers the generic "is this tenant
+    within quota X?" question for the job and model budgets (the counts
+    themselves live with the job store and the registry — this class only
+    compares them against the configured limits so every limit is enforced
+    through a single code path).
+    """
+
+    def __init__(self, quotas: TenantQuotas | None = None, clock=time.monotonic):
+        self.quotas = quotas or TenantQuotas()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ API
+    def admit(self, tenant: str, cost: float = 1.0) -> None:
+        """Charge one request against the tenant's rate limit (or raise)."""
+        rate = self.quotas.rate_per_second
+        if rate is None:
+            return
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                burst = self.quotas.burst or max(2.0 * rate, 8.0)
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+        retry_after = bucket.try_acquire(cost)
+        if retry_after is not None:
+            raise QuotaError(
+                f"tenant {tenant!r} exceeded its rate limit of "
+                f"{rate:g} requests/s",
+                tenant=tenant, quota="rate", limit=rate,
+                retry_after=round(retry_after, 3),
+            )
+
+    def check_active_jobs(self, tenant: str, active: int) -> None:
+        """Raise iff admitting one more active job would exceed the quota."""
+        limit = self.quotas.max_active_jobs
+        if limit is not None and active >= limit:
+            raise QuotaError(
+                f"tenant {tenant!r} already has {active} queued/running "
+                f"job(s); the limit is {limit}",
+                tenant=tenant, quota="active_jobs", limit=limit,
+            )
+
+    def check_models(self, tenant: str, registered: int) -> None:
+        """Raise iff registering one more model would exceed the quota."""
+        limit = self.quotas.max_models
+        if limit is not None and registered >= limit:
+            raise QuotaError(
+                f"tenant {tenant!r} already registered {registered} "
+                f"model(s); the limit is {limit}",
+                tenant=tenant, quota="models", limit=limit,
+            )
+
+    def stats(self) -> dict:
+        with self._lock:
+            tenants = sorted(self._buckets)
+        return {
+            "max_active_jobs": self.quotas.max_active_jobs,
+            "max_models": self.quotas.max_models,
+            "rate_per_second": self.quotas.rate_per_second,
+            "rate_limited_tenants": tenants,
+        }

@@ -30,6 +30,8 @@ __all__ = [
     "merge_worker_stats",
     "worker_stats_snapshot",
     "note_solve_block",
+    "note_job_transition",
+    "observe_job_seconds",
     "record_worker_block",
     "effective_cores",
 ]
@@ -488,3 +490,29 @@ def note_solve_block(
             "repro_iterations_per_s_point", "iterations needed per s-point",
             (), buckets=ITERATIONS_BUCKETS,
         ).observe(count)
+
+
+# ---------------------------------------------------------------------------
+# Async-job lifecycle series (fed by repro.jobs.store).
+# ---------------------------------------------------------------------------
+
+
+def note_job_transition(
+    state: str, tenant: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one job-lifecycle transition into ``state`` for ``tenant``."""
+    registry = registry or _METRICS
+    registry.counter(
+        "repro_jobs_total", "async-job lifecycle transitions by state",
+        ("state", "tenant"),
+    ).inc(1, state=state, tenant=tenant)
+
+
+def observe_job_seconds(
+    kind: str, seconds: float, registry: MetricsRegistry | None = None
+) -> None:
+    """Record the running -> terminal wall-clock of one async job."""
+    registry = registry or _METRICS
+    registry.histogram(
+        "repro_job_seconds", "async-job execution wall-clock", ("kind",)
+    ).observe(seconds, kind=kind)

@@ -66,6 +66,15 @@ class TieredResultCache:
     def has_disk_tier(self) -> bool:
         return self._store is not None
 
+    @property
+    def store(self) -> CheckpointStore | None:
+        """The disk tier (``None`` for memory-only caches)."""
+        return self._store
+
+    def checkpointed_points(self, digest: str) -> int:
+        """Durable s-point count for one measure (0 without a disk tier)."""
+        return self._store.count(digest) if self._store is not None else 0
+
     def lookup(self, digest: str, s_points) -> CacheLookup:
         """Resolve canonical s-points through the memory then disk tiers."""
         with self._lock:

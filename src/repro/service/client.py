@@ -2,38 +2,88 @@
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
+#: job states after which polling stops
+_TERMINAL = ("done", "failed", "cancelled")
+
 
 class ServiceClientError(Exception):
     """Non-2xx response from the server, carrying its JSON error message."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, payload: dict | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: the server's structured error body (quota, retry_after_seconds, ...)
+        self.payload = payload or {}
+
+
+class _ConnectionFailed(Exception):
+    """Internal: the TCP/socket layer failed before an HTTP status existed."""
 
 
 class ServiceClient:
     """Talks to a running ``semimarkov serve`` instance.
 
-    >>> client = ServiceClient("http://127.0.0.1:8400")
+    >>> client = ServiceClient("http://127.0.0.1:8400", tenant="team-a")
     >>> model = client.register_model(spec_text)["model"]
     >>> reply = client.passage(model=model, source="p1 == 4", target="p2 == 4",
     ...                        t_points=[5, 10, 20], cdf=True)
+
+    Idempotent ``GET`` requests are retried with capped exponential backoff
+    when the connection itself fails (refused, reset, dropped mid-read) —
+    polling a job must survive a server restart.  ``POST``/``DELETE`` are
+    never retried: the request may have been applied before the connection
+    died, and replaying a submission would enqueue a duplicate job.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 120.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 120.0,
+        tenant: str | None = None,
+        retries: int = 3,
+        backoff: float = 0.25,
+        max_backoff: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.tenant = tenant
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
 
     # ------------------------------------------------------------- plumbing
+    def _headers(self, accept: str = "application/json") -> dict:
+        headers = {"Accept": accept}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        attempts = self.retries if method == "GET" else 0
+        delay = self.backoff
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except _ConnectionFailed as exc:
+                if attempts <= 0:
+                    raise ServiceClientError(
+                        0, f"cannot reach server at {self.base_url}: {exc}"
+                    ) from None
+                attempts -= 1
+                time.sleep(delay)
+                delay = min(delay * 2.0, self.max_backoff)
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = self._headers()
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -44,15 +94,23 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
+            body: dict = {}
             try:
-                detail = json.loads(exc.read()).get("error", exc.reason)
+                body = json.loads(exc.read())
+                detail = body.get("error", exc.reason)
             except Exception:
                 detail = str(exc.reason)
-            raise ServiceClientError(exc.code, detail) from None
+            raise ServiceClientError(exc.code, detail, body) from None
         except urllib.error.URLError as exc:
+            # urlopen wraps socket-level failures (ConnectionRefusedError,
+            # ConnectionResetError, RemoteDisconnected, ...) in URLError
+            if isinstance(exc.reason, ConnectionError):
+                raise _ConnectionFailed(str(exc.reason)) from None
             raise ServiceClientError(
                 0, f"cannot reach server at {self.base_url}: {exc.reason}"
             ) from None
+        except ConnectionError as exc:  # reset mid-response body
+            raise _ConnectionFailed(str(exc)) from None
 
     @staticmethod
     def _measure_payload(
@@ -91,7 +149,7 @@ class ServiceClient:
     def metrics_text(self) -> str:
         """The raw Prometheus exposition body from ``GET /metrics``."""
         request = urllib.request.Request(
-            self.base_url + "/metrics", headers={"Accept": "text/plain"}
+            self.base_url + "/metrics", headers=self._headers("text/plain")
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -119,6 +177,10 @@ class ServiceClient:
         if max_states is not None:
             payload["max_states"] = max_states
         return self._request("POST", "/v1/models", payload)
+
+    def models(self) -> dict:
+        """Models visible to this client's tenant (``GET /v1/models``)."""
+        return self._request("GET", "/v1/models")
 
     def passage(
         self,
@@ -166,3 +228,60 @@ class ServiceClient:
         )
         payload["steady_state"] = steady_state
         return self._request("POST", "/v1/transient", payload)
+
+    # ----------------------------------------------------------- async jobs
+    def submit(self, kind: str, **query) -> dict:
+        """Submit an async query; returns the ``202`` job view immediately.
+
+        ``kind`` is ``"passage"`` or ``"transient"``; the keyword arguments
+        are exactly those :meth:`passage` / :meth:`transient` take.
+        """
+        if kind not in ("passage", "transient"):
+            raise ValueError(f"kind must be 'passage' or 'transient', not {kind!r}")
+        payload = self._measure_payload(
+            query.pop("model", None), query.pop("spec", None),
+            query.pop("source", None), query.pop("target", None),
+            query.pop("t_points", []), query.pop("overrides", None),
+            query.pop("max_states", None), query.pop("solver", "iterative"),
+            query.pop("inversion", "euler"), query.pop("epsilon", 1e-8),
+        )
+        if kind == "passage":
+            payload["cdf"] = bool(query.pop("cdf", True))
+            quantile = query.pop("quantile", None)
+            if quantile is not None:
+                payload["quantile"] = quantile
+        else:
+            payload["steady_state"] = bool(query.pop("steady_state", True))
+        if query:
+            raise TypeError(f"unexpected arguments: {sorted(query)}")
+        payload["async"] = True
+        return self._request("POST", f"/v1/{kind}", payload)
+
+    def job(self, job_id: str) -> dict:
+        """One job's state / progress / result (``GET /v1/jobs/{id}``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    poll = job  # alias: polling a job is just re-fetching its view
+
+    def jobs(self) -> dict:
+        """This tenant's jobs, newest first (``GET /v1/jobs``)."""
+        return self._request("GET", "/v1/jobs")
+
+    def wait(
+        self, job_id: str, *, timeout: float | None = None, interval: float = 0.25
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its view."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view.get("state") in _TERMINAL:
+                return view
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view.get('state')!r} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation (``DELETE /v1/jobs/{id}``)."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")

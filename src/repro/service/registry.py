@@ -12,6 +12,14 @@ CSR structure and cached ``U(s)`` grids.
 Registration is thread-safe: concurrent registrations of the same spec
 observe a single build (waiters block on the builder's event rather than
 re-exploring the state space).
+
+Tenancy: build artefacts stay content-addressed and shared (two tenants
+registering the same spec pay one build and share cached transform values),
+but *visibility* is per-tenant.  Each registration with a tenant records the
+digest in that tenant's namespace; digest lookups and model listings scoped
+to a tenant only see digests the tenant registered itself.  Registrations
+without a tenant (library-internal callers) are unowned and visible to all.
+A per-tenant model quota is enforced before a build starts.
 """
 from __future__ import annotations
 
@@ -65,6 +73,9 @@ class ModelEntry:
     #: which evaluation engine the default SPointPolicy picks for this kernel
     #: ("batch" or "factored"); decided once at registration
     evaluator_engine: str = "batch"
+    #: the state-space cap this entry was built under — part of the digest,
+    #: recorded so a durable job request can reproduce it after a restart
+    max_states: int | None = None
     #: serialises transform evaluations on the shared evaluator (its grid
     #: caches are not thread-safe); held by the scheduler, not by callers
     eval_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
@@ -136,10 +147,19 @@ class ModelEntry:
 class ModelRegistry:
     """Builds and caches :class:`ModelEntry` objects, keyed by spec digest."""
 
-    def __init__(self, *, default_max_states: int | None = None):
+    def __init__(
+        self,
+        *,
+        default_max_states: int | None = None,
+        tenancy: "TenancyManager | None" = None,
+    ):
         self.default_max_states = default_max_states
+        #: quota oracle for the per-tenant model budget (``None`` = unlimited)
+        self.tenancy = tenancy
         self._entries: dict[str, ModelEntry] = {}
         self._building: dict[str, threading.Event] = {}
+        #: tenant -> digests that tenant registered (visibility namespaces)
+        self._namespaces: dict[str, set[str]] = {}
         self._lock = threading.Lock()
         self.models_built = 0
         self.registry_hits = 0
@@ -153,16 +173,20 @@ class ModelRegistry:
         name: str | None = None,
         overrides: dict[str, float] | None = None,
         max_states: int | None = None,
+        tenant: str | None = None,
     ) -> tuple[ModelEntry, bool]:
         """Return the entry for this spec, building it at most once.
 
         Returns ``(entry, created)`` where ``created`` tells whether *this*
-        call paid the exploration/build cost.
+        call paid the exploration/build cost.  With a ``tenant``, the digest
+        is recorded in that tenant's namespace (subject to its model quota);
+        the underlying build stays shared across tenants.
         """
         if max_states is None:
             max_states = self.default_max_states
         overrides = parse_overrides(overrides)
         digest = spec_digest(text, overrides, max_states)
+        self._claim_namespace(digest, tenant)
         while True:
             with self._lock:
                 entry = self._entries.get(digest)
@@ -187,9 +211,20 @@ class ModelRegistry:
                 self._building.pop(digest, None)
             event.set()
 
-    def get(self, digest: str) -> ModelEntry | None:
+    def get(self, digest: str, *, tenant: str | None = None) -> ModelEntry | None:
+        """Look up a digest, optionally scoped to a tenant's namespace.
+
+        A digest owned by other tenants only is invisible (``None``) to a
+        scoped lookup — tenant B cannot query tenant A's models even when it
+        guesses the digest.  Unowned digests (registered without a tenant)
+        stay visible to everyone.
+        """
         with self._lock:
             entry = self._entries.get(digest)
+            if entry is not None and tenant is not None:
+                owners = [t for t, ns in self._namespaces.items() if digest in ns]
+                if owners and tenant not in owners:
+                    return None
             if entry is not None:
                 self.registry_hits += 1
             return entry
@@ -198,6 +233,17 @@ class ModelRegistry:
         with self._lock:
             return list(self._entries.values())
 
+    def models(self, tenant: str | None = None) -> list[ModelEntry]:
+        """Entries visible to ``tenant`` (all entries when ``None``)."""
+        with self._lock:
+            if tenant is None:
+                return list(self._entries.values())
+            owned = self._namespaces.get(tenant, set())
+            return [
+                entry for digest, entry in self._entries.items()
+                if digest in owned
+            ]
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -205,9 +251,30 @@ class ModelRegistry:
                 "models_built": self.models_built,
                 "registry_hits": self.registry_hits,
                 "build_seconds_total": self.build_seconds_total,
+                "tenants": {
+                    tenant: len(digests)
+                    for tenant, digests in sorted(self._namespaces.items())
+                },
             }
 
     # ------------------------------------------------------------ internals
+    def _claim_namespace(self, digest: str, tenant: str | None) -> None:
+        """Record the digest in the tenant's namespace, enforcing its quota.
+
+        Claimed *before* the build so a tenant at its model quota never
+        triggers an expensive exploration; re-claiming an already-owned
+        digest is free and never counts against the quota.
+        """
+        if tenant is None:
+            return
+        with self._lock:
+            owned = self._namespaces.setdefault(tenant, set())
+            if digest in owned:
+                return
+            if self.tenancy is not None:
+                self.tenancy.check_models(tenant, len(owned))
+            owned.add(digest)
+
     def _build(
         self,
         digest: str,
@@ -256,4 +323,5 @@ class ModelRegistry:
             evaluator=evaluator,
             build_seconds=stopwatch.elapsed,
             evaluator_engine=engine,
+            max_states=max_states,
         )

@@ -108,6 +108,7 @@ class CoalescingScheduler:
         eval_lock=None,
         stats: QueryStatistics | None = None,
         progress_key: str | None = None,
+        reporter=None,
     ) -> dict[complex, complex]:
         """Transform values for ``s_points``, keyed by canonical s.
 
@@ -115,6 +116,11 @@ class CoalescingScheduler:
         another request's in-flight evaluation, and only then a fresh batched
         evaluation of the leftovers (one ``evaluate_batch`` call, serialised
         on ``eval_lock`` when the job shares its evaluator).
+
+        A caller spanning several ``evaluate`` calls — the async job runner
+        dispatches one call per s-block — passes its own ``reporter`` so the
+        progress board shows a single monotone run instead of one micro-run
+        per block; the scheduler then never finishes that reporter.
         """
         digest = job.digest()
         canonical: list[complex] = []
@@ -163,7 +169,8 @@ class CoalescingScheduler:
                     stats.s_points_from_memory += len(already)
         if owned:
             computed = self._evaluate_owned(
-                job, digest, owned, exact, eval_lock, stats, progress_key
+                job, digest, owned, exact, eval_lock, stats, progress_key,
+                reporter,
             )
             found.update(computed)
 
@@ -218,6 +225,7 @@ class CoalescingScheduler:
         eval_lock,
         stats: QueryStatistics | None,
         progress_key: str | None = None,
+        reporter=None,
     ) -> dict[complex, complex]:
         # Evaluate at the *exact* s-points the caller supplied, not at their
         # canonically rounded cache keys: rounding perturbs contour points
@@ -228,11 +236,11 @@ class CoalescingScheduler:
         todo = [exact.get(key, key) for key in owned]
         stopwatch = Stopwatch()
         report = None
-        reporter = None
         # The board is keyed by the *model* digest (what clients poll at
         # /v1/progress/{digest}), not the per-measure job digest.
         board_key = progress_key or digest
-        if self.progress_board is not None:
+        external_reporter = reporter is not None
+        if not external_reporter and self.progress_board is not None:
             reporter = self.progress_board.start(board_key, label=job.kind())
 
         def _dispatch():
@@ -272,7 +280,7 @@ class CoalescingScheduler:
                         ticket.event.set()
             raise
         finally:
-            if reporter is not None:
+            if reporter is not None and not external_reporter:
                 self.progress_board.done(board_key, reporter)
         # Re-key the values by their canonical cache keys (evaluate_many
         # keyed them by the exact inputs).

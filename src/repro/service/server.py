@@ -5,10 +5,16 @@ Routes (JSON request/response bodies unless noted):
 ======  ========================  ==============================================
 POST    ``/v1/models``            register a spec; returns its digest and build
                                   info
-POST    ``/v1/passage``           passage-time density / CDF / quantile query
-POST    ``/v1/transient``         transient state-distribution query
-GET     ``/v1/stats``             registry / cache / scheduler counters plus
-                                  version + build info
+GET     ``/v1/models``            models visible to the requesting tenant
+POST    ``/v1/passage``           passage-time density / CDF / quantile query;
+                                  ``"async": true`` enqueues a job (``202``)
+POST    ``/v1/transient``         transient state-distribution query; also
+                                  accepts ``"async": true``
+GET     ``/v1/jobs``              the requesting tenant's jobs, newest first
+GET     ``/v1/jobs/{id}``         one job's state / progress / result
+DELETE  ``/v1/jobs/{id}``         cancel a queued or running job
+GET     ``/v1/stats``             registry / cache / scheduler / job counters
+                                  plus version + build info
 GET     ``/v1/progress/{digest}`` in-flight / recent evaluations for one model
 GET     ``/v1/health``            liveness probe
 GET     ``/metrics``              Prometheus text exposition (``text/plain``)
@@ -17,9 +23,15 @@ GET     ``/metrics``              Prometheus text exposition (``text/plain``)
 Built on :class:`http.server.ThreadingHTTPServer` so concurrent requests map
 onto threads — which is exactly the shape the coalescing scheduler expects.
 
+Tenancy: every request resolves its tenant from the ``X-Repro-Tenant``
+header (``default`` when absent) through a single admission hook — name
+validation, then the tenant's token-bucket rate limit — before any route
+logic runs.  Known paths hit with an unsupported method get ``405`` with an
+``Allow`` header; unknown ``/v1/*`` paths get a structured JSON ``404``.
+
 Every request emits one structured log line on the ``repro.service`` logger
-(method, path, model digest, status, milliseconds, points evaluated); wire a
-handler/level with ``semimarkov serve --log-level info``.
+(method, path, model digest, tenant, status, milliseconds, points
+evaluated); wire a handler/level with ``semimarkov serve --log-level info``.
 """
 from __future__ import annotations
 
@@ -28,14 +40,81 @@ import logging
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..jobs import DEFAULT_TENANT, TenantError, validate_tenant
 from ..obs.metrics import get_metrics
-from .service import AnalysisService, ServiceError, ValidationError
+from .service import AnalysisService, ServiceError, ValidationError, measure_kwargs
 
 __all__ = ["create_server", "AnalysisHTTPServer"]
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: the tenant header name (case-insensitive per HTTP)
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: exact path -> methods it answers; used for routing *and* 405 Allow headers
+_EXACT_ROUTES = {
+    "/v1/models": ("GET", "POST"),
+    "/v1/passage": ("POST",),
+    "/v1/transient": ("POST",),
+    "/v1/jobs": ("GET",),
+    "/v1/stats": ("GET",),
+    "/v1/health": ("GET",),
+    "/metrics": ("GET",),
+}
+#: parameterised prefixes -> (metric label, methods)
+_PREFIX_ROUTES = {
+    "/v1/jobs/": ("/v1/jobs/{id}", ("GET", "DELETE")),
+    "/v1/progress/": ("/v1/progress/{digest}", ("GET",)),
+}
+
 logger = logging.getLogger("repro.service")
+
+
+def _allowed_methods(path: str) -> tuple[str, ...] | None:
+    """Methods a path answers, or ``None`` for an unknown endpoint."""
+    exact = _EXACT_ROUTES.get(path)
+    if exact is not None:
+        return exact
+    for prefix, (_, methods) in _PREFIX_ROUTES.items():
+        if path.startswith(prefix):
+            return methods
+    return None
+
+
+def _metric_path(path: str) -> str:
+    """Bounded-cardinality path label (ids/digests collapse to templates)."""
+    if path in _EXACT_ROUTES:
+        return path
+    for prefix, (label, _) in _PREFIX_ROUTES.items():
+        if path.startswith(prefix):
+            return label
+    return "(unknown)"
+
+
+def _http_error(status: int, message: str) -> ServiceError:
+    exc = ServiceError(message)
+    exc.status = status
+    return exc
+
+
+def _measure_body(payload: dict, kind: str) -> dict:
+    """Canonicalise one HTTP measure body (wire aliases, required keys).
+
+    The wire uses the short ``cdf`` / ``steady_state`` flags; the service
+    (and the durable job request) use the canonical ``include_*`` names.
+    Required fields default to empty values so their absence surfaces as a
+    400-class validation error, not a ``TypeError``.
+    """
+    body = dict(payload)
+    body.pop("async", None)
+    if kind == "passage" and "include_cdf" not in body:
+        body["include_cdf"] = bool(body.pop("cdf", True))
+    elif kind == "transient" and "include_steady_state" not in body:
+        body["include_steady_state"] = bool(body.pop("steady_state", True))
+    body.setdefault("t_points", [])
+    body.setdefault("source", None)
+    body.setdefault("target", None)
+    return body
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -61,12 +140,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
         self._note_outcome(status, payload)
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,19 +176,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _log_request(self, method: str, path: str, started: float) -> None:
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         status = getattr(self, "_status", 0)
+        tenant = getattr(self, "_tenant", DEFAULT_TENANT)
+        label = _metric_path(path)
         logger.info(
-            "method=%s path=%s digest=%s status=%d ms=%.1f points=%d",
-            method, path, getattr(self, "_digest", "-"), status,
+            "method=%s path=%s digest=%s tenant=%s status=%d ms=%.1f points=%d",
+            method, path, getattr(self, "_digest", "-"), tenant, status,
             elapsed_ms, getattr(self, "_points", 0),
         )
         registry = get_metrics()
         registry.counter(
-            "repro_requests_total", "HTTP requests by path and status",
-            ("path", "status"),
-        ).inc(1, path=path, status=status)
+            "repro_requests_total", "HTTP requests by path, status and tenant",
+            ("path", "status", "tenant"),
+        ).inc(1, path=label, status=status, tenant=tenant)
         registry.histogram(
             "repro_request_seconds", "HTTP request latency", ("path",),
-        ).observe(elapsed_ms / 1000.0, path=path)
+        ).observe(elapsed_ms / 1000.0, path=label)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -126,78 +209,95 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        started = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/")
-        try:
-            if path == "/v1/stats":
-                self._reply(200, self.server.service.stats())
-            elif path == "/v1/health":
-                self._reply(200, {"status": "ok"})
-            elif path == "/metrics":
-                self._reply_text(200, self.server.service.metrics_text())
-            elif path.startswith("/v1/progress/"):
-                digest = path.rsplit("/", 1)[1]
-                self._reply(200, self.server.service.progress(digest))
-            else:
-                self._error(404, f"unknown endpoint {self.path!r}")
-        except BrokenPipeError:  # pragma: no cover - client went away
-            pass
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(500, f"internal error: {exc}")
-        finally:
-            self._log_request("GET", path, started)
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        """The one request pipeline: tenant admission, routing, errors."""
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/")
-        service = self.server.service
         try:
-            payload = self._read_json()
-            if path == "/v1/models":
-                self._reply(200, service.register_model(
-                    payload.get("spec", ""),
-                    name=payload.get("name"),
-                    overrides=payload.get("overrides"),
-                    max_states=payload.get("max_states"),
-                ))
-            elif path == "/v1/passage":
-                self._reply(200, service.passage(**self._measure_kwargs(
-                    payload,
-                    include_cdf=bool(payload.get("cdf", True)),
-                    quantile=payload.get("quantile"),
-                )))
-            elif path == "/v1/transient":
-                self._reply(200, service.transient(**self._measure_kwargs(
-                    payload,
-                    include_steady_state=bool(payload.get("steady_state", True)),
-                )))
-            else:
-                self._error(404, f"unknown endpoint {self.path!r}")
+            allowed = _allowed_methods(path)
+            if allowed is None:
+                raise _http_error(404, f"unknown endpoint {self.path!r}")
+            # middleware-style admission hook: tenant validation + rate limit
+            # runs before any route logic (health and metrics stay unmetered
+            # so probes and scrapes survive a tenant's exhausted budget)
+            self._tenant = validate_tenant(self.headers.get(TENANT_HEADER))
+            if path not in ("/v1/health", "/metrics"):
+                self.server.service.admit(self._tenant)
+            if method not in allowed:
+                self._reply(
+                    405,
+                    {"error": f"{method} not allowed on {path}; allowed: "
+                              + ", ".join(allowed),
+                     "status": 405, "allow": list(allowed)},
+                    headers={"Allow": ", ".join(allowed)},
+                )
+                return
+            self._route(method, path, self._tenant)
+        except TenantError as exc:
+            self._error(400, str(exc))
         except ServiceError as exc:
-            self._error(exc.status, str(exc))
+            headers = None
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                headers = {"Retry-After": max(1, int(retry_after + 0.999))}
+            self._reply(exc.status, exc.payload(), headers=headers)
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"internal error: {exc}")
         finally:
-            self._log_request("POST", path, started)
+            self._log_request(method, path, started)
 
-    @staticmethod
-    def _measure_kwargs(payload: dict, **extra) -> dict:
-        kwargs = dict(
-            model=payload.get("model"),
-            spec=payload.get("spec"),
-            overrides=payload.get("overrides"),
-            max_states=payload.get("max_states"),
-            source=payload.get("source"),
-            target=payload.get("target"),
-            t_points=payload.get("t_points") or [],
-            solver=payload.get("solver", "iterative"),
-            inversion=payload.get("inversion", "euler"),
-            epsilon=payload.get("epsilon", 1e-8),
-        )
-        kwargs.update(extra)
-        return kwargs
+    def _route(self, method: str, path: str, tenant: str) -> None:
+        service = self.server.service
+        if path == "/v1/health":
+            self._reply(200, {"status": "ok"})
+        elif path == "/metrics":
+            self._reply_text(200, service.metrics_text())
+        elif path == "/v1/stats":
+            self._reply(200, service.stats())
+        elif path == "/v1/jobs":
+            self._reply(200, service.list_jobs(tenant))
+        elif path.startswith("/v1/jobs/"):
+            job_id = path.rsplit("/", 1)[1]
+            if method == "DELETE":
+                self._reply(200, service.cancel_job(job_id, tenant=tenant))
+            else:
+                self._reply(200, service.job_view(job_id, tenant=tenant))
+        elif path.startswith("/v1/progress/"):
+            digest = path.rsplit("/", 1)[1]
+            self._reply(200, service.progress(digest))
+        elif path == "/v1/models" and method == "GET":
+            self._reply(200, service.list_models(tenant))
+        elif path == "/v1/models":
+            payload = self._read_json()
+            self._reply(200, service.register_model(
+                payload.get("spec", ""),
+                name=payload.get("name"),
+                overrides=payload.get("overrides"),
+                max_states=payload.get("max_states"),
+                tenant=tenant,
+            ))
+        elif path in ("/v1/passage", "/v1/transient"):
+            kind = path.rsplit("/", 1)[1]
+            payload = self._read_json()
+            body = _measure_body(payload, kind)
+            if payload.get("async"):
+                view = service.submit(kind, body, tenant=tenant)
+                self._reply(202, view, headers={"Location": view["location"]})
+            else:
+                run = getattr(service, kind)
+                self._reply(200, run(tenant=tenant, **measure_kwargs(body, kind)))
+        else:  # pragma: no cover - _allowed_methods gates every path above
+            self._error(404, f"unknown endpoint {self.path!r}")
 
 
 def create_server(

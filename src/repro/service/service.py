@@ -21,6 +21,15 @@ from ..api.errors import PlanError, PredicateError
 from ..core.jobs import TransformJob
 from ..distributed.checkpoint import CheckpointStore
 from ..dnamaca.expressions import ExpressionError, parse_overrides
+from ..jobs import (
+    DEFAULT_TENANT,
+    JobRunner,
+    JobStore,
+    QuotaError,
+    TenancyManager,
+    TenantQuotas,
+    open_backend,
+)
 from ..laplace import get_inverter
 from ..laplace.inverter import expand_to_grid
 from ..obs import trace as obs_trace
@@ -36,7 +45,10 @@ __all__ = [
     "ServiceError",
     "ValidationError",
     "ModelNotFound",
+    "JobNotFound",
     "QueryError",
+    "QuotaExceeded",
+    "measure_kwargs",
 ]
 
 
@@ -44,6 +56,10 @@ class ServiceError(Exception):
     """Base class for errors the transport layer maps to HTTP statuses."""
 
     status = 500
+
+    def payload(self) -> dict:
+        """The structured JSON error body the transport layer serves."""
+        return {"error": str(self), "status": self.status}
 
 
 class ValidationError(ServiceError):
@@ -58,10 +74,79 @@ class ModelNotFound(ServiceError):
     status = 404
 
 
+class JobNotFound(ServiceError):
+    """Job id unknown — or owned by a different tenant (indistinguishable)."""
+
+    status = 404
+
+
 class QueryError(ServiceError):
     """Well-formed request the model cannot answer (bad predicate, ...)."""
 
     status = 422
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant exceeded one of its budgets (rate, active jobs, models)."""
+
+    status = 429
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        quota: str | None = None,
+        limit=None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.retry_after = retry_after
+
+    @classmethod
+    def wrap(cls, exc: QuotaError) -> "QuotaExceeded":
+        return cls(
+            str(exc), tenant=exc.tenant, quota=exc.quota, limit=exc.limit,
+            retry_after=exc.retry_after,
+        )
+
+    def payload(self) -> dict:
+        out = super().payload()
+        out["quota"] = self.quota
+        out["tenant"] = self.tenant
+        if self.limit is not None:
+            out["limit"] = self.limit
+        if self.retry_after is not None:
+            out["retry_after_seconds"] = self.retry_after
+        return out
+
+
+#: request fields each measure kind accepts; shared by the synchronous HTTP
+#: handlers, async submission and the job runner so every surface parses one
+#: payload shape
+_MEASURE_FIELDS = {
+    "passage": (
+        "model", "spec", "overrides", "max_states", "source", "target",
+        "t_points", "include_cdf", "quantile", "solver", "inversion",
+        "epsilon",
+    ),
+    "transient": (
+        "model", "spec", "overrides", "max_states", "source", "target",
+        "t_points", "include_steady_state", "solver", "inversion", "epsilon",
+    ),
+}
+
+
+def measure_kwargs(payload: dict, kind: str) -> dict:
+    """Extract the keyword arguments of one measure call from a JSON body."""
+    if kind not in _MEASURE_FIELDS:
+        raise ValidationError(f"unknown measure kind {kind!r}")
+    if not isinstance(payload, dict):
+        raise ValidationError("request body must be a JSON object")
+    return {k: payload[k] for k in _MEASURE_FIELDS[kind] if k in payload}
 
 
 def _as_t_points(raw) -> np.ndarray:
@@ -106,11 +191,17 @@ class AnalysisService:
         cache_points: int = 500_000,
         default_max_states: int | None = None,
         workers: int = 1,
+        quotas: TenantQuotas | None = None,
+        job_store: str | object = "auto",
+        job_block_points: int | None = None,
     ):
         if workers < 1:
             raise ValidationError("workers must be >= 1")
         store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
-        self.registry = ModelRegistry(default_max_states=default_max_states)
+        self.tenancy = TenancyManager(quotas)
+        self.registry = ModelRegistry(
+            default_max_states=default_max_states, tenancy=self.tenancy
+        )
         self.cache = TieredResultCache(store=store, max_points=cache_points)
         self.workers = int(workers)
         backend = None
@@ -134,6 +225,16 @@ class AnalysisService:
         self._counter_lock = threading.Lock()
         self._query_counts = {"passage": 0, "transient": 0}
         self._started = time.monotonic()
+        if isinstance(job_store, str) or job_store is None:
+            job_backend = open_backend(job_store or "auto", checkpoint_dir=checkpoint_dir)
+        else:
+            job_backend = job_store  # a pre-built JobBackend instance
+        self.jobs = JobStore(job_backend)
+        self._runner = JobRunner(self, self.jobs, block_points=job_block_points)
+        if self.jobs.next_queued() is not None:
+            # a durable store replayed queued (or re-queued crashed) jobs;
+            # resume them without waiting for the next submission
+            self._runner.start()
 
     # ------------------------------------------------------------ models
     def register_model(
@@ -143,6 +244,7 @@ class AnalysisService:
         name: str | None = None,
         overrides: dict | None = None,
         max_states: int | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> dict:
         """Register (or look up) a spec; returns the JSON-ready description."""
         if not isinstance(spec, str) or not spec.strip():
@@ -150,8 +252,11 @@ class AnalysisService:
         overrides = self._checked_overrides(overrides)
         try:
             entry, created = self.registry.register(
-                spec, name=name, overrides=overrides, max_states=max_states
+                spec, name=name, overrides=overrides, max_states=max_states,
+                tenant=tenant,
             )
+        except QuotaError as exc:
+            raise QuotaExceeded.wrap(exc) from None
         except ServiceError:
             raise
         except Exception as exc:
@@ -159,6 +264,13 @@ class AnalysisService:
         out = entry.describe()
         out["created"] = created
         return out
+
+    def list_models(self, tenant: str = DEFAULT_TENANT) -> dict:
+        """Models visible to this tenant (``GET /v1/models``)."""
+        return {
+            "models": [entry.describe() for entry in self.registry.models(tenant)],
+            "tenant": tenant,
+        }
 
     @staticmethod
     def _checked_overrides(overrides: dict | None) -> dict | None:
@@ -178,6 +290,7 @@ class AnalysisService:
         spec: str | None,
         overrides: dict | None,
         max_states: int | None,
+        tenant: str = DEFAULT_TENANT,
     ) -> tuple[ModelEntry, bool]:
         overrides = self._checked_overrides(overrides)
         if spec is not None:
@@ -185,8 +298,11 @@ class AnalysisService:
                 raise ValidationError("spec must be a non-empty string")
             try:
                 return self.registry.register(
-                    spec, overrides=overrides, max_states=max_states
+                    spec, overrides=overrides, max_states=max_states,
+                    tenant=tenant,
                 )
+            except QuotaError as exc:
+                raise QuotaExceeded.wrap(exc) from None
             except Exception as exc:
                 raise QueryError(f"cannot build model: {exc}") from exc
         if not model:
@@ -196,7 +312,7 @@ class AnalysisService:
                 "constant overrides apply at registration; re-register the spec "
                 "with 'overrides' instead of overriding a digest"
             )
-        entry = self.registry.get(str(model))
+        entry = self.registry.get(str(model), tenant=tenant)
         if entry is None:
             raise ModelNotFound(
                 f"unknown model {model!r}; register it via POST /v1/models first"
@@ -231,17 +347,22 @@ class AnalysisService:
         solver: str = "iterative",
         inversion: str = "euler",
         epsilon: float = 1e-8,
+        tenant: str = DEFAULT_TENANT,
+        _evaluate=None,
     ) -> dict:
         """First-passage-time density (and optionally CDF / quantile)."""
         t_points = _as_t_points(t_points)
-        entry, registered = self._resolve_entry(model, spec, overrides, max_states)
+        entry, registered = self._resolve_entry(
+            model, spec, overrides, max_states, tenant=tenant
+        )
         sources, targets = self._state_sets(entry, source, target)
         job = self._make_job("passage", entry, sources, targets, solver, epsilon)
         inverter = self._make_inverter(inversion)
         stats = QueryStatistics()
         stats.extra["model_registered"] = registered
 
-        values = self._gather(job, entry, inverter, t_points, stats)
+        values = self._gather(job, entry, inverter, t_points, stats,
+                              evaluate=_evaluate)
         stopwatch = Stopwatch()
         with stopwatch, obs_trace.span(
             "inversion", method=inverter.name, n_t_points=int(t_points.size)
@@ -264,9 +385,12 @@ class AnalysisService:
         if quantile is not None:
             response["quantile"] = {
                 "q": float(quantile),
-                "t": self._refine_quantile(job, entry, inverter, t_points, quantile, stats),
+                "t": self._refine_quantile(
+                    job, entry, inverter, t_points, quantile, stats,
+                    evaluate=_evaluate,
+                ),
             }
-        self._count_query("passage")
+        self._count_query("passage", tenant)
         response["statistics"] = stats.as_dict()
         return response
 
@@ -284,17 +408,22 @@ class AnalysisService:
         solver: str = "iterative",
         inversion: str = "euler",
         epsilon: float = 1e-8,
+        tenant: str = DEFAULT_TENANT,
+        _evaluate=None,
     ) -> dict:
         """Transient probability ``P(Z(t) in targets)`` on a t-grid."""
         t_points = _as_t_points(t_points)
-        entry, registered = self._resolve_entry(model, spec, overrides, max_states)
+        entry, registered = self._resolve_entry(
+            model, spec, overrides, max_states, tenant=tenant
+        )
         sources, targets = self._state_sets(entry, source, target)
         job = self._make_job("transient", entry, sources, targets, solver, epsilon)
         inverter = self._make_inverter(inversion)
         stats = QueryStatistics()
         stats.extra["model_registered"] = registered
 
-        values = self._gather(job, entry, inverter, t_points, stats)
+        values = self._gather(job, entry, inverter, t_points, stats,
+                              evaluate=_evaluate)
         stopwatch = Stopwatch()
         with stopwatch, obs_trace.span(
             "inversion", method=inverter.name, n_t_points=int(t_points.size)
@@ -310,9 +439,78 @@ class AnalysisService:
         }
         if include_steady_state:
             response["steady_state"] = entry.steady_state(targets)
-        self._count_query("transient")
+        self._count_query("transient", tenant)
         response["statistics"] = stats.as_dict()
         return response
+
+    # ------------------------------------------------------------ async jobs
+    def admit(self, tenant: str) -> None:
+        """Charge one request against the tenant's rate limit (or 429)."""
+        try:
+            self.tenancy.admit(tenant)
+        except QuotaError as exc:
+            raise QuotaExceeded.wrap(exc) from None
+
+    def submit(self, kind: str, payload: dict, *, tenant: str = DEFAULT_TENANT) -> dict:
+        """Enqueue an async query; returns the ``202``-ready job view.
+
+        Validation happens *now* (bad payloads fail the submission, not the
+        job), and the stored request carries the spec text rather than the
+        digest: a durable job must be replayable on a restarted server whose
+        in-memory registry is empty.
+        """
+        kwargs = measure_kwargs(payload, kind)
+        _as_t_points(kwargs.get("t_points", ()))
+        entry, _ = self._resolve_entry(
+            kwargs.get("model"), kwargs.get("spec"), kwargs.get("overrides"),
+            kwargs.get("max_states"), tenant=tenant,
+        )
+        self._state_sets(entry, kwargs.get("source"), kwargs.get("target"))
+        self._make_inverter(kwargs.get("inversion", "euler"))
+        try:
+            self.tenancy.check_active_jobs(tenant, self.jobs.active_count(tenant))
+        except QuotaError as exc:
+            raise QuotaExceeded.wrap(exc) from None
+        request = dict(kwargs)
+        request.pop("model", None)
+        request["spec"] = entry.spec_text
+        request["overrides"] = entry.overrides
+        request["max_states"] = entry.max_states
+        record = self.jobs.create(
+            tenant=tenant, kind=kind, request=request, model=entry.digest
+        )
+        self._runner.start()
+        self._runner.wake()
+        return record.view(include_result=False)
+
+    def job_view(self, job_id: str, *, tenant: str = DEFAULT_TENANT) -> dict:
+        """One job's state/progress/result (``GET /v1/jobs/{id}``)."""
+        record = self.jobs.get(str(job_id))
+        if record is None or record.tenant != tenant:
+            # another tenant's job is indistinguishable from a missing one
+            raise JobNotFound(f"unknown job {job_id!r}")
+        return record.view()
+
+    def list_jobs(self, tenant: str = DEFAULT_TENANT) -> dict:
+        """This tenant's jobs, newest first (``GET /v1/jobs``)."""
+        return {
+            "jobs": [r.view(include_result=False) for r in self.jobs.list(tenant)],
+            "tenant": tenant,
+        }
+
+    def cancel_job(self, job_id: str, *, tenant: str = DEFAULT_TENANT) -> dict:
+        """Cancel a job (``DELETE /v1/jobs/{id}``); terminal jobs no-op."""
+        record = self.jobs.get(str(job_id))
+        if record is None or record.tenant != tenant:
+            raise JobNotFound(f"unknown job {job_id!r}")
+        record = self.jobs.request_cancel(record.job_id)
+        self._runner.wake()
+        return record.view(include_result=False)
+
+    def close(self) -> None:
+        """Stop the job runner and release the job-store backend."""
+        self._runner.stop()
+        self.jobs.close()
 
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:
@@ -328,6 +526,8 @@ class AnalysisService:
             "registry": self.registry.stats(),
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
+            "jobs": self.jobs.stats(),
+            "tenancy": self.tenancy.stats(),
         }
 
     def progress(self, digest: str) -> dict:
@@ -362,6 +562,7 @@ class AnalysisService:
         inverter,
         t_points: np.ndarray,
         stats: QueryStatistics,
+        evaluate=None,
     ) -> dict[complex, complex]:
         """Transform values covering the t-grid's inversion s-points.
 
@@ -373,14 +574,23 @@ class AnalysisService:
         arithmetic such as the CDF's ``L(s)/s`` must divide by the same
         floats every other engine divides by for results to match them
         bit-for-bit.
+
+        ``evaluate`` replaces the single whole-grid scheduler call (the job
+        runner passes a block-by-block driver with cancellation/progress
+        between blocks); its contract is ``evaluate(job, s_points, entry,
+        stats) -> {canonical s: L(s)}``, and because the rest of this method
+        is shared, async results match the synchronous path exactly.
         """
         from ..api.plan import QueryPlan
 
         plan = QueryPlan.derive(inverter, t_points)
-        resolved = self.scheduler.evaluate(
-            job, plan.s_points, eval_lock=entry.eval_lock, stats=stats,
-            progress_key=entry.digest,
-        )
+        if evaluate is not None:
+            resolved = evaluate(job, plan.s_points, entry, stats)
+        else:
+            resolved = self.scheduler.evaluate(
+                job, plan.s_points, eval_lock=entry.eval_lock, stats=stats,
+                progress_key=entry.digest,
+            )
         return expand_to_grid(plan.required_s_points, resolved)
 
     def _refine_quantile(
@@ -391,6 +601,7 @@ class AnalysisService:
         t_points: np.ndarray,
         q,
         stats: QueryStatistics,
+        evaluate=None,
     ) -> float:
         """Root-find ``F(t) = q`` with extra inversions through the scheduler."""
         try:
@@ -402,7 +613,8 @@ class AnalysisService:
 
         def cdf_at(t: float) -> float:
             grid = np.asarray([t], dtype=float)
-            values = self._gather(job, entry, inverter, grid, stats)
+            values = self._gather(job, entry, inverter, grid, stats,
+                                  evaluate=evaluate)
             cdf_values = {s: v / s for s, v in values.items() if s != 0}
             stopwatch = Stopwatch()
             with stopwatch:
@@ -423,9 +635,10 @@ class AnalysisService:
             optimize.brentq(lambda t: cdf_at(t) - q, t_lower, t_upper, xtol=1e-6)
         )
 
-    def _count_query(self, kind: str) -> None:
+    def _count_query(self, kind: str, tenant: str) -> None:
         with self._counter_lock:
             self._query_counts[kind] += 1
         get_metrics().counter(
-            "repro_queries_total", "queries served by measure kind", ("kind",)
-        ).inc(1, kind=kind)
+            "repro_queries_total", "queries served by measure kind and tenant",
+            ("kind", "tenant"),
+        ).inc(1, kind=kind, tenant=tenant)

@@ -1,0 +1,284 @@
+"""Unit tests for the append-only job store and its backends."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.jobs import (
+    JobStore,
+    JobStoreError,
+    MemoryBackend,
+    SqliteBackend,
+    open_backend,
+)
+
+
+def _submit(store, tenant="default", kind="passage"):
+    return store.create(
+        tenant=tenant, kind=kind,
+        request={"spec": "x", "source": "a", "target": "b", "t_points": [1.0]},
+        model="digest0",
+    )
+
+
+class TestLifecycle:
+    def test_create_starts_queued(self):
+        store = JobStore()
+        record = _submit(store)
+        assert record.state == "queued"
+        assert record.job_id
+        assert record.created_at > 0
+        assert store.get(record.job_id) is record
+
+    def test_full_happy_path(self):
+        store = JobStore()
+        record = _submit(store)
+        record = store.transition(record.job_id, "running")
+        assert record.state == "running"
+        assert record.started_at is not None
+        assert record.attempts == 1
+        record = store.transition(record.job_id, "done", result={"density": [1.0]})
+        assert record.state == "done"
+        assert record.finished_at is not None
+        assert record.result == {"density": [1.0]}
+
+    def test_failed_records_error(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        record = store.transition(record.job_id, "failed", error="boom")
+        assert record.state == "failed"
+        assert record.error == "boom"
+        assert record.view()["error"] == "boom"
+
+    def test_illegal_transitions_raise(self):
+        store = JobStore()
+        record = _submit(store)
+        with pytest.raises(JobStoreError):
+            store.transition(record.job_id, "done")  # queued cannot finish
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done")
+        with pytest.raises(JobStoreError):
+            store.transition(record.job_id, "running")  # terminal is final
+
+    def test_unknown_job_raises(self):
+        store = JobStore()
+        with pytest.raises(JobStoreError):
+            store.transition("nope", "running")
+
+    def test_cancel_queued_is_immediate(self):
+        store = JobStore()
+        record = _submit(store)
+        record = store.request_cancel(record.job_id)
+        assert record.state == "cancelled"
+
+    def test_cancel_running_sets_flag(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        record = store.request_cancel(record.job_id)
+        assert record.state == "running"
+        assert record.cancel_requested
+        assert store.cancel_requested(record.job_id)
+        record = store.transition(record.job_id, "cancelled")
+        assert not record.cancel_requested
+
+    def test_cancel_terminal_is_noop(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done", result={})
+        record = store.request_cancel(record.job_id)
+        assert record.state == "done"
+
+    def test_view_hides_result_on_request(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        record = store.transition(record.job_id, "done", result={"x": 1})
+        assert record.view()["result"] == {"x": 1}
+        summary = record.view(include_result=False)
+        assert "result" not in summary
+        assert summary["has_result"]
+
+
+class TestQueueSemantics:
+    def test_fifo_dispatch(self):
+        clock = iter(range(100)).__next__
+        store = JobStore(clock=lambda: float(clock()))
+        first = _submit(store)
+        _submit(store)
+        assert store.next_queued().job_id == first.job_id
+
+    def test_list_is_tenant_scoped_and_newest_first(self):
+        clock = iter(range(100)).__next__
+        store = JobStore(clock=lambda: float(clock()))
+        a1 = _submit(store, tenant="a")
+        b1 = _submit(store, tenant="b")
+        a2 = _submit(store, tenant="a")
+        assert [r.job_id for r in store.list("a")] == [a2.job_id, a1.job_id]
+        assert [r.job_id for r in store.list("b")] == [b1.job_id]
+        assert len(store.list()) == 3
+
+    def test_active_count(self):
+        store = JobStore()
+        r1 = _submit(store, tenant="a")
+        _submit(store, tenant="a")
+        assert store.active_count("a") == 2
+        store.transition(r1.job_id, "running")
+        assert store.active_count("a") == 2  # running still counts
+        store.transition(r1.job_id, "done", result={})
+        assert store.active_count("a") == 1
+        assert store.active_count("b") == 0
+
+
+class TestProgressAndPlan:
+    def test_annotations_fold_into_view(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        store.annotate_plan(record.job_id, {"n_blocks": 4})
+        store.progress(record.job_id, {"blocks_done": 1})
+        store.progress(record.job_id, {"blocks_done": 2})
+        view = store.get(record.job_id).view()
+        assert view["plan"] == {"n_blocks": 4}
+        assert view["progress"] == {"blocks_done": 2}  # last snapshot wins
+
+    def test_requeue_clears_progress(self):
+        store = JobStore()
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        store.progress(record.job_id, {"blocks_done": 2})
+        record = store.transition(record.job_id, "queued")
+        assert record.progress == {}
+        assert record.started_at is None
+        assert record.attempts == 1  # attempts survive the re-queue
+
+
+class TestReplayAndRecovery:
+    def test_memory_backend_replays_within_process(self):
+        backend = MemoryBackend()
+        store = JobStore(backend)
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done", result={"d": [0.5]})
+        replayed = JobStore(backend)
+        again = replayed.get(record.job_id)
+        assert again.state == "done"
+        assert again.result == {"d": [0.5]}
+
+    def test_running_jobs_requeue_on_restart(self):
+        backend = MemoryBackend()
+        store = JobStore(backend)
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        restarted = JobStore(backend)
+        assert restarted.recovered == [record.job_id]
+        again = restarted.get(record.job_id)
+        assert again.state == "queued"
+        assert again.attempts == 1
+
+    def test_running_with_pending_cancel_cancels_on_restart(self):
+        backend = MemoryBackend()
+        store = JobStore(backend)
+        record = _submit(store)
+        store.transition(record.job_id, "running")
+        store.request_cancel(record.job_id)
+        restarted = JobStore(backend)
+        assert restarted.get(record.job_id).state == "cancelled"
+
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        store = JobStore(SqliteBackend(path))
+        record = _submit(store, tenant="t1")
+        store.transition(record.job_id, "running")
+        store.annotate_plan(record.job_id, {"n_blocks": 3})
+        store.progress(record.job_id, {"blocks_done": 1})
+        store.transition(record.job_id, "done", result={"density": [1, 2]})
+        store.close()
+
+        reopened = JobStore(SqliteBackend(path))
+        again = reopened.get(record.job_id)
+        assert again.state == "done"
+        assert again.tenant == "t1"
+        assert again.result == {"density": [1, 2]}
+        assert again.plan == {"n_blocks": 3}
+        reopened.close()
+
+    def test_stats_shape(self):
+        store = JobStore()
+        record = _submit(store)
+        store.request_cancel(record.job_id)
+        stats = store.stats()
+        assert stats["backend"] == "memory"
+        assert stats["durable"] is False
+        assert stats["by_state"] == {"cancelled": 1}
+
+
+class TestOpenBackend:
+    def test_auto_without_checkpoint_is_memory(self):
+        assert open_backend("auto").name == "memory"
+
+    def test_auto_with_checkpoint_is_sqlite(self, tmp_path):
+        backend = open_backend("auto", checkpoint_dir=tmp_path)
+        assert backend.name == "sqlite"
+        assert backend.path == tmp_path / "jobs.sqlite"
+        backend.close()
+
+    def test_sqlite_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            open_backend("sqlite")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown job store"):
+            open_backend("postgres")
+
+
+class TestConcurrency:
+    def test_concurrent_creates_are_all_recorded(self):
+        store = JobStore()
+        errors: list[Exception] = []
+
+        def submit_many():
+            try:
+                for _ in range(25):
+                    _submit(store)
+            except Exception as exc:  # pragma: no cover - failure aid
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store.list()) == 100
+
+    def test_cancel_vs_claim_race_is_consistent(self):
+        # A queued job cancelled while the runner claims it must end up
+        # exactly one of cancelled/running — never both transitions applied.
+        for _ in range(50):
+            store = JobStore()
+            record = _submit(store)
+            outcomes: list[str] = []
+
+            def claim():
+                try:
+                    store.transition(record.job_id, "running")
+                    outcomes.append("claimed")
+                except JobStoreError:
+                    outcomes.append("lost")
+
+            def cancel():
+                view = store.request_cancel(record.job_id)
+                outcomes.append(view.state)
+
+            t1 = threading.Thread(target=claim)
+            t2 = threading.Thread(target=cancel)
+            t1.start(); t2.start(); t1.join(); t2.join()
+            state = store.get(record.job_id).state
+            if "claimed" in outcomes:
+                assert state in ("running",)  # cancel flagged, not applied
+            else:
+                assert state == "cancelled"

@@ -1,0 +1,108 @@
+"""Unit tests for tenant validation, quotas and rate limiting."""
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs import (
+    DEFAULT_TENANT,
+    QuotaError,
+    TenancyManager,
+    TenantError,
+    TenantQuotas,
+    TokenBucket,
+    validate_tenant,
+)
+
+
+class TestValidateTenant:
+    def test_none_and_empty_mean_default(self):
+        assert validate_tenant(None) == DEFAULT_TENANT
+        assert validate_tenant("") == DEFAULT_TENANT
+        assert validate_tenant("   ") == DEFAULT_TENANT
+
+    def test_valid_names_pass_through(self):
+        for name in ("a", "team-a", "org.unit_7", "0zero", "x" * 64):
+            assert validate_tenant(name) == name
+
+    def test_invalid_names_raise(self):
+        for name in ("-leading", ".dot", "has space", "semi;colon",
+                     "x" * 65, "ünïcode", "a/b"):
+            with pytest.raises(TenantError):
+                validate_tenant(name)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+        now[0] += 1.0  # one token refilled
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=lambda: now[0])
+        now[0] += 100.0
+        for _ in range(3):
+            assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestTenancyManager:
+    def test_no_rate_limit_admits_everything(self):
+        manager = TenancyManager(TenantQuotas(rate_per_second=None))
+        for _ in range(1000):
+            manager.admit("a")
+
+    def test_rate_limit_is_per_tenant(self):
+        now = [0.0]
+        manager = TenancyManager(
+            TenantQuotas(rate_per_second=1.0, burst=1.0), clock=lambda: now[0]
+        )
+        manager.admit("a")
+        with pytest.raises(QuotaError) as excinfo:
+            manager.admit("a")
+        assert excinfo.value.quota == "rate"
+        assert excinfo.value.tenant == "a"
+        assert excinfo.value.retry_after is not None
+        manager.admit("b")  # an exhausted tenant never throttles another
+
+    def test_active_jobs_quota(self):
+        manager = TenancyManager(TenantQuotas(max_active_jobs=2))
+        manager.check_active_jobs("a", 0)
+        manager.check_active_jobs("a", 1)
+        with pytest.raises(QuotaError) as excinfo:
+            manager.check_active_jobs("a", 2)
+        assert excinfo.value.quota == "active_jobs"
+        assert excinfo.value.limit == 2
+
+    def test_model_quota(self):
+        manager = TenancyManager(TenantQuotas(max_models=1))
+        manager.check_models("a", 0)
+        with pytest.raises(QuotaError) as excinfo:
+            manager.check_models("a", 1)
+        assert excinfo.value.quota == "models"
+
+    def test_disabled_quotas_never_raise(self):
+        manager = TenancyManager(
+            TenantQuotas(max_active_jobs=None, max_models=None)
+        )
+        manager.check_active_jobs("a", 10**6)
+        manager.check_models("a", 10**6)
+
+    def test_stats_shape(self):
+        manager = TenancyManager(TenantQuotas(rate_per_second=5.0))
+        manager.admit("a")
+        stats = manager.stats()
+        assert stats["rate_per_second"] == 5.0
+        assert stats["rate_limited_tenants"] == ["a"]

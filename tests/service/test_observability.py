@@ -30,14 +30,14 @@ class TestMetricsEndpoint:
             t_points=[1.0, 5.0], cdf=True,
         )
         assert _wait_until(
-            lambda: 'repro_requests_total{path="/v1/passage",status="200"}'
+            lambda: 'repro_requests_total{path="/v1/passage",status="200",tenant="default"}'
             in http_client.metrics_text()
         )
         text = http_client.metrics_text()
         assert "# TYPE repro_points_evaluated_total counter" in text
         assert "# TYPE repro_block_seconds histogram" in text
         assert "repro_block_seconds_bucket{le=" in text
-        assert 'repro_queries_total{kind="passage"}' in text
+        assert 'repro_queries_total{kind="passage",tenant="default"}' in text
         assert "repro_models_built_total" in text
         # the counter reconciles with what this query reported computing
         computed = reply["statistics"]["s_points_computed"]
