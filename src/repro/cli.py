@@ -307,6 +307,7 @@ def _cmd_serve(args) -> int:
             burst=args.burst,
         ),
         job_store=args.job_store,
+        job_max_attempts=args.job_max_attempts,
     )
     overrides = _overrides(args)
     for path in args.preload or []:
@@ -321,13 +322,45 @@ def _cmd_serve(args) -> int:
     print(f"semimarkov analysis server listening on http://{host}:{port} "
           f"(checkpoint: {args.checkpoint or 'none'}, "
           f"jobs: {service.jobs.backend_name})", flush=True)
+
+    # Graceful drain on SIGTERM/SIGINT: stop admitting mutations (503 +
+    # Retry-After), park the in-flight job at an s-block boundary with its
+    # completed blocks checkpointed, then stop the accept loop.  shutdown()
+    # must not run on the signal-handler frame (it joins serve_forever), so
+    # the drain runs on a helper thread; a second signal force-exits.
+    import signal
+    import threading
+
+    drained = threading.Event()
+
+    def _drain_and_stop() -> None:
+        service.drain()
+        server.shutdown()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        if drained.is_set():  # second signal: operator really means it
+            raise SystemExit(1)
+        drained.set()
+        print(f"received {signal.Signals(signum).name}; draining",
+              file=sys.stderr, flush=True)
+        threading.Thread(
+            target=_drain_and_stop, name="repro-drain", daemon=True
+        ).start()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler converts SIGINT
         print("shutting down", file=sys.stderr)
     finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
         server.server_close()
         service.close()
+        print("drained; all job state persisted", file=sys.stderr, flush=True)
     return 0
 
 
@@ -687,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint directory is configured")
     serve.add_argument("--max-active-jobs", type=int, default=64,
                        help="per-tenant cap on queued+running async jobs")
+    serve.add_argument("--job-max-attempts", type=int, default=5,
+                       help="executions a job may burn before restart "
+                            "recovery fails it as a crash loop instead of "
+                            "re-queueing it")
     serve.add_argument("--max-models", type=int, default=None,
                        help="per-tenant cap on registered model digests")
     serve.add_argument("--rate", type=float, default=None,

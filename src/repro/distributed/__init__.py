@@ -28,7 +28,7 @@ the model:
 """
 from .queue import SBlock, SBlockQueue, SPointWorkQueue, WorkItem
 from .checkpoint import CheckpointStore
-from .backends import Backend, SerialBackend, MultiprocessingBackend
+from .backends import Backend, PoisonBlockError, SerialBackend, MultiprocessingBackend
 from .simcluster import SimulatedCluster, ClusterTiming, ScalabilityRow, scalability_table, relative_timing
 from .pipeline import DistributedPipeline, PipelineStatistics
 
@@ -39,6 +39,7 @@ __all__ = [
     "SBlockQueue",
     "CheckpointStore",
     "Backend",
+    "PoisonBlockError",
     "SerialBackend",
     "MultiprocessingBackend",
     "SimulatedCluster",

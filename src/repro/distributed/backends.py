@@ -16,13 +16,19 @@ s-points and returns ``{s: L(s)}``.  Three implementations are provided:
 """
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
+import shutil
+import signal
+import tempfile
 import time
 from concurrent import futures
 from typing import Iterable, Protocol
 
 import numpy as np
 
+from .. import faults
 from ..core.jobs import JobSpec, TransformJob
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -31,7 +37,39 @@ from ..smp.passage import SPointPolicy
 from ..smp.plane import KernelPlane, PlaneHandle, PlaneStore
 from .queue import SBlock, SBlockQueue
 
-__all__ = ["Backend", "SerialBackend", "MultiprocessingBackend"]
+__all__ = [
+    "Backend",
+    "PoisonBlockError",
+    "SerialBackend",
+    "MultiprocessingBackend",
+]
+
+logger = logging.getLogger("repro.distributed")
+
+
+class PoisonBlockError(RuntimeError):
+    """One s-block keeps killing the pool: quarantined, run failed fast.
+
+    Raised when the same block is implicated in ``poison_after`` consecutive
+    pool breaks — a deterministic crasher (or hanger) that would otherwise
+    burn every rebuild the retry budget allows while the rest of the grid
+    starves.  Carries the block and its s-points so the operator can
+    reproduce the failure in isolation.
+    """
+
+    def __init__(self, block_index: int, s_points, failures: int, reason: str):
+        self.block_index = int(block_index)
+        self.s_points = [complex(s) for s in s_points]
+        self.failures = int(failures)
+        self.reason = str(reason)
+        preview = ", ".join(f"{s:.6g}" for s in self.s_points[:4])
+        if len(self.s_points) > 4:
+            preview += f", ... ({len(self.s_points)} points)"
+        super().__init__(
+            f"s-block {self.block_index} quarantined: implicated in "
+            f"{self.failures} consecutive pool breaks (last reason: "
+            f"{self.reason}); s-points: [{preview}]"
+        )
 
 
 class Backend(Protocol):
@@ -89,29 +127,42 @@ class SerialBackend:
 
 _WORKER_JOB: TransformJob | None = None
 _WORKER_PLANE = None
+_WORKER_INCIDENT: str | None = None
 
 
 def _block_worker_init(
-    spec: JobSpec, handle: PlaneHandle, trace_enabled: bool = False
+    spec: JobSpec,
+    handle: PlaneHandle,
+    trace_enabled: bool = False,
+    incident_dir: str | None = None,
 ) -> None:  # pragma: no cover - subprocess
-    global _WORKER_JOB, _WORKER_PLANE
+    global _WORKER_JOB, _WORKER_PLANE, _WORKER_INCIDENT
     tracer = obs_trace.get_tracer()
     tracer.clear()  # drop spans inherited from the parent on fork
     if trace_enabled:
         tracer.enable()
+    _WORKER_INCIDENT = incident_dir
     _WORKER_PLANE = handle.attach()
     _WORKER_JOB = spec.build(_WORKER_PLANE.evaluator)
 
 
 def _block_worker_run(block: SBlock):  # pragma: no cover - subprocess
     assert _WORKER_JOB is not None, "worker used before initialisation"
-    kill_block = os.environ.get("REPRO_TEST_KILL_BLOCK")
-    if kill_block is not None and int(kill_block) == block.index:
-        sentinel = os.environ.get("REPRO_TEST_KILL_SENTINEL", "")
-        if sentinel and not os.path.exists(sentinel):
-            with open(sentinel, "w") as f:
-                f.write(str(os.getpid()))
-            os._exit(1)  # simulate a worker crash, exactly once
+    # Drop a started-marker before solving and remove it after: when the pool
+    # breaks, the master scans the leftover markers to learn which block(s)
+    # were in flight on the dead (or hung, and then terminated) worker — the
+    # worker cannot report its own crash, so the blame trail must be on disk.
+    marker = None
+    if _WORKER_INCIDENT is not None:
+        marker = os.path.join(
+            _WORKER_INCIDENT, f"started.{block.index}.{os.getpid()}"
+        )
+        try:
+            with open(marker, "w") as handle:
+                handle.write(str(time.time()))
+        except OSError:
+            marker = None
+    faults.fire("worker.solve", block=block.index, pid=os.getpid())
     registry = obs_metrics.get_metrics()
     baseline = registry.snapshot()
     started = time.perf_counter()
@@ -126,6 +177,9 @@ def _block_worker_run(block: SBlock):  # pragma: no cover - subprocess
         "spans": obs_trace.get_tracer().drain(),
         "metrics": registry.diff(baseline),
     }
+    if marker is not None:
+        with contextlib.suppress(OSError):
+            os.unlink(marker)
     return block.index, pairs, elapsed, os.getpid(), _WORKER_JOB.last_report, obs
 
 
@@ -186,6 +240,8 @@ class MultiprocessingBackend:
         self.last_wall_clock: float | None = None
         #: per-worker {"blocks", "busy_seconds", "points"} of the last evaluate
         self.last_worker_stats: dict[str, dict] | None = None
+        #: {"retries": {block: n}, "suspected": {block: n}} of the last evaluate
+        self.last_retry_stats: dict[str, dict] | None = None
         self._plane_cache: dict[tuple[str, bool], KernelPlane] = {}
 
     # --------------------------------------------------------------- plumbing
@@ -274,41 +330,145 @@ class MultiprocessingBackend:
             progress.add_total(queue.n_pending, len(s_list))
         reports: list[tuple[int, str, dict | None]] = []
         attempts = 0
-        while queue.n_pending:
-            outstanding = queue.outstanding()
-            with futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(outstanding)),
-                initializer=_block_worker_init,
-                initargs=(spec, handle, obs_trace.get_tracer().enabled),
-            ) as pool:
-                by_future = {
-                    pool.submit(_block_worker_run, block): block
-                    for block in outstanding
+        #: block index -> consecutive pool breaks it was implicated in
+        suspects: dict[int, int] = {}
+        watch_state = {"longest": 0.0}
+        incident_dir = tempfile.mkdtemp(prefix="repro-incident-")
+        try:
+            while queue.n_pending:
+                outstanding = queue.outstanding()
+                pending_before = queue.n_pending
+                with futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(outstanding)),
+                    initializer=_block_worker_init,
+                    initargs=(
+                        spec, handle, obs_trace.get_tracer().enabled, incident_dir
+                    ),
+                ) as pool:
+                    by_future = {
+                        pool.submit(_block_worker_run, block): block
+                        for block in outstanding
+                    }
+                    procs = dict(pool._processes or {})
+                    reason, hung = self._drain(
+                        by_future, queue, checkpoint, digest, reports, progress,
+                        policy=policy, pool=pool, watch_state=watch_state,
+                    )
+                # All workers are joined once the `with` exits, so exit codes
+                # are final: the worker that *caused* the break died on its
+                # own (positive code, or SIGKILL e.g. the OOM killer), while
+                # innocent bystanders were SIGTERMed during pool teardown.
+                exitcodes = {
+                    proc.pid: proc.exitcode for proc in procs.values()
                 }
-                broken = self._drain(
-                    by_future, queue, checkpoint, digest, reports, progress
+                if reason is None:
+                    continue
+                blamed = (
+                    hung
+                    if hung
+                    else self._implicated_blocks(incident_dir, queue, exitcodes)
                 )
-            if broken:
-                attempts += 1
+                for index in blamed:
+                    suspects[index] = suspects.get(index, 0) + 1
+                # Forward progress (any block completed since the last break)
+                # buys back the full retry budget — only a pool that dies
+                # over and over without finishing *anything* exhausts it.
+                attempts = 1 if queue.n_pending < pending_before else attempts + 1
+                queue.note_retry(block.index for block in queue.outstanding())
+                obs_metrics.note_block_retry(reason, queue.n_pending)
+                # A block implicated in poison_after consecutive breaks is a
+                # deterministic crasher: fail fast with a reproducible report
+                # instead of burning pool rebuilds on it.  Checked before the
+                # retry budget so the structured error wins the race.
+                for index, block in sorted(queue.pending.items()):
+                    if suspects.get(index, 0) >= policy.poison_after:
+                        raise PoisonBlockError(
+                            index, block.s_points, suspects[index], reason
+                        )
                 if attempts > self.max_retries:
                     raise futures.process.BrokenProcessPool(
-                        f"worker pool died {attempts} time(s); "
+                        f"worker pool died {attempts} time(s) without progress "
+                        f"(last reason: {reason}); "
                         f"{queue.n_pending} block(s) unfinished"
                     )
+        finally:
+            shutil.rmtree(incident_dir, ignore_errors=True)
+        self.last_retry_stats = {
+            "retries": dict(queue.retries),
+            "suspected": dict(suspects),
+        }
         self._finalise_report(job, queue, reports)
         self.last_wall_clock = time.perf_counter() - start
         self._note_busy_fractions(self.last_wall_clock)
         return dict(queue.results)
 
-    def _drain(self, by_future, queue, checkpoint, digest, reports, progress=None) -> bool:
-        """Process completions until the pool drains; True if the pool broke.
+    @staticmethod
+    def _implicated_blocks(
+        incident_dir: str, queue: SBlockQueue, exitcodes: dict[int, int | None]
+    ) -> set[int]:
+        """Which still-pending blocks killed their worker when the pool broke.
 
-        Results that finished before a crash are kept (and checkpointed), so
-        a retry only re-runs the genuinely unfinished blocks.  Each completed
-        block is recorded exactly once here — telemetry (global per-worker
-        counters, queue-depth gauge, progress, worker spans and metric
-        deltas) rides the same path as the results, so a pool rebuild neither
-        loses nor double-counts it.
+        Workers drop ``started.{block}.{pid}`` markers before solving and
+        remove them after, so a leftover marker names a block that was in
+        flight on a dead worker.  Only the worker whose death *broke* the
+        pool is blamed — it exited on its own (positive code, or SIGKILL,
+        e.g. the OOM killer); every other in-flight worker was SIGTERMed
+        (-15) by pool teardown and its block is an innocent bystander.  All
+        markers are consumed per scan so the next break starts clean.
+        """
+        teardown = -int(signal.SIGTERM)
+        pending = set(queue.pending)
+        blamed: set[int] = set()
+        try:
+            names = os.listdir(incident_dir)
+        except OSError:
+            return blamed
+        for name in names:
+            parts = name.split(".")
+            if len(parts) == 3 and parts[0] == "started":
+                with contextlib.suppress(ValueError):
+                    index, pid = int(parts[1]), int(parts[2])
+                    code = exitcodes.get(pid)
+                    if (
+                        index in pending
+                        and code is not None
+                        and code not in (0, teardown)
+                    ):
+                        blamed.add(index)
+            with contextlib.suppress(OSError):
+                os.unlink(os.path.join(incident_dir, name))
+        return blamed
+
+    def _drain(
+        self,
+        by_future,
+        queue,
+        checkpoint,
+        digest,
+        reports,
+        progress=None,
+        *,
+        policy: SPointPolicy | None = None,
+        pool=None,
+        watch_state: dict | None = None,
+    ) -> tuple[str | None, set[int]]:
+        """Process completions until the pool drains.
+
+        Returns ``(reason, hung_blocks)``: reason is ``None`` on a clean
+        drain, ``"crashed"`` when the pool broke on its own, ``"hung"`` when
+        the watchdog killed it.  Results that finished before a break are
+        kept (and checkpointed), so a retry only re-runs the genuinely
+        unfinished blocks.  Each completed block is recorded exactly once
+        here — telemetry (global per-worker counters, queue-depth gauge,
+        progress, worker spans and metric deltas) rides the same path as the
+        results, so a pool rebuild neither loses nor double-counts it.
+
+        The watchdog: a worker that stops making progress (deadlocked solve,
+        injected hang) never completes its future, so the pool would wait
+        forever.  Every poll tick the master compares each running block's
+        age against ``max(watchdog_floor_seconds, watchdog_multiplier x
+        longest completed block so far)``; a block past the deadline gets its
+        whole pool terminated and is retried/suspected like a crash.
         """
         registry = obs_metrics.get_metrics()
         depth_gauge = registry.gauge(
@@ -316,13 +476,23 @@ class MultiprocessingBackend:
         )
         depth_gauge.set(queue.n_pending)
         broken = False
+        hung: set[int] = set()
         not_done = set(by_future)
+        started_at: dict = {}
+        if watch_state is None:
+            watch_state = {"longest": 0.0}
+        mult = policy.watchdog_multiplier if policy is not None else 0.0
+        floor = policy.watchdog_floor_seconds if policy is not None else 30.0
+        watchdog_on = pool is not None and mult > 0
+        poll = min(1.0, max(0.05, floor / 20.0)) if watchdog_on else None
         while not_done:
             done, not_done = futures.wait(
-                not_done, return_when=futures.FIRST_COMPLETED
+                not_done, timeout=poll, return_when=futures.FIRST_COMPLETED
             )
+            now = time.monotonic()
             for future in done:
                 block = by_future[future]
+                started_at.pop(future, None)
                 error = future.exception()
                 if error is not None:
                     if isinstance(error, futures.process.BrokenProcessPool):
@@ -330,6 +500,7 @@ class MultiprocessingBackend:
                         continue
                     raise error
                 index, pairs, elapsed, pid, report, obs = future.result()
+                watch_state["longest"] = max(watch_state["longest"], elapsed)
                 values = {s: v for s, v in pairs}
                 queue.complete(block, values, worker=pid, duration=elapsed)
                 reports.append((index, str(pid), report))
@@ -342,8 +513,39 @@ class MultiprocessingBackend:
                 if progress is not None:
                     progress.advance(1, block.n_points)
                 if checkpoint is not None and digest is not None:
-                    checkpoint.merge(digest, values)
-        return broken
+                    try:
+                        checkpoint.merge(digest, values)
+                    except OSError as exc:
+                        # A full disk must not kill an in-memory computation;
+                        # the block's results stay in the queue, only their
+                        # durability is lost.
+                        logger.warning(
+                            "checkpoint merge failed for block %d: %s "
+                            "(continuing without durability)", index, exc,
+                        )
+            if watchdog_on and not broken and not_done:
+                for future in not_done:
+                    if future not in started_at and future.running():
+                        started_at[future] = now
+                deadline = max(floor, mult * watch_state["longest"])
+                expired = [
+                    future for future, t0 in started_at.items()
+                    if future in not_done and now - t0 > deadline
+                ]
+                if expired:
+                    hung.update(by_future[future].index for future in expired)
+                    logger.warning(
+                        "watchdog: block(s) %s still running after %.1fs "
+                        "deadline; terminating worker pool",
+                        sorted(hung), deadline,
+                    )
+                    for proc in list((pool._processes or {}).values()):
+                        with contextlib.suppress(Exception):
+                            proc.terminate()
+                    broken = True
+        if hung:
+            return "hung", hung
+        return ("crashed", set()) if broken else (None, set())
 
     def _note_busy_fractions(self, wall_clock: float) -> None:
         """Per-worker busy fraction of the evaluate that just finished."""

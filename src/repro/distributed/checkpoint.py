@@ -4,6 +4,13 @@ The paper's pipeline caches every returned ``L(s)`` value "both in memory and
 on disk so that all computation is checkpointed": a crashed or interrupted
 analysis resumes without recomputing completed s-points.  The store below
 keeps one JSON file per (model, measure) digest under a checkpoint directory.
+
+Integrity: each file wraps its values with a CRC32 over their canonical JSON
+encoding.  A file that fails the checksum (bit rot, a torn pre-atomic-rename
+write, an injected corruption) is *quarantined* — renamed to ``*.corrupt``
+and counted in ``repro_corrupt_artifacts_total{kind="checkpoint"}`` — and the
+measure recomputes from source instead of propagating garbage.  Files written
+before the wrapper existed (a flat s->value object) still load.
 """
 from __future__ import annotations
 
@@ -12,7 +19,11 @@ import json
 import os
 import tempfile
 import time
+import zlib
 from pathlib import Path
+
+from .. import faults
+from ..obs.metrics import note_corrupt_artifact
 
 try:  # POSIX; absent on some platforms (the O_EXCL fallback covers those)
     import fcntl
@@ -84,6 +95,16 @@ def _decode(text: str) -> complex:
     return complex(float(real), float(imag))
 
 
+def _canonical_body(payload: dict) -> bytes:
+    """The byte string the checkpoint CRC covers.
+
+    ``json.loads``/``json.dumps`` round-trip floats exactly (``repr``-based),
+    so re-encoding the parsed values with the same canonical options yields
+    the same bytes the writer hashed.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
 class CheckpointStore:
     """A directory of JSON files mapping s-points to transform values."""
 
@@ -97,20 +118,51 @@ class CheckpointStore:
             raise ValueError("digest must contain at least one filename-safe character")
         return self.directory / f"{safe}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed-integrity file aside and count it (never re-read).
+
+        ``reason`` is diagnostic only (it keeps call sites self-describing);
+        the metric is keyed by artifact kind.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        with contextlib.suppress(OSError):
+            os.replace(path, target)
+        note_corrupt_artifact("checkpoint")
+
     # ------------------------------------------------------------------ API
     def load(self, digest: str) -> dict[complex, complex]:
-        """All checkpointed values for this measure (empty dict when none)."""
+        """All checkpointed values for this measure (empty dict when none).
+
+        A file that does not parse, or whose CRC32 does not match its values,
+        is quarantined (renamed ``*.corrupt``) so the measure starts afresh —
+        a corrupt artifact must never feed garbage into an analysis.
+        """
+        faults.fire("checkpoint.load", digest=digest)
         path = self._path(digest)
         if not path.exists():
             return {}
         try:
-            raw = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            raw = json.loads(path.read_bytes())
+        except OSError:
+            return {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
             # A torn write (e.g. the process was killed mid-checkpoint before
             # the atomic-rename scheme below was in place) must not poison the
-            # whole analysis: start that measure afresh.
+            # whole analysis: quarantine and start that measure afresh.
+            self._quarantine(path, "unparseable")
             return {}
-        return {_decode(k): complex(v[0], v[1]) for k, v in raw.items()}
+        if isinstance(raw, dict) and "crc32" in raw and "values" in raw:
+            payload = raw["values"]
+            if zlib.crc32(_canonical_body(payload)) != raw["crc32"]:
+                self._quarantine(path, "checksum-mismatch")
+                return {}
+        else:
+            payload = raw  # pre-checksum flat file
+        try:
+            return {_decode(k): complex(v[0], v[1]) for k, v in payload.items()}
+        except (AttributeError, ValueError, TypeError, IndexError):
+            self._quarantine(path, "malformed")
+            return {}
 
     def merge(self, digest: str, values: dict[complex, complex]) -> None:
         """Merge ``values`` into the checkpoint file (atomic rewrite).
@@ -121,15 +173,23 @@ class CheckpointStore:
         """
         if not values:
             return
+        faults.fire("checkpoint.merge", digest=digest)
         path = self._path(digest)
         with _interprocess_lock(path.with_suffix(".lock")):
             current = self.load(digest)
             current.update({canonical_s(k): complex(v) for k, v in values.items()})
             payload = {_encode(k): [v.real, v.imag] for k, v in current.items()}
+            body = _canonical_body(payload)
+            data = json.dumps(
+                {"crc32": zlib.crc32(body), "values": payload},
+                sort_keys=True, separators=(",", ":"),
+            ).encode()
+            data = faults.mangle("checkpoint.merge", data, digest=digest)
             fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                faults.fire("checkpoint.replace", digest=digest)
                 os.replace(tmp_name, path)
             except BaseException:
                 if os.path.exists(tmp_name):
@@ -141,6 +201,20 @@ class CheckpointStore:
         with _interprocess_lock(path.with_suffix(".lock")):
             if path.exists():
                 path.unlink()
+
+    def release_artifacts(self) -> None:
+        """Remove sidecar lock files and orphaned temp files (best effort).
+
+        ``flock`` sidecars stay on disk by design (unlinking a lock file
+        while another process holds it would break mutual exclusion), and a
+        writer killed between ``mkstemp`` and ``os.replace`` leaves its temp
+        file behind.  Call this only when no writer can be active — graceful
+        shutdown, or after a chaos run — to hand back a clean directory.
+        """
+        for pattern in ("*.lock", "*.tmp"):
+            for path in self.directory.glob(pattern):
+                with contextlib.suppress(OSError):
+                    path.unlink()
 
     def count(self, digest: str) -> int:
         """Number of checkpointed s-points for this measure.

@@ -123,6 +123,8 @@ class SBlockQueue:
     #: block index -> (worker label, busy seconds, points served)
     served_by: dict[int, tuple[str, float, int]] = field(default_factory=dict)
     results: dict[complex, complex] = field(default_factory=dict)
+    #: block index -> times the block was resubmitted after a pool break
+    retries: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_points(cls, s_points, block_size: int) -> "SBlockQueue":
@@ -154,6 +156,11 @@ class SBlockQueue:
         self.pending.pop(block.index, None)
         self.served_by[block.index] = (str(worker), float(duration), block.n_points)
         self.results.update(values)
+
+    def note_retry(self, indexes) -> None:
+        """Record that these still-pending blocks are being resubmitted."""
+        for index in indexes:
+            self.retries[index] = self.retries.get(index, 0) + 1
 
     def worker_stats(self) -> dict[str, dict]:
         """Per-worker block counts, points and busy time, keyed by worker label."""

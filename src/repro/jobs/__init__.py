@@ -16,7 +16,7 @@ pieces behind that surface:
 * :mod:`repro.jobs.tenancy` — tenant validation, per-tenant quotas (active
   jobs, registered models) and token-bucket rate limiting.
 """
-from .runner import JobCancelled, JobRunner
+from .runner import JobCancelled, JobDrained, JobRunner
 from .store import (
     JOB_STATES,
     TERMINAL_STATES,
@@ -43,6 +43,7 @@ __all__ = [
     "JOB_STATES",
     "JobBackend",
     "JobCancelled",
+    "JobDrained",
     "JobRecord",
     "JobRunner",
     "JobStore",

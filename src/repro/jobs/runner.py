@@ -24,23 +24,31 @@ from __future__ import annotations
 import logging
 import os
 import threading
+import time
 
+from .. import faults
 from ..smp.passage import SPointPolicy
 from .store import JobRecord, JobStore, JobStoreError
 
-__all__ = ["JobCancelled", "JobRunner"]
+__all__ = ["JobCancelled", "JobDrained", "JobRunner"]
 
 logger = logging.getLogger("repro.jobs")
 
-#: test hook: exit the whole process (as a crash would) after this many
-#: completed s-blocks of a job execution — drives the durability tests
-_EXIT_AFTER_ENV = "REPRO_TEST_JOBS_EXIT_AFTER_BLOCK"
 #: test/ops hook: force the runner's per-dispatch block size
 _BLOCK_POINTS_ENV = "REPRO_JOBS_BLOCK_POINTS"
 
 
 class JobCancelled(Exception):
     """Raised between blocks when the job's cancel flag is set."""
+
+
+class JobDrained(Exception):
+    """Raised between blocks when the runner is draining for shutdown.
+
+    The in-flight job goes back to ``queued`` with its checkpointed blocks
+    intact, so the next server to open the store resumes it from where the
+    drain cut it off.
+    """
 
 
 class JobRunner:
@@ -69,6 +77,8 @@ class JobRunner:
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
         self._stop = False
+        self._draining = False
+        self._active: str | None = None
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -92,13 +102,39 @@ class JobRunner:
             self._thread.join(timeout=timeout)
             self._thread = None
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop claiming jobs; re-queue the in-flight one at a block boundary.
+
+        Returns True once the executor is idle (the in-flight job, if any,
+        has been pushed back to ``queued`` with its completed blocks already
+        checkpointed), False if it was still busy when ``timeout`` expired.
+        """
+        self._draining = True
+        self.wake()
+        deadline = time.monotonic() + float(timeout)
+        with self._cond:
+            while self._active is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(timeout=min(remaining, 0.25))
+        return True
+
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # ----------------------------------------------------------------- loop
     def _loop(self) -> None:
         while not self._stop:
+            if self._draining:
+                with self._cond:
+                    self._cond.wait(timeout=self.poll_interval)
+                continue
             record = self.store.next_queued()
             if record is None:
                 with self._cond:
@@ -114,6 +150,7 @@ class JobRunner:
         from ..service.service import ServiceError, measure_kwargs
 
         evaluator = self._block_evaluator(record)
+        self._active = record.job_id
         try:
             kwargs = measure_kwargs(record.request, record.kind)
             run = getattr(self.service, record.kind)
@@ -130,6 +167,11 @@ class JobRunner:
                                   note="cancelled between blocks")
             logger.info("job=%s tenant=%s state=cancelled", record.job_id,
                         record.tenant)
+        except JobDrained:
+            self.store.transition(record.job_id, "queued",
+                                  note="re-queued by graceful drain")
+            logger.info("job=%s tenant=%s state=queued (drained)",
+                        record.job_id, record.tenant)
         except ServiceError as exc:
             self.store.transition(record.job_id, "failed",
                                   error=f"{type(exc).__name__}: {exc}")
@@ -142,6 +184,9 @@ class JobRunner:
                              record.tenant)
         finally:
             evaluator.finish()
+            with self._cond:
+                self._active = None
+                self._cond.notify_all()
 
     # ------------------------------------------------------------ execution
     def _block_evaluator(self, record: JobRecord):
@@ -156,7 +201,6 @@ class JobRunner:
         """
         state = {"planned": False, "points_done": 0, "blocks_done": 0,
                  "reporter": None, "board_key": None}
-        exit_after = os.environ.get(_EXIT_AFTER_ENV)
         board = getattr(self.service.scheduler, "progress_board", None)
 
         def evaluate(job, s_points, entry, stats):
@@ -221,11 +265,15 @@ class JobRunner:
                     "blocks_done": state["blocks_done"],
                     "points_computed": stats.s_points_computed,
                 })
-                if exit_after is not None \
-                        and state["blocks_done"] > int(exit_after):
-                    # Simulate a hard crash mid-solve: completed blocks are
-                    # checkpointed, the job is still `running` in the store.
-                    os._exit(1)
+                # e.g. jobs.block=crash:done=1 hard-kills the process after
+                # the first completed block: blocks are checkpointed, the job
+                # is still `running` in the store — the durability scenario.
+                faults.fire(
+                    "jobs.block",
+                    done=state["blocks_done"], job=record.job_id,
+                )
+                if self._draining:
+                    raise JobDrained(record.job_id)
             if self.store.cancel_requested(record.job_id):
                 raise JobCancelled(record.job_id)
             return resolved

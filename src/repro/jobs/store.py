@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol
 
+from .. import faults
 from ..obs.metrics import note_job_transition, observe_job_seconds
 from .tenancy import DEFAULT_TENANT
 
@@ -78,6 +79,8 @@ class JobRecord:
     finished_at: float | None = None
     result: dict | None = None
     error: str | None = None
+    #: machine-readable failure class (e.g. ``crash_loop``) beside the text
+    error_code: str | None = None
     #: derived once per execution: measure digest, grid/block counts, engine
     plan: dict = field(default_factory=dict)
     #: latest per-block progress snapshot for the current attempt
@@ -106,6 +109,8 @@ class JobRecord:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.error_code is not None:
+            out["error_code"] = self.error_code
         if include_result and self.result is not None:
             out["result"] = self.result
         return out
@@ -181,6 +186,7 @@ class SqliteBackend:
 
     def append(self, job_id: str, event: dict) -> None:
         payload = json.dumps(event)
+        faults.fire("jobs.commit", job=job_id, type=event.get("type"))
         with self._lock:
             self._conn.execute(
                 "INSERT INTO job_events (job_id, at, event) VALUES (?, ?, ?)",
@@ -234,11 +240,24 @@ def open_backend(
 class JobStore:
     """Materialised job state over an append-only backend, with recovery."""
 
-    def __init__(self, backend: JobBackend | None = None, *, clock=time.time):
+    def __init__(
+        self,
+        backend: JobBackend | None = None,
+        *,
+        clock=time.time,
+        max_attempts: int = 5,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self._backend = backend or MemoryBackend()
         self._clock = clock
         self._lock = threading.RLock()
         self._records: dict[str, JobRecord] = {}
+        #: executions (``running`` transitions) a job may burn before restart
+        #: recovery declares it a crash loop and fails it instead of
+        #: re-queueing — a job that reliably kills its server must not take
+        #: the service down forever.
+        self.max_attempts = int(max_attempts)
         self._replay()
         #: job ids re-queued (or force-cancelled) by restart recovery
         self.recovered: list[str] = self._recover()
@@ -287,6 +306,7 @@ class JobStore:
         *,
         result: dict | None = None,
         error: str | None = None,
+        error_code: str | None = None,
         note: str | None = None,
     ) -> JobRecord:
         """Append a validated state transition (raises on illegal edges)."""
@@ -297,6 +317,8 @@ class JobStore:
             event["result"] = result
         if error is not None:
             event["error"] = str(error)
+        if error_code is not None:
+            event["error_code"] = str(error_code)
         if note is not None:
             event["note"] = note
         with self._lock:
@@ -441,6 +463,8 @@ class JobStore:
                 record.result = event["result"]
             if "error" in event:
                 record.error = event["error"]
+            if "error_code" in event:
+                record.error_code = event["error_code"]
         elif kind == "plan":
             record.plan = dict(event.get("plan", {}))
         elif kind == "progress":
@@ -466,6 +490,19 @@ class JobStore:
                 self.transition(
                     record.job_id, "cancelled",
                     note="cancellation completed during restart recovery",
+                )
+            elif record.attempts >= self.max_attempts:
+                # Every execution of this job has taken its process down.
+                # Re-queueing it again would crash the next server too:
+                # break the loop with a structured, queryable failure.
+                self.transition(
+                    record.job_id, "failed",
+                    error=(
+                        f"crash loop: {record.attempts} execution(s) died "
+                        "mid-run; not re-queueing"
+                    ),
+                    error_code="crash_loop",
+                    note="failed by restart recovery",
                 )
             else:
                 self.transition(

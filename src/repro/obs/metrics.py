@@ -31,6 +31,8 @@ __all__ = [
     "worker_stats_snapshot",
     "note_solve_block",
     "note_job_transition",
+    "note_block_retry",
+    "note_corrupt_artifact",
     "observe_job_seconds",
     "record_worker_block",
     "effective_cores",
@@ -516,3 +518,33 @@ def observe_job_seconds(
     registry.histogram(
         "repro_job_seconds", "async-job execution wall-clock", ("kind",)
     ).observe(seconds, kind=kind)
+
+
+# ---------------------------------------------------------------------------
+# Failure-domain series (fed by the fault defences: checksummed artifacts,
+# pool rebuilds, the hung-worker watchdog).
+# ---------------------------------------------------------------------------
+
+
+def note_block_retry(
+    reason: str, blocks: int = 1, registry: MetricsRegistry | None = None
+) -> None:
+    """Count s-blocks resubmitted after a pool break (``crashed`` / ``hung``)."""
+    registry = registry or _METRICS
+    registry.counter(
+        "repro_block_retries_total",
+        "s-blocks resubmitted after a worker-pool break, by break reason",
+        ("reason",),
+    ).inc(blocks, reason=reason)
+
+
+def note_corrupt_artifact(
+    kind: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one quarantined on-disk artifact (``checkpoint`` / ``plane``)."""
+    registry = registry or _METRICS
+    registry.counter(
+        "repro_corrupt_artifacts_total",
+        "artifacts that failed their integrity check and were quarantined",
+        ("kind",),
+    ).inc(1, kind=kind)

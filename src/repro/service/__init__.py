@@ -26,6 +26,7 @@ from .service import (
     ModelNotFound,
     QueryError,
     ServiceError,
+    ServiceUnavailable,
     ValidationError,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
+    "ServiceUnavailable",
     "TieredResultCache",
     "ValidationError",
     "create_server",

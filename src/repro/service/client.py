@@ -2,6 +2,7 @@
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -15,12 +16,25 @@ _TERMINAL = ("done", "failed", "cancelled")
 class ServiceClientError(Exception):
     """Non-2xx response from the server, carrying its JSON error message."""
 
-    def __init__(self, status: int, message: str, payload: dict | None = None):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        payload: dict | None = None,
+        retry_after: float | None = None,
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
         #: the server's structured error body (quota, retry_after_seconds, ...)
         self.payload = payload or {}
+        #: the server's ``Retry-After`` header (seconds), when it sent one
+        self.retry_after = retry_after
+
+
+def _jittered(delay: float) -> float:
+    """+-20% jitter so a retrying client fleet does not re-arrive in lockstep."""
+    return delay * (0.8 + 0.4 * random.random())
 
 
 class _ConnectionFailed(Exception):
@@ -78,7 +92,7 @@ class ServiceClient:
                         0, f"cannot reach server at {self.base_url}: {exc}"
                     ) from None
                 attempts -= 1
-                time.sleep(delay)
+                time.sleep(_jittered(delay))
                 delay = min(delay * 2.0, self.max_backoff)
 
     def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
@@ -100,7 +114,16 @@ class ServiceClient:
                 detail = body.get("error", exc.reason)
             except Exception:
                 detail = str(exc.reason)
-            raise ServiceClientError(exc.code, detail, body) from None
+            retry_after = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+            raise ServiceClientError(
+                exc.code, detail, body, retry_after=retry_after
+            ) from None
         except urllib.error.URLError as exc:
             # urlopen wraps socket-level failures (ConnectionRefusedError,
             # ConnectionResetError, RemoteDisconnected, ...) in URLError
@@ -270,17 +293,32 @@ class ServiceClient:
     def wait(
         self, job_id: str, *, timeout: float | None = None, interval: float = 0.25
     ) -> dict:
-        """Poll until the job reaches a terminal state; returns its view."""
+        """Poll until the job reaches a terminal state; returns its view.
+
+        A 429 (rate-limited poll) is not terminal: the loop honours the
+        server's ``Retry-After`` (falling back to a jittered ``interval``)
+        and keeps polling until the deadline.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        state = "unknown"
         while True:
-            view = self.job(job_id)
-            if view.get("state") in _TERMINAL:
-                return view
+            pause = _jittered(interval)
+            try:
+                view = self.job(job_id)
+            except ServiceClientError as exc:
+                if exc.status != 429:
+                    raise
+                if exc.retry_after is not None:
+                    pause = exc.retry_after
+            else:
+                state = view.get("state")
+                if state in _TERMINAL:
+                    return view
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {view.get('state')!r} after {timeout}s"
+                    f"job {job_id} still {state!r} after {timeout}s"
                 )
-            time.sleep(interval)
+            time.sleep(pause)
 
     def cancel(self, job_id: str) -> dict:
         """Request cancellation (``DELETE /v1/jobs/{id}``)."""

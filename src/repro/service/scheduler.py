@@ -81,9 +81,22 @@ class CoalescingScheduler:
     accumulated for ``/v1/stats``.
     """
 
-    def __init__(self, cache: TieredResultCache, *, backend=None, progress_board=None):
+    def __init__(
+        self,
+        cache: TieredResultCache,
+        *,
+        backend=None,
+        progress_board=None,
+        coalesce_timeout: float = _COALESCE_TIMEOUT_SECONDS,
+    ):
+        if coalesce_timeout <= 0:
+            raise ValueError("coalesce_timeout must be > 0")
         self.cache = cache
         self.backend = backend
+        #: upper bound on waiting for another request's in-flight point; a
+        #: dead leader resolves its tickets with the error immediately, so
+        #: this only guards against a leader stuck outside Python's control
+        self.coalesce_timeout = float(coalesce_timeout)
         #: optional :class:`~repro.obs.progress.ProgressBoard`; owned batches
         #: register a per-digest reporter so ``GET /v1/progress/{digest}``
         #: shows in-flight evaluations
@@ -152,30 +165,39 @@ class CoalescingScheduler:
                         owned.append(s)
 
         if owned:
-            # Double-check the memory tier: an owner that completed between
-            # our lookup and our ticket registration has already inserted its
-            # values, and those points must not be evaluated a second time.
-            already = self.cache.peek(digest, owned)
-            if already:
-                with self._lock:
-                    for s, v in already.items():
-                        ticket = self._in_flight.pop((digest, s), None)
-                        if ticket is not None:
-                            ticket.value = v
-                            ticket.event.set()
-                owned = [s for s in owned if s not in already]
-                found.update(already)
-                if stats is not None:
-                    stats.s_points_from_memory += len(already)
-        if owned:
-            computed = self._evaluate_owned(
-                job, digest, owned, exact, eval_lock, stats, progress_key,
-                reporter,
-            )
-            found.update(computed)
+            # From here to the end of the owned evaluation, *any* failure must
+            # resolve the registered tickets: a waiter blocked on a ticket its
+            # dead leader never resolves would sit out the whole coalesce
+            # timeout instead of seeing the error immediately.
+            try:
+                # Double-check the memory tier: an owner that completed
+                # between our lookup and our ticket registration has already
+                # inserted its values, and those points must not be evaluated
+                # a second time.
+                already = self.cache.peek(digest, owned)
+                if already:
+                    with self._lock:
+                        for s, v in already.items():
+                            ticket = self._in_flight.pop((digest, s), None)
+                            if ticket is not None:
+                                ticket.value = v
+                                ticket.event.set()
+                    owned = [s for s in owned if s not in already]
+                    found.update(already)
+                    if stats is not None:
+                        stats.s_points_from_memory += len(already)
+                if owned:
+                    computed = self._evaluate_owned(
+                        job, digest, owned, exact, eval_lock, stats,
+                        progress_key, reporter,
+                    )
+                    found.update(computed)
+            except BaseException as exc:
+                self._resolve_with_error(digest, owned, exc)
+                raise
 
         for s, ticket in waits.items():
-            if not ticket.event.wait(_COALESCE_TIMEOUT_SECONDS):
+            if not ticket.event.wait(self.coalesce_timeout):
                 raise TimeoutError(
                     f"timed out waiting for in-flight evaluation of s={s}"
                 )
@@ -216,6 +238,21 @@ class CoalescingScheduler:
         return out
 
     # ------------------------------------------------------------ internals
+    def _resolve_with_error(
+        self, digest: str, owned: list[complex], exc: BaseException
+    ) -> None:
+        """Wake waiters of any still-registered owned tickets with ``exc``.
+
+        Idempotent with the resolution inside :meth:`_evaluate_owned` —
+        tickets it already popped are simply gone from the table.
+        """
+        with self._lock:
+            for s in owned:
+                ticket = self._in_flight.pop((digest, s), None)
+                if ticket is not None:
+                    ticket.error = exc
+                    ticket.event.set()
+
     def _evaluate_owned(
         self,
         job: TransformJob,

@@ -40,9 +40,16 @@ import logging
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .. import faults
 from ..jobs import DEFAULT_TENANT, TenantError, validate_tenant
 from ..obs.metrics import get_metrics
-from .service import AnalysisService, ServiceError, ValidationError, measure_kwargs
+from .service import (
+    AnalysisService,
+    ServiceError,
+    ServiceUnavailable,
+    ValidationError,
+    measure_kwargs,
+)
 
 __all__ = ["create_server", "AnalysisHTTPServer"]
 
@@ -231,6 +238,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._tenant = validate_tenant(self.headers.get(TENANT_HEADER))
             if path not in ("/v1/health", "/metrics"):
                 self.server.service.admit(self._tenant)
+            faults.fire("http.handler", method=method, path=_metric_path(path))
+            if self.server.service.draining and method in ("POST", "DELETE"):
+                # Reads (job polling, progress, stats) stay answerable to the
+                # very end so clients can observe the drain; new work and
+                # cancellations go to the successor process.
+                raise ServiceUnavailable(
+                    "server is draining for shutdown; retry shortly"
+                )
             if method not in allowed:
                 self._reply(
                     405,

@@ -17,6 +17,7 @@ import time
 import numpy as np
 from scipy import optimize
 
+from .. import faults
 from ..api.errors import PlanError, PredicateError
 from ..core.jobs import TransformJob
 from ..distributed.checkpoint import CheckpointStore
@@ -43,6 +44,7 @@ from .scheduler import CoalescingScheduler, QueryStatistics
 __all__ = [
     "AnalysisService",
     "ServiceError",
+    "ServiceUnavailable",
     "ValidationError",
     "ModelNotFound",
     "JobNotFound",
@@ -84,6 +86,22 @@ class QueryError(ServiceError):
     """Well-formed request the model cannot answer (bad predicate, ...)."""
 
     status = 422
+
+
+class ServiceUnavailable(ServiceError):
+    """The server is draining for shutdown; retry against its successor."""
+
+    status = 503
+
+    def __init__(self, message: str, *, retry_after: float | None = 5.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        out = super().payload()
+        if self.retry_after is not None:
+            out["retry_after_seconds"] = self.retry_after
+        return out
 
 
 class QuotaExceeded(ServiceError):
@@ -194,10 +212,13 @@ class AnalysisService:
         quotas: TenantQuotas | None = None,
         job_store: str | object = "auto",
         job_block_points: int | None = None,
+        job_max_attempts: int = 5,
     ):
         if workers < 1:
             raise ValidationError("workers must be >= 1")
         store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self._checkpoint_store = store
+        self._draining = False
         self.tenancy = TenancyManager(quotas)
         self.registry = ModelRegistry(
             default_max_states=default_max_states, tenancy=self.tenancy
@@ -229,7 +250,7 @@ class AnalysisService:
             job_backend = open_backend(job_store or "auto", checkpoint_dir=checkpoint_dir)
         else:
             job_backend = job_store  # a pre-built JobBackend instance
-        self.jobs = JobStore(job_backend)
+        self.jobs = JobStore(job_backend, max_attempts=job_max_attempts)
         self._runner = JobRunner(self, self.jobs, block_points=job_block_points)
         if self.jobs.next_queued() is not None:
             # a durable store replayed queued (or re-queued crashed) jobs;
@@ -459,6 +480,10 @@ class AnalysisService:
         digest: a durable job must be replayable on a restarted server whose
         in-memory registry is empty.
         """
+        if self._draining:
+            raise ServiceUnavailable(
+                "server is draining for shutdown; submit to its successor"
+            )
         kwargs = measure_kwargs(payload, kind)
         _as_t_points(kwargs.get("t_points", ()))
         entry, _ = self._resolve_entry(
@@ -507,10 +532,32 @@ class AnalysisService:
         self._runner.wake()
         return record.view(include_result=False)
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful-shutdown step 1: refuse new work, park the in-flight job.
+
+        After this returns, new submissions get a 503 (the transport layer
+        adds ``Retry-After``), the runner has pushed any in-flight job back
+        to ``queued`` at an s-block boundary (its completed blocks already
+        checkpointed), and every job state the clients observed is durable.
+        Synchronous queries already underway run to completion.  Returns
+        False if the in-flight job did not reach a block boundary in time.
+        """
+        self._draining = True
+        return self._runner.drain(timeout)
+
     def close(self) -> None:
-        """Stop the job runner and release the job-store backend."""
+        """Release everything: runner, job store, worker planes, lock files."""
         self._runner.stop()
         self.jobs.close()
+        if self.backend is not None:
+            # unlinks any anonymous shared-memory kernel planes
+            self.backend.close()
+        if self._checkpoint_store is not None:
+            self._checkpoint_store.release_artifacts()
 
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:
@@ -521,6 +568,7 @@ class AnalysisService:
             "uptime_seconds": time.monotonic() - self._started,
             "queries": queries,
             "workers": self.workers,
+            "draining": self._draining,
             "version": _package_version(),
             "build": _build_info(),
             "registry": self.registry.stats(),
@@ -583,6 +631,7 @@ class AnalysisService:
         """
         from ..api.plan import QueryPlan
 
+        faults.fire("service.gather", digest=entry.digest, kind=job.kind())
         plan = QueryPlan.derive(inverter, t_points)
         if evaluate is not None:
             resolved = evaluate(job, plan.s_points, entry, stats)

@@ -166,6 +166,18 @@ class SPointPolicy:
         block while the block's state fits in roughly this many bytes;
         beyond it the per-point state no longer caches and one sparse matvec
         per point (a much smaller random-access window) is faster.
+    watchdog_floor_seconds / watchdog_multiplier:
+        Hung-worker detection for dispatched s-blocks: a block running longer
+        than ``max(floor, multiplier * longest observed block)`` is declared
+        hung, its pool is torn down and the unfinished blocks are
+        resubmitted.  ``multiplier <= 0`` disables the watchdog.  These (and
+        ``poison_after``) tune failure handling, not the arithmetic — they
+        are excluded from ``repr`` so job digests (and therefore on-disk
+        checkpoints) are insensitive to them.
+    poison_after:
+        A block implicated in this many consecutive pool breaks is declared
+        poisonous and the run fails fast with a structured error naming it,
+        instead of burning every retry on a deterministic crasher.
     """
 
     predicted_iteration_limit: int = 2000
@@ -176,6 +188,9 @@ class SPointPolicy:
     factored_max_distributions: int = 64
     direct_max_states: int = 200_000
     blockdiag_max_bytes: int = 64 << 20
+    watchdog_floor_seconds: float = field(default=30.0, repr=False)
+    watchdog_multiplier: float = field(default=8.0, repr=False)
+    poison_after: int = field(default=3, repr=False)
 
     def __post_init__(self):
         if self.predicted_iteration_limit < 1:
@@ -192,6 +207,10 @@ class SPointPolicy:
             raise ValueError("direct_max_states must be >= 1")
         if self.blockdiag_max_bytes < 0:
             raise ValueError("blockdiag_max_bytes must be >= 0")
+        if self.watchdog_floor_seconds <= 0:
+            raise ValueError("watchdog_floor_seconds must be > 0")
+        if self.poison_after < 1:
+            raise ValueError("poison_after must be >= 1")
 
     # ------------------------------------------------------------- routing
     def predicted_iterations(self, epsilon: float, contraction: np.ndarray) -> np.ndarray:

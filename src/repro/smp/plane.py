@@ -29,12 +29,14 @@ parameter holders — never the edge arrays.
 """
 from __future__ import annotations
 
+import contextlib
 import mmap
 import os
 import pickle
 import struct
 import tempfile
 import weakref
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -42,10 +44,22 @@ from pathlib import Path
 import numpy as np
 from scipy import sparse
 
+from .. import faults
+from ..obs.metrics import note_corrupt_artifact
 from .factored import FactoredUEvaluator, _ColStructure
 from .kernel import SMPKernel, UEvaluator, kernel_content_digest
 
-__all__ = ["KernelPlane", "PlaneHandle", "AttachedPlane", "PlaneStore"]
+__all__ = [
+    "KernelPlane",
+    "PlaneHandle",
+    "PlaneIntegrityError",
+    "AttachedPlane",
+    "PlaneStore",
+]
+
+
+class PlaneIntegrityError(ValueError):
+    """A plane's payload does not match the checksum recorded in its header."""
 
 _MAGIC = b"SMPPLANE1"
 _ALIGN = 64
@@ -89,10 +103,12 @@ def _plan(evaluator: UEvaluator, include_factored: bool):
     arrays = _collect_arrays(evaluator, include_factored)
     entries = []
     offset = 0
+    crc = 0
     for name, a in arrays.items():
         offset = _align_up(offset)
         entries.append((name, a.dtype.str, a.shape, offset))
         offset += a.nbytes
+        crc = zlib.crc32(a.data, crc)
     header = {
         "n_states": evaluator.kernel.n_states,
         "digest": kernel_content_digest(evaluator.kernel),
@@ -100,6 +116,9 @@ def _plan(evaluator: UEvaluator, include_factored: bool):
         "factored": bool(include_factored),
         "arrays": entries,
         "payload_bytes": offset,
+        # CRC32 over the array bytes in layout order (alignment gaps are not
+        # covered — they are never read); verified on every attach.
+        "crc32": crc,
     }
     header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
     payload_start = _align_up(len(_MAGIC) + 8 + len(header_bytes))
@@ -131,6 +150,24 @@ def _read_header(buf) -> tuple[dict, int]:
     start = len(_MAGIC) + 8
     header = pickle.loads(bytes(buf[start : start + header_len]))
     return header, _align_up(start + header_len)
+
+
+def _verify_payload(buf, header: dict, payload_start: int) -> None:
+    """Check the payload CRC recorded at build time (pre-checksum planes pass)."""
+    expected = header.get("crc32")
+    if expected is None:
+        return
+    crc = 0
+    for _, dtype, shape, offset in header["arrays"]:
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        start = payload_start + offset
+        crc = zlib.crc32(buf[start : start + nbytes], crc)
+    if crc != expected:
+        raise PlaneIntegrityError(
+            f"kernel plane payload checksum mismatch for digest "
+            f"{header.get('digest', '?')[:12]} (stored {expected:#010x}, "
+            f"computed {crc:#010x})"
+        )
 
 
 class AttachedPlane:
@@ -212,6 +249,7 @@ class PlaneHandle:
     ref: str
 
     def attach(self) -> AttachedPlane:
+        faults.fire("plane.attach", kind=self.kind, ref=self.ref)
         if self.kind == "shm":
             # Python's resource tracker registers the segment on *attach*
             # (not just create) and would unlink it when the first attaching
@@ -232,13 +270,24 @@ class PlaneHandle:
             finally:
                 resource_tracker.register = original_register
             buf = shm.buf
-            header, payload_start = _read_header(buf)
+            try:
+                header, payload_start = _read_header(buf)
+                _verify_payload(buf, header, payload_start)
+            except BaseException:
+                shm.close()
+                raise
             return AttachedPlane(buf, shm, header, payload_start)
         if self.kind == "file":
             with open(self.ref, "rb") as f:
                 mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
             buf = memoryview(mapped)
-            header, payload_start = _read_header(buf)
+            try:
+                header, payload_start = _read_header(buf)
+                _verify_payload(buf, header, payload_start)
+            except BaseException:
+                buf.release()
+                mapped.close()
+                raise
             return AttachedPlane(buf, mapped, header, payload_start)
         raise ValueError(f"unknown plane backing {self.kind!r}")
 
@@ -290,9 +339,13 @@ class KernelPlane:
             evaluator, include_factored
         )
         digest = kernel_content_digest(evaluator.kernel)
+        faults.fire("plane.export", digest=digest, backing=backing)
         if backing == "shm":
             shm = shared_memory.SharedMemory(create=True, size=total)
             _write_into(shm.buf, arrays, entries, header_bytes, payload_start)
+            faults.corrupt_buffer(
+                "plane.export", shm.buf, start=payload_start, digest=digest
+            )
             return cls(PlaneHandle("shm", shm.name), digest, total, shm=shm)
         if backing == "file":
             if path is None:
@@ -307,6 +360,10 @@ class KernelPlane:
                     try:
                         _write_into(mapped, arrays, entries, header_bytes,
                                     payload_start)
+                        faults.corrupt_buffer(
+                            "plane.export", mapped, start=payload_start,
+                            digest=digest,
+                        )
                         mapped.flush()
                     finally:
                         mapped.close()
@@ -368,6 +425,38 @@ class PlaneStore:
     def path_for(self, digest: str, *, factored: bool = False) -> Path:
         return self.directory / f"{digest}.{'fac' if factored else 'csr'}.plane"
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a failed-integrity plane aside so the digest rebuilds fresh."""
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        note_corrupt_artifact("plane")
+
+    @classmethod
+    def _valid(cls, path: Path) -> bool:
+        """Integrity-check an existing plane file; quarantines on failure.
+
+        Export idempotence reuses a file that is already on disk, so a
+        corrupted plane would otherwise be re-served forever — to the
+        exporter *and* to every worker attaching by digest.
+        """
+        try:
+            with open(path, "rb") as f:
+                mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                buf = memoryview(mapped)
+                try:
+                    header, payload_start = _read_header(buf)
+                    _verify_payload(buf, header, payload_start)
+                finally:
+                    buf.release()
+            finally:
+                mapped.close()
+        except Exception:  # truncated/garbled files fail header or CRC reads
+            cls._quarantine(path)
+            return False
+        return True
+
     def export(
         self, evaluator: UEvaluator, *, include_factored: bool | None = None
     ) -> PlaneHandle:
@@ -375,7 +464,7 @@ class PlaneStore:
             include_factored = getattr(evaluator, "_factored", None) is not None
         digest = kernel_content_digest(evaluator.kernel)
         path = self.path_for(digest, factored=include_factored)
-        if not path.exists():
+        if not path.exists() or not self._valid(path):
             KernelPlane.build(
                 evaluator, backing="file", path=path,
                 include_factored=include_factored,
@@ -389,7 +478,14 @@ class PlaneStore:
             path = self.path_for(digest, factored=True)
         if not path.exists():
             raise FileNotFoundError(f"no plane exported for digest {digest}")
-        return PlaneHandle("file", str(path)).attach()
+        try:
+            return PlaneHandle("file", str(path)).attach()
+        except PlaneIntegrityError:
+            self._quarantine(path)
+            raise FileNotFoundError(
+                f"plane for digest {digest} failed its checksum and was "
+                f"quarantined; re-export it"
+            ) from None
 
     def digests(self) -> list[str]:
         return sorted({p.name.split(".")[0] for p in self.directory.glob("*.plane")})

@@ -123,22 +123,23 @@ class TestBlockSizing:
 
 class TestCrashRecovery:
     def test_killed_worker_is_retried(self, big_job, tmp_path, monkeypatch):
-        sentinel = tmp_path / "killed"
-        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", "1")
-        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(sentinel))
+        state = tmp_path / "faults"
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"state={state};worker.solve=crash:limit=1,block=1"
+        )
         backend = MultiprocessingBackend(processes=2, block_size=4)
         try:
             values = backend.evaluate(big_job, S_GRID)
         finally:
             backend.close()
-        assert sentinel.exists()  # the crash really happened
+        assert list(state.glob("rule*.fire*"))  # the crash really happened
+        assert backend.last_retry_stats["retries"]
         serial = SerialBackend().evaluate(big_job, S_GRID)
         for s, v in serial.items():
             assert values[s] == pytest.approx(v, abs=1e-12)
 
-    def test_retries_exhausted_raises(self, big_job, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", "0")
-        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(tmp_path / "killed"))
+    def test_retries_exhausted_raises(self, big_job, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker.solve=crash:block=0")
         backend = MultiprocessingBackend(processes=1, block_size=8, max_retries=0)
         try:
             with pytest.raises(Exception, match="1 time"):
@@ -161,8 +162,9 @@ class TestCrashRecovery:
 
         # One worker, four-point blocks, crash on the last block: every
         # earlier block completes (and is merged to disk) first.
-        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(tmp_path / "killed"))
-        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", str(n_blocks - 1))
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"worker.solve=crash:block={n_blocks - 1}"
+        )
         backend = MultiprocessingBackend(processes=1, block_size=4, max_retries=0)
         pipeline = DistributedPipeline(big_job, backend=backend, checkpoint=store)
         with pytest.raises(Exception):
@@ -171,7 +173,7 @@ class TestCrashRecovery:
         checkpointed = len(store.load(big_job.digest()))
         assert 0 < checkpointed < required
 
-        monkeypatch.delenv("REPRO_TEST_KILL_BLOCK")
+        monkeypatch.delenv("REPRO_FAULTS")
         backend = MultiprocessingBackend(processes=1, block_size=4)
         resumed = DistributedPipeline(big_job, backend=backend, checkpoint=store)
         density = resumed.density(t_grid)

@@ -66,15 +66,16 @@ class TestWorkerStatsMerging:
         """Kill one worker mid-run: the crashed block's first attempt never
         completed, so only its retry lands in the counters — totals must come
         out exact across the pool rebuild."""
-        sentinel = tmp_path / "killed"
-        monkeypatch.setenv("REPRO_TEST_KILL_BLOCK", "1")
-        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL", str(sentinel))
+        state = tmp_path / "faults"
+        monkeypatch.setenv(
+            "REPRO_FAULTS", f"state={state};worker.solve=crash:limit=1,block=1"
+        )
         backend = MultiprocessingBackend(processes=2, block_size=4)
         try:
             values = backend.evaluate(big_job, S_GRID)
         finally:
             backend.close()
-        assert sentinel.exists()  # the crash really happened
+        assert list(state.glob("rule*.fire*"))  # the crash really happened
         assert len(values) == len(S_GRID)
 
         snap = worker_stats_snapshot()

@@ -108,7 +108,8 @@ class TestCheckpointStore:
         store.merge("job", {0.5 + 0.25j: 1.0 - 0.5j})
         path = next(tmp_path.glob("*.json"))
         payload = json.loads(path.read_text())
-        assert list(payload.values()) == [[1.0, -0.5]]
+        assert set(payload) == {"crc32", "values"}
+        assert list(payload["values"].values()) == [[1.0, -0.5]]
 
     def test_lock_file_not_listed_as_digest(self, tmp_path):
         store = CheckpointStore(tmp_path)

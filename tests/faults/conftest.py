@@ -1,0 +1,15 @@
+"""Shared fixtures for the fault-injection suite."""
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plane(monkeypatch):
+    """Every test starts and ends with no plan installed and no env spec."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,173 @@
+"""Chaos schedules: seeded fault plans over a real two-worker solve.
+
+Each schedule injects one failure domain — a worker crash, a silent hang, a
+plane attach failure, a corrupted checkpoint write, a full disk — into a
+genuine :class:`MultiprocessingBackend` evaluation and asserts the two
+invariants every defence must preserve:
+
+* **parity**: the returned values match a serial solve to <= 1e-10, fault or
+  no fault — recovery never substitutes approximate or stale results;
+* **no leaks**: no shared-memory segments, ``*.plane.tmp``, ``*.tmp`` or
+  ``*.lock`` files survive the run once the backend is closed and artifacts
+  released.
+
+The schedules are deterministic: triggers are label filters and cross-process
+``limit`` tokens (the ``seed`` pins any probabilistic byte picks), so a
+failing schedule replays exactly under its ``REPRO_FAULTS`` string.
+"""
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import PassageTimeJob
+from repro.distributed import CheckpointStore, MultiprocessingBackend, SerialBackend
+from repro.laplace.inverter import canonical_s
+from repro.smp import SPointPolicy, source_weights
+from tests.smp.conftest import random_kernel
+
+S_GRID = [complex(0.3 * (k + 1), 0.9 * k) for k in range(16)]
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    rng = np.random.default_rng(20030422)
+    return random_kernel(rng, 60, density=0.4)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(kernel):
+    job = PassageTimeJob(
+        kernel=kernel, alpha=source_weights(kernel, [0]), targets=[3, 4]
+    )
+    return SerialBackend().evaluate(job, S_GRID)
+
+
+def _job(kernel, policy=None):
+    return PassageTimeJob(
+        kernel=kernel, alpha=source_weights(kernel, [0]), targets=[3, 4],
+        policy=policy,
+    )
+
+
+def _shm_entries():
+    return set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+
+def _run_schedule(job, spec, monkeypatch, *, checkpoint=None, digest=None):
+    """One chaos run: set the schedule, solve on two workers, check leaks."""
+    shm_before = _shm_entries()
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    backend = MultiprocessingBackend(processes=2, block_size=4)
+    try:
+        values = backend.evaluate(
+            job, S_GRID, checkpoint=checkpoint, digest=digest
+        )
+    finally:
+        backend.close()
+    assert _shm_entries() <= shm_before  # no leaked kernel planes
+    return values, backend
+
+
+def _assert_parity(values, serial_reference):
+    assert len(values) == len(S_GRID)
+    for s, expected in serial_reference.items():
+        assert values[s] == pytest.approx(expected, abs=1e-10)
+
+
+def _assert_store_clean(directory):
+    assert not list(directory.glob("*.tmp"))
+    assert not list(directory.glob("*.lock"))
+    assert not list(directory.glob("*.plane.tmp"))
+
+
+def test_schedule_worker_crash(kernel, serial_reference, tmp_path, monkeypatch):
+    state = tmp_path / "faults"
+    values, backend = _run_schedule(
+        _job(kernel),
+        f"seed=1;state={state};worker.solve=crash:limit=1,block=1",
+        monkeypatch,
+    )
+    assert list(state.glob("rule*.fire*"))
+    assert backend.last_retry_stats["retries"]
+    _assert_parity(values, serial_reference)
+
+
+def test_schedule_worker_hang(kernel, serial_reference, tmp_path, monkeypatch):
+    state = tmp_path / "faults"
+    policy = SPointPolicy(watchdog_floor_seconds=1.5, watchdog_multiplier=3.0)
+    values, backend = _run_schedule(
+        _job(kernel, policy),
+        f"seed=2;state={state};worker.solve=hang:limit=1,block=2",
+        monkeypatch,
+    )
+    assert list(state.glob("rule*.fire*"))
+    assert backend.last_retry_stats["suspected"].get(2) == 1
+    _assert_parity(values, serial_reference)
+
+
+def test_schedule_plane_attach_failure(
+    kernel, serial_reference, tmp_path, monkeypatch
+):
+    """One worker fails to attach the kernel plane at pool start: the broken
+    pool is rebuilt and the rebuilt workers attach cleanly."""
+    state = tmp_path / "faults"
+    values, _ = _run_schedule(
+        _job(kernel),
+        f"seed=3;state={state};plane.attach=raise:limit=1",
+        monkeypatch,
+    )
+    assert list(state.glob("rule*.fire*"))
+    _assert_parity(values, serial_reference)
+
+
+def test_schedule_corrupt_checkpoint_block(
+    kernel, serial_reference, tmp_path, monkeypatch
+):
+    """One checkpoint merge writes garbage: the checksum quarantines it on
+    the next read, and no corrupted value ever reaches a result."""
+    job = _job(kernel)
+    store = CheckpointStore(tmp_path / "ckpt")
+    state = tmp_path / "faults"
+    values, _ = _run_schedule(
+        job,
+        f"seed=4;state={state};checkpoint.merge=corrupt-bytes:limit=1",
+        monkeypatch,
+        checkpoint=store,
+        digest=job.digest(),
+    )
+    _assert_parity(values, serial_reference)
+    monkeypatch.delenv("REPRO_FAULTS")
+    # whatever survived on disk is either quarantined or bit-exact
+    recovered = store.load(job.digest())
+    assert list(store.directory.glob("*.corrupt"))
+    reference = {canonical_s(s): v for s, v in serial_reference.items()}
+    for s, v in recovered.items():
+        assert v == pytest.approx(reference[s], abs=1e-10)
+    store.release_artifacts()
+    _assert_store_clean(store.directory)
+
+
+def test_schedule_checkpoint_enospc(
+    kernel, serial_reference, tmp_path, monkeypatch, caplog
+):
+    """Every checkpoint merge hits a full disk: durability is lost with a
+    warning, the in-memory computation is not."""
+    job = _job(kernel)
+    store = CheckpointStore(tmp_path / "ckpt")
+    with caplog.at_level("WARNING", logger="repro.distributed"):
+        values, _ = _run_schedule(
+            job,
+            "seed=5;checkpoint.merge=enospc",
+            monkeypatch,
+            checkpoint=store,
+            digest=job.digest(),
+        )
+    _assert_parity(values, serial_reference)
+    assert any("continuing without durability" in r.message for r in caplog.records)
+    monkeypatch.delenv("REPRO_FAULTS")
+    assert store.load(job.digest()) == {}  # nothing made it to disk
+    store.release_artifacts()
+    _assert_store_clean(store.directory)

@@ -1,0 +1,74 @@
+"""Crash-loop detection in restart recovery.
+
+Re-queueing a ``running`` job after a restart is the right default — unless
+every execution of that job is what killed the process.  After
+``max_attempts`` executions died mid-run, recovery must fail the job with a
+structured ``crash_loop`` error instead of taking the next server down too.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs.store import JobStore, MemoryBackend
+
+
+def test_crash_looping_job_fails_after_max_attempts():
+    backend = MemoryBackend()
+    store = JobStore(backend, max_attempts=2)
+    job_id = store.create(kind="passage", request={}, model="m1").job_id
+    store.transition(job_id, "running")  # life 1 dies here
+
+    # life 2: recovery re-queues (1 attempt < 2) and the job dies again
+    store = JobStore(backend, max_attempts=2)
+    assert store.recovered == [job_id]
+    record = store.get(job_id)
+    assert record.state == "queued"
+    assert record.attempts == 1
+    store.transition(job_id, "running")  # life 2 dies here too
+
+    # life 3: two executions died mid-run — the loop is broken, not resumed
+    store = JobStore(backend, max_attempts=2)
+    assert store.recovered == [job_id]
+    record = store.get(job_id)
+    assert record.state == "failed"
+    assert record.error_code == "crash_loop"
+    assert "crash loop: 2 execution(s)" in record.error
+    view = record.view()
+    assert view["error_code"] == "crash_loop"
+    assert view["state"] == "failed"
+
+    # the failure is terminal: yet another restart does not resurrect it
+    store = JobStore(backend, max_attempts=2)
+    assert store.recovered == []
+    assert store.get(job_id).state == "failed"
+
+
+def test_below_the_threshold_jobs_keep_being_requeued():
+    backend = MemoryBackend()
+    store = JobStore(backend, max_attempts=5)
+    job_id = store.create(kind="passage", request={}, model="m1").job_id
+    for expected_attempts in range(1, 5):
+        store.transition(job_id, "running")
+        store = JobStore(backend, max_attempts=5)
+        record = store.get(job_id)
+        assert record.attempts == expected_attempts
+        if expected_attempts < 5:
+            assert record.state == "queued"
+
+
+def test_pending_cancellation_beats_the_crash_loop_verdict():
+    backend = MemoryBackend()
+    store = JobStore(backend, max_attempts=1)
+    job_id = store.create(kind="passage", request={}, model="m1").job_id
+    store.transition(job_id, "running")
+    store.request_cancel(job_id)
+
+    store = JobStore(backend, max_attempts=1)
+    record = store.get(job_id)
+    assert record.state == "cancelled"
+    assert record.error_code is None
+
+
+def test_max_attempts_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        JobStore(MemoryBackend(), max_attempts=0)

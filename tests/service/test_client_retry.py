@@ -1,0 +1,121 @@
+"""Client-side backpressure behaviour: Retry-After, 429 polling, jitter.
+
+A polling fleet must neither hammer a rate-limiting server (ignore its
+Retry-After) nor re-arrive in lockstep after a shared backoff (no jitter).
+"""
+from __future__ import annotations
+
+import io
+import urllib.error
+import urllib.request
+from email.message import Message
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+from repro.service.client import _jittered
+
+
+class TestJitter:
+    def test_jitter_stays_within_twenty_percent(self):
+        draws = [_jittered(1.0) for _ in range(500)]
+        assert all(0.8 <= d <= 1.2 for d in draws)
+        assert max(draws) - min(draws) > 0.01  # actually random, not constant
+
+    def test_jitter_scales_with_delay(self):
+        assert 0.08 <= _jittered(0.1) <= 0.12
+
+
+class TestRetryAfterParsing:
+    def _raise_429(self, retry_after=None):
+        headers = Message()
+        if retry_after is not None:
+            headers["Retry-After"] = retry_after
+        return urllib.error.HTTPError(
+            "http://127.0.0.1:1/v1/jobs/x", 429, "Too Many Requests",
+            headers, io.BytesIO(b'{"error": "rate limited"}'),
+        )
+
+    def test_retry_after_header_lands_on_the_exception(self, monkeypatch):
+        error = self._raise_429("7")
+        monkeypatch.setattr(
+            urllib.request, "urlopen",
+            lambda *a, **k: (_ for _ in ()).throw(error),
+        )
+        client = ServiceClient("http://127.0.0.1:1", retries=0)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.job("x")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == 7.0
+        assert excinfo.value.message == "rate limited"
+
+    def test_unparseable_retry_after_is_ignored(self, monkeypatch):
+        error = self._raise_429("next tuesday")
+        monkeypatch.setattr(
+            urllib.request, "urlopen",
+            lambda *a, **k: (_ for _ in ()).throw(error),
+        )
+        client = ServiceClient("http://127.0.0.1:1", retries=0)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.job("x")
+        assert excinfo.value.retry_after is None
+
+
+class TestWaitUnder429:
+    def _polling_client(self, monkeypatch, responses, sleeps):
+        client = ServiceClient("http://127.0.0.1:1", retries=0)
+        replies = iter(responses)
+
+        def _job(job_id):
+            reply = next(replies)
+            if isinstance(reply, Exception):
+                raise reply
+            return reply
+
+        monkeypatch.setattr(client, "job", _job)
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        return client
+
+    def test_wait_honours_retry_after_and_keeps_polling(self, monkeypatch):
+        sleeps: list[float] = []
+        client = self._polling_client(
+            monkeypatch,
+            [
+                ServiceClientError(429, "rate limited", retry_after=3.5),
+                ServiceClientError(429, "rate limited", retry_after=1.25),
+                {"state": "done", "job": "x"},
+            ],
+            sleeps,
+        )
+        view = client.wait("x", interval=0.25)
+        assert view["state"] == "done"
+        assert sleeps == [3.5, 1.25]  # the server's pacing, not ours
+
+    def test_wait_without_retry_after_falls_back_to_jittered_interval(
+        self, monkeypatch
+    ):
+        sleeps: list[float] = []
+        client = self._polling_client(
+            monkeypatch,
+            [
+                ServiceClientError(429, "rate limited"),
+                {"state": "done", "job": "x"},
+            ],
+            sleeps,
+        )
+        client.wait("x", interval=0.25)
+        assert len(sleeps) == 1
+        assert 0.2 <= sleeps[0] <= 0.3  # +-20% of the interval
+
+    def test_wait_reraises_non_429_errors(self, monkeypatch):
+        sleeps: list[float] = []
+        client = self._polling_client(
+            monkeypatch,
+            [ServiceClientError(500, "kaboom")],
+            sleeps,
+        )
+        with pytest.raises(ServiceClientError, match="kaboom"):
+            client.wait("x")
+        assert sleeps == []

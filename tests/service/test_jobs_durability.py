@@ -1,8 +1,8 @@
 """Kill the server mid-solve; the job must survive, resume and finish right.
 
-The server process is crashed with ``os._exit(1)`` after its first completed
-s-block (``REPRO_TEST_JOBS_EXIT_AFTER_BLOCK=0``).  A second server started
-against the same checkpoint directory must
+The server process is crashed after its first completed s-block by the
+``jobs.block`` fault point (``REPRO_FAULTS="jobs.block=crash:done=1"``).  A
+second server started against the same checkpoint directory must
 
 * replay the sqlite job log and re-queue the interrupted ``running`` job,
 * resume it from the per-block checkpoints — points already solved come
@@ -36,7 +36,7 @@ QUERY = dict(spec=ON_OFF, source="on == 2", target="on == 0",
 def _start_server(checkpoint: Path, extra_env: dict | None = None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-    env.pop("REPRO_TEST_JOBS_EXIT_AFTER_BLOCK", None)
+    env.pop("REPRO_FAULTS", None)
     # small blocks => several checkpoint barriers inside one solve
     env["REPRO_JOBS_BLOCK_POINTS"] = "8"
     env.update(extra_env or {})
@@ -62,7 +62,7 @@ def test_job_survives_server_crash_and_resumes(tmp_path):
 
     # --- first life: crash after the first completed block -----------------
     process, url = _start_server(
-        checkpoint, {"REPRO_TEST_JOBS_EXIT_AFTER_BLOCK": "0"}
+        checkpoint, {"REPRO_FAULTS": "jobs.block=crash:done=1"}
     )
     try:
         client = ServiceClient(url, retries=0)

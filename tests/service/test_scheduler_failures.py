@@ -1,0 +1,164 @@
+"""Failure propagation through the coalescing scheduler.
+
+A waiter blocked on another request's in-flight s-point must learn about the
+leader's death *immediately* — sitting out the coalesce timeout would turn
+one failed evaluation into a ten-minute stall for every coalesced request.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.service.scheduler import CoalescingScheduler
+
+S = complex(1.0, 2.0)
+
+
+class _FakeCache:
+    """Everything misses; peek/insert are controllable no-ops."""
+
+    def __init__(self, peek=None):
+        self._peek = peek
+
+    def lookup(self, digest, canonical):
+        return SimpleNamespace(
+            found={}, missing=list(canonical), memory_hits=0, disk_hits=0
+        )
+
+    def peek(self, digest, owned):
+        if self._peek is not None:
+            return self._peek(digest, owned)
+        return {}
+
+    def insert(self, digest, values):
+        pass
+
+
+class _ScriptedJob:
+    """evaluate_many blocks on ``release`` and then runs ``action``."""
+
+    policy = None
+    last_report = None
+
+    def __init__(self, entered, release, action):
+        self.entered = entered
+        self.release = release
+        self.action = action
+
+    def digest(self):
+        return "digest-1"
+
+    def kind(self):
+        return "passage"
+
+    def evaluate_many(self, todo):
+        self.entered.set()
+        self.release.wait(10.0)
+        return self.action(todo)
+
+
+def _leader_and_waiter(scheduler, job):
+    """Start a leader on ``job`` and, once it owns the point, a waiter."""
+    leader_error: list = []
+
+    def _lead():
+        try:
+            scheduler.evaluate(job, [S])
+        except BaseException as exc:  # noqa: BLE001 - recorded for the test
+            leader_error.append(exc)
+
+    leader = threading.Thread(target=_lead, daemon=True)
+    leader.start()
+    assert job.entered.wait(5.0)
+
+    waiter_outcome: dict = {}
+
+    def _wait():
+        follower = _ScriptedJob(
+            threading.Event(), threading.Event(), lambda todo: {}
+        )
+        start = time.monotonic()
+        try:
+            waiter_outcome["value"] = scheduler.evaluate(follower, [S])
+        except BaseException as exc:  # noqa: BLE001 - recorded for the test
+            waiter_outcome["error"] = exc
+        waiter_outcome["elapsed"] = time.monotonic() - start
+
+    waiter = threading.Thread(target=_wait, daemon=True)
+    waiter.start()
+    time.sleep(0.1)  # let the waiter register on the in-flight ticket
+    return leader, waiter, leader_error, waiter_outcome
+
+
+def test_leader_death_reaches_waiters_within_a_second():
+    scheduler = CoalescingScheduler(_FakeCache(), coalesce_timeout=600.0)
+
+    def _explode(todo):
+        raise RuntimeError("leader exploded")
+
+    entered, release = threading.Event(), threading.Event()
+    job = _ScriptedJob(entered, release, _explode)
+    leader, waiter, leader_error, outcome = _leader_and_waiter(scheduler, job)
+
+    released = time.monotonic()
+    release.set()
+    waiter.join(5.0)
+    leader.join(5.0)
+    assert not waiter.is_alive()
+    assert isinstance(leader_error[0], RuntimeError)
+    assert "error" in outcome
+    assert "failed in another request" in str(outcome["error"])
+    # the waiter saw the failure nearly instantly, not after the timeout
+    assert time.monotonic() - released < 1.0
+    assert not scheduler._in_flight  # no orphaned tickets
+
+
+def test_failure_outside_evaluate_owned_still_resolves_tickets():
+    """The peek double-check runs before _evaluate_owned; a crash there must
+    release the registered tickets too (regression for the wrapper around
+    the whole owned section)."""
+    peek_entered, peek_release = threading.Event(), threading.Event()
+
+    def _peek(digest, owned):
+        peek_entered.set()
+        peek_release.wait(10.0)
+        raise RuntimeError("cache backend died")
+
+    scheduler = CoalescingScheduler(_FakeCache(peek=_peek), coalesce_timeout=600.0)
+    job = _ScriptedJob(peek_entered, threading.Event(), lambda todo: {})
+    leader, waiter, leader_error, outcome = _leader_and_waiter(scheduler, job)
+
+    released = time.monotonic()
+    peek_release.set()
+    waiter.join(5.0)
+    leader.join(5.0)
+    assert not waiter.is_alive()
+    assert isinstance(leader_error[0], RuntimeError)
+    assert "error" in outcome
+    assert time.monotonic() - released < 1.0
+    assert not scheduler._in_flight
+
+
+def test_coalesce_timeout_is_a_constructor_knob():
+    scheduler = CoalescingScheduler(_FakeCache(), coalesce_timeout=0.2)
+    assert scheduler.coalesce_timeout == 0.2
+
+    entered, release = threading.Event(), threading.Event()
+    job = _ScriptedJob(entered, release, lambda todo: {todo[0]: complex(1.0)})
+    leader, waiter, leader_error, outcome = _leader_and_waiter(scheduler, job)
+    try:
+        waiter.join(5.0)
+        assert isinstance(outcome.get("error"), TimeoutError)
+        assert outcome["elapsed"] < 2.0  # the 600s default would still be waiting
+    finally:
+        release.set()
+        leader.join(5.0)
+    assert not leader_error
+
+
+def test_coalesce_timeout_must_be_positive():
+    with pytest.raises(ValueError, match="coalesce_timeout"):
+        CoalescingScheduler(_FakeCache(), coalesce_timeout=0.0)
